@@ -1,0 +1,74 @@
+"""E-ABL: design-choice ablations (§4.4, §5.1, §6).
+
+Each test pins one design argument from the paper to a measured
+outcome: layer ordering, load granularity extremes, eviction
+granularity, and GCM's unmarked side loads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table, write_csv
+from repro.bounds import general_a_lower
+from repro.experiments import ablation
+
+K, B = 256, 8
+
+
+def test_layer_order(benchmark, out_dir):
+    rows = benchmark.pedantic(
+        ablation.layer_order, kwargs={"k": K, "B": B}, rounds=1, iterations=1
+    )
+    write_csv(rows, out_dir / "ablation_layer_order.csv")
+    print()
+    print(format_table(rows, title="§5.1 layer ordering"))
+    by = {r["policy"]: r["misses"] for r in rows}
+    assert by["iblp"] < 0.25 * by["iblp-blockfirst"]
+
+
+def test_athreshold_extremes(benchmark, out_dir):
+    rows = benchmark.pedantic(
+        ablation.athreshold_sweep,
+        kwargs={"k": K, "h": 48, "B": B, "cycles": 4},
+        rounds=1,
+        iterations=1,
+    )
+    write_csv(rows, out_dir / "ablation_athreshold.csv")
+    print()
+    print(format_table(rows, title="§4.4 a-threshold sweep"))
+    ratios = {r["a"]: r["ratio"] for r in rows}
+    # §4.4: the optimum over a is at an extreme (here k-h+1 > B => a=1),
+    # middle values are strictly worse, and each matches Theorem 4.
+    assert min(ratios, key=ratios.get) == 1
+    assert ratios[B // 2] > ratios[1]
+    for a, ratio in ratios.items():
+        assert ratio == pytest.approx(general_a_lower(K, 48, B, a), rel=0.08)
+
+
+def test_eviction_granularity(benchmark, out_dir):
+    rows = benchmark.pedantic(
+        ablation.eviction_granularity,
+        kwargs={"k": K, "B": B},
+        rounds=1,
+        iterations=1,
+    )
+    write_csv(rows, out_dir / "ablation_eviction.csv")
+    print()
+    print(format_table(rows, title="§4.4 eviction granularity"))
+    by = {r["policy"]: r["misses"] for r in rows}
+    assert by["athreshold-lru"] <= by["block-lru"]
+    assert by["iblp"] < 0.7 * by["block-lru"]
+
+
+def test_gcm_variants(benchmark, out_dir):
+    rows = benchmark.pedantic(
+        ablation.gcm_variants, kwargs={"k": K, "B": B}, rounds=1, iterations=1
+    )
+    write_csv(rows, out_dir / "ablation_gcm.csv")
+    print()
+    print(format_table(rows, title="§6 GCM marking discipline"))
+    by = {r["policy"]: r for r in rows}
+    # GCM exploits spatial locality that block-oblivious marking wastes.
+    assert by["gcm"]["misses"] <= by["marking-lru"]["misses"]
+    assert by["gcm"]["spatial_hits"] > by["marking-lru"]["spatial_hits"]

@@ -1,0 +1,80 @@
+"""E-EMP: empirical competitive ratios for every §4 construction.
+
+Plays the four adversaries against the full policy line-up at
+simulator scale and checks the measured ratios against the theorems:
+
+* Sleator–Tarjan pins LRU at ``k/(k-h+1)``;
+* Theorem 2 pins item caches at ``≈ B(k-B+1)/(k-h+1)``;
+* Theorem 3 pins Block-LRU at ``≈ k/(k-B(h-1))``;
+* Theorem 4's probe realizes ``(a(k-h+1)+B(h-a))/(k-h+1)`` per policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import GeneralAdversary
+from repro.analysis.competitive import measure_adversarial
+from repro.analysis.tables import format_table, write_csv
+from repro.bounds import (
+    block_cache_lower,
+    general_a_lower,
+    sleator_tarjan_lower,
+)
+from repro.experiments import adversarial
+from repro.policies import AThresholdLRU
+
+K, H, B = 256, 48, 8
+
+
+def test_all_adversaries_all_policies(benchmark, out_dir):
+    rows = benchmark.pedantic(
+        adversarial.run,
+        kwargs={"k": K, "h": H, "B": B, "cycles": 4},
+        rounds=1,
+        iterations=1,
+    )
+    write_csv(rows, out_dir / "adversary_matrix.csv")
+    print()
+    print(format_table(rows, title=f"Empirical ratios (k={K}, h={H}, B={B})"))
+    by = {(r["adversary"], r["policy"]): r for r in rows}
+    assert by[("sleator_tarjan", "item-lru")]["ratio"] == pytest.approx(
+        sleator_tarjan_lower(K, H), rel=0.05
+    )
+    assert by[("thm2_item", "item-lru")]["ratio"] == pytest.approx(
+        by[("thm2_item", "item-lru")]["target_bound"], rel=0.06
+    )
+    h3 = max(2, K // (2 * B))
+    assert by[("thm3_block", "block-lru")]["ratio"] == pytest.approx(
+        block_cache_lower(K, h3, B), rel=0.06
+    )
+    # Theorem 4 ordering: item caches worst, IBLP near the optimum.
+    t4 = {p: r["ratio"] for (a, p), r in by.items() if a == "thm4_general"}
+    assert t4["iblp-even"] < t4["athreshold-a4"] < t4["item-lru"]
+
+
+def test_theorem4_a_sweep(benchmark, out_dir):
+    """The probed-a family traces the Theorem 4 line exactly."""
+
+    def run_sweep():
+        rows = []
+        for a in (1, 2, 4, 8):
+            adv = GeneralAdversary(K, H, B)
+            m = measure_adversarial(
+                adv, lambda mp, a=a: AThresholdLRU(K, mp, a=a), cycles=4
+            )
+            rows.append(
+                {
+                    "a": a,
+                    "ratio": m.ratio_vs_claimed,
+                    "thm4": general_a_lower(K, H, B, a),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    write_csv(rows, out_dir / "adversary_a_sweep.csv")
+    print()
+    print(format_table(rows, title="Theorem 4 a-parameter sweep"))
+    for row in rows:
+        assert row["ratio"] == pytest.approx(row["thm4"], rel=0.06)

@@ -1,0 +1,36 @@
+"""E-F2: the §3 NP-completeness reduction preserves optimal cost.
+
+Solves the Figure 2 worked instance and a battery of random tiny
+variable-size caching instances exactly on both sides of the
+reduction; every pair must agree.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table, write_csv
+from repro.experiments import figure2
+
+
+def test_reduction_preserves_optimum(benchmark, out_dir):
+    rows = benchmark.pedantic(
+        figure2.run, kwargs={"trials": 10, "seed": 2022}, rounds=1, iterations=1
+    )
+    write_csv(rows, out_dir / "figure2_reduction.csv")
+    print()
+    print(format_table(rows, title="Figure 2 / §3 reduction equality"))
+    assert all(r["equal"] for r in rows)
+    # The polynomial bracket always contains the exact optimum.
+    for r in rows:
+        assert r["gc_lower"] <= r["gc_opt"] <= r["gc_heuristic_upper"]
+
+
+def test_figure2_worked_example(benchmark):
+    """The paper's exact A/B/C instance costs 4 on both sides."""
+
+    def solve():
+        rows = figure2.run(trials=0)
+        return rows[0]
+
+    row = benchmark(solve)
+    assert row["vsc_opt"] == row["gc_opt"] == 4
+    assert row["gc_trace_len"] == 22

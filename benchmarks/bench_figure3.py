@@ -1,0 +1,59 @@
+"""E-F3: regenerate Figure 3 (competitive-ratio bounds vs ``h``).
+
+Two parts:
+
+1. the exact curves at the paper's parameters (``k = 1.28M, B = 64``),
+   with the crossover claims checked (IBLP beats the Item Cache bound
+   for ``k ≳ 3h``; beats the Block Cache bound up to ``k = Θ(B)·h``);
+2. an *empirical* validation at simulator scale: the §4 adversaries
+   drive real policies to their curves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import write_csv
+from repro.bounds import gc_general_lower, item_cache_lower
+from repro.experiments import adversarial, figure3
+
+
+def test_figure3_curves_paper_scale(benchmark, out_dir):
+    rows = benchmark(figure3.run, k=figure3.PAPER_K, B=figure3.PAPER_B, points=120)
+    write_csv(rows, out_dir / "figure3_curves.csv")
+    print()
+    print(figure3.render(points=90))
+    for row in rows:
+        assert row["gc_lower"] >= row["sleator_tarjan"] - 1e-9
+        assert row["iblp_upper"] >= row["gc_lower"] * 0.999
+
+
+def test_figure3_crossovers(benchmark, out_dir):
+    cx = benchmark(figure3.crossovers)
+    write_csv([cx], out_dir / "figure3_crossovers.csv")
+    assert cx["item_crossover_k_over_h"] == pytest.approx(3.0, rel=0.15)
+    assert 64 <= cx["block_crossover_k_over_h"] <= 8 * 64
+
+
+def test_figure3_empirical_adversaries(benchmark, out_dir):
+    """Measured competitive ratios realize the plotted bounds."""
+    rows = benchmark.pedantic(
+        adversarial.run,
+        kwargs={"k": 256, "h": 48, "B": 8, "cycles": 3},
+        rounds=1,
+        iterations=1,
+    )
+    write_csv(rows, out_dir / "figure3_empirical.csv")
+    by = {(r["adversary"], r["policy"]): r for r in rows}
+    k, h, B = 256, 48, 8
+    # Item caches pinned at the Theorem 2 curve.
+    assert by[("thm2_item", "item-lru")]["ratio"] == pytest.approx(
+        item_cache_lower(k, h, B), rel=0.1
+    )
+    # IBLP sits near the general lower bound under the Thm 4 adversary.
+    iblp = by[("thm4_general", "iblp-even")]["ratio"]
+    assert iblp <= gc_general_lower(k, h, B) * 1.1
+    # And every policy respects the general lower bound.
+    for (adv, _pol), row in by.items():
+        if adv == "thm4_general":
+            assert row["ratio"] >= gc_general_lower(k, h, B) * 0.85

@@ -1,0 +1,32 @@
+"""E-F5: §5.2 LP analysis — numeric optima vs closed forms.
+
+The authors solved these programs in Mathematica; here
+scipy.optimize.linprog plays that role.  Theorems 5 and 6 must match
+exactly; Theorem 7's closed form must upper-bound the numeric optimum
+and be tight whenever its interior solution is feasible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table, write_csv
+from repro.experiments import figure5
+
+
+def test_lp_validation(benchmark, out_dir):
+    rows = benchmark.pedantic(
+        figure5.run, kwargs={"B": 16.0}, rounds=1, iterations=1
+    )
+    write_csv(rows, out_dir / "figure5_lp.csv")
+    print()
+    print(format_table(rows, title="Figure 5 / §5.2 LP validation"))
+    for row in rows:
+        assert row["thm5_lp"] == pytest.approx(row["thm5_closed"], rel=1e-6)
+        assert row["thm6_lp"] == pytest.approx(row["thm6_closed"], rel=0.02)
+        assert row["closed_is_upper"]
+        if row["interior_r"] > 0.01:
+            # Paper's interior optimum feasible: closed form is tight.
+            assert row["thm7_lp"] == pytest.approx(
+                row["thm7_closed"], rel=0.02
+            )

@@ -1,0 +1,36 @@
+"""E-F6: regenerate Figure 6 (fixed vs optimal IBLP layer splits)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import write_csv
+from repro.experiments import figure6
+
+
+def test_figure6_reproduction(benchmark, out_dir):
+    k, B = figure6.PAPER_K, figure6.PAPER_B
+    fixed_for = [k / 1000, k / 100, k / 10]
+    rows = benchmark(
+        figure6.run, k=k, B=B, fixed_for_h=fixed_for, points=100
+    )
+    write_csv(rows, out_dir / "figure6.csv")
+    print()
+    print(figure6.render(points=80))
+    labels = [f"fixed_i_for_h={h0:g}" for h0 in fixed_for]
+    # 1. No fixed split ever beats the optimal envelope.
+    for row in rows:
+        for label in labels:
+            assert row[label] >= row["optimal_split"] * 0.999
+    # 2. Each fixed split is tight at its own design point.
+    for h0, label in zip(fixed_for, labels):
+        best = min(rows, key=lambda r: abs(r["h"] - h0))
+        assert best[label] == pytest.approx(best["optimal_split"], rel=0.05)
+    # 3. Degradation is asymmetric: large h hurts much more than small.
+    label = labels[1]
+    h0 = fixed_for[1]
+    small = [r for r in rows if r["h"] < h0 / 4]
+    large = [r for r in rows if h0 * 4 < r["h"] < k / 2]
+    small_excess = max(r[label] / r["optimal_split"] for r in small)
+    large_excess = max(r[label] / r["optimal_split"] for r in large)
+    assert large_excess > 2 * small_excess

@@ -1,0 +1,55 @@
+"""E-GCM: §6's randomized-policy claims, with seed statistics.
+
+GCM vs block-oblivious marking (the B-factor claim), vs
+mark-everything (the pollution claim), and the §6.1 partial-load dial —
+each evaluated over a seed family with confidence intervals.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table, write_csv
+from repro.experiments import gcm_analysis
+
+K, B = 128, 8
+
+
+def test_block_walk_b_factor(benchmark, out_dir):
+    rows = benchmark.pedantic(
+        gcm_analysis.block_walk,
+        kwargs={"k": K, "B": B, "blocks": 256, "seeds": range(6)},
+        rounds=1,
+        iterations=1,
+    )
+    write_csv(rows, out_dir / "gcm_block_walk.csv")
+    print()
+    print(format_table(rows, title="§6 block walk (marking pays Bx)"))
+    by = {r["label"]: r for r in rows}
+    assert by["marking-lru"]["mean"] == B * by["gcm"]["mean"]
+
+
+def test_pollution(benchmark, out_dir):
+    rows = benchmark.pedantic(
+        gcm_analysis.pollution,
+        kwargs={"k": K, "B": B, "seeds": range(6)},
+        rounds=1,
+        iterations=1,
+    )
+    write_csv(rows, out_dir / "gcm_pollution.csv")
+    print()
+    print(format_table(rows, title="§6 pollution (marking side loads)"))
+    by = {r["label"]: r for r in rows}
+    assert by["gcm"]["ci_high"] < by["gcm-markall"]["ci_low"]
+
+
+def test_partial_dial(benchmark, out_dir):
+    rows = benchmark.pedantic(
+        gcm_analysis.partial_dial,
+        kwargs={"k": K, "B": B, "seeds": range(4)},
+        rounds=1,
+        iterations=1,
+    )
+    write_csv(rows, out_dir / "gcm_partial_dial.csv")
+    print()
+    print(format_table(rows, title="§6.1 partial-load dial"))
+    means = [r["mean"] for r in rows]
+    assert means[0] > means[-1]

@@ -1,0 +1,84 @@
+"""E-OFF: offline solver performance and bracket tightness.
+
+Times the exact DP, the branch-and-bound, and the polynomial OPT
+bracket on reduction-generated instances, and reports how tight the
+bracket is where exact values are available — the practical knob for
+choosing a solver at each instance size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table, write_csv
+from repro.core.mapping import FixedBlockMapping
+from repro.core.trace import Trace
+from repro.offline import (
+    gc_opt_lower,
+    gc_opt_upper,
+    solve_gc_bnb,
+    solve_gc_exact,
+)
+from repro.offline.reduction import figure2_instance
+
+
+def test_exact_dp_on_figure2(benchmark):
+    _, red = figure2_instance()
+    opt = benchmark(solve_gc_exact, red.trace, red.capacity)
+    assert opt == 4
+
+
+def test_bnb_on_figure2(benchmark):
+    _, red = figure2_instance()
+    opt = benchmark(solve_gc_bnb, red.trace, red.capacity)
+    assert opt == 4
+
+
+def test_bnb_on_medium_instance(benchmark):
+    mapping = FixedBlockMapping(universe=16, block_size=4)
+    trace = Trace(
+        np.random.default_rng(1).integers(0, 16, 24, dtype=np.int64), mapping
+    )
+    opt = benchmark(solve_gc_bnb, trace, 6)
+    assert gc_opt_lower(trace, 6) <= opt <= gc_opt_upper(trace, 6)
+
+
+def test_bracket_throughput_and_tightness(benchmark, out_dir):
+    """The polynomial bracket scales to large traces; measure its gap
+    against exact optima on small ones."""
+    mapping_small = FixedBlockMapping(universe=8, block_size=4)
+    rng = np.random.default_rng(2)
+    rows = []
+    for t in range(6):
+        trace = Trace(rng.integers(0, 8, 12, dtype=np.int64), mapping_small)
+        k = int(rng.integers(2, 5))
+        exact = solve_gc_exact(trace, k)
+        lo, hi = gc_opt_lower(trace, k), gc_opt_upper(trace, k)
+        rows.append(
+            {
+                "instance": t,
+                "k": k,
+                "lower": lo,
+                "exact": exact,
+                "upper": hi,
+                "bracket_width": hi - lo,
+            }
+        )
+        assert lo <= exact <= hi
+    write_csv(rows, out_dir / "offline_bracket.csv")
+    print()
+    print(format_table(rows, title="OPT bracket vs exact (small instances)"))
+
+    # Throughput: bracket a large trace (exact solving is hopeless).
+    mapping_big = FixedBlockMapping(universe=4096, block_size=8)
+    big = Trace(
+        np.random.default_rng(3).integers(0, 4096, 30_000, dtype=np.int64),
+        mapping_big,
+    )
+
+    def bracket():
+        return gc_opt_lower(big, 256), gc_opt_upper(big, 256)
+
+    lo, hi = benchmark(bracket)
+    assert lo <= hi

@@ -1,0 +1,78 @@
+"""E-SD: the size-dependence phenomenon (§5.3 / §6.2).
+
+The paper's conceptual headline: in GC caching the *relative*
+competitiveness of two online policies depends on the offline cache
+size they are compared against.  Bench asserts both demonstrations —
+the Theorem 7 curves of two tuned splits cross, and the measured
+ranking of the same two splits flips between locality regimes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table, write_csv
+from repro.experiments import size_dependence
+
+
+def test_bounds_level_crossing(benchmark, out_dir):
+    cross = benchmark(size_dependence.bounds_crossing)
+    write_csv([cross], out_dir / "size_dependence_bounds.csv")
+    print()
+    print(format_table([cross], title="§5.3 tuned-split crossing"))
+    # Each split wins at its own design point…
+    assert (
+        cross["ratio_small_split_at_h_small"]
+        < cross["ratio_large_split_at_h_small"]
+    )
+    assert (
+        cross["ratio_large_split_at_h_large"]
+        < cross["ratio_small_split_at_h_large"]
+    )
+    # …and the crossing sits strictly between them.
+    assert cross["h_small"] < cross["h_cross"] < cross["h_large"]
+
+
+def test_adaptive_split_hedges_both_regimes(benchmark, out_dir):
+    """Extension: AdaptiveIBLP stays near the better fixed split in
+    each regime the fixed splits trade off between."""
+    rows = benchmark.pedantic(
+        size_dependence.adaptive_hedge,
+        kwargs={"k": 256, "B": 8},
+        rounds=1,
+        iterations=1,
+    )
+    write_csv(rows, out_dir / "size_dependence_adaptive.csv")
+    print()
+    print(format_table(rows, title="adaptive split vs fixed splits"))
+    by = {(r["workload"], r["split"]): r["misses"] for r in rows}
+    for workload in ("temporal_heavy", "spatial_heavy"):
+        best_fixed = min(
+            by[(workload, "item_heavy_split")],
+            by[(workload, "block_heavy_split")],
+        )
+        worst_fixed = max(
+            by[(workload, "item_heavy_split")],
+            by[(workload, "block_heavy_split")],
+        )
+        assert by[(workload, "adaptive")] <= 1.6 * best_fixed
+        assert by[(workload, "adaptive")] < 0.8 * worst_fixed
+
+
+def test_empirical_ranking_flip(benchmark, out_dir):
+    rows = benchmark.pedantic(
+        size_dependence.empirical_flip,
+        kwargs={"k": 256, "B": 8},
+        rounds=1,
+        iterations=1,
+    )
+    write_csv(rows, out_dir / "size_dependence_empirical.csv")
+    print()
+    print(format_table(rows, title="§5.3/§6.2 empirical ranking flip"))
+    by = {(r["workload"], r["split"]): r["misses"] for r in rows}
+    assert (
+        by[("temporal_heavy", "item_heavy_split")]
+        < by[("temporal_heavy", "block_heavy_split")]
+    )
+    assert (
+        by[("spatial_heavy", "block_heavy_split")]
+        < by[("spatial_heavy", "item_heavy_split")]
+    )

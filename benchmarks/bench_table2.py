@@ -1,0 +1,69 @@
+"""E-T2: regenerate Table 2 (locality-model fault-rate bounds).
+
+Checks the asymptotic coefficients for the paper's three spatial
+regimes, their finite-size convergence, and §7.3's takeaways (worst
+gap at ``γ = B^{1-1/p}``, gap → B as p grows).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table, write_csv
+from repro.bounds.locality import gap_vs_baseline
+from repro.experiments import table2
+
+
+def test_table2_asymptotic(benchmark, out_dir):
+    def compute():
+        rows = []
+        for p in (2.0, 3.0, 4.0):
+            rows.extend(table2.run_asymptotic(p=p, B=64.0))
+        return rows
+
+    rows = benchmark(compute)
+    write_csv(rows, out_dir / "table2_asymptotic.csv")
+    print()
+    print(format_table(rows, title="Table 2 asymptotic coefficients"))
+    by = {(r["p"], r["label"]): r for r in rows}
+    for p in (2.0, 3.0, 4.0):
+        # No spatial locality: item layer optimal, block layer B^{p-1}x.
+        assert by[(p, "no_spatial")]["block_layer_coeff"] == pytest.approx(
+            64.0 ** (p - 1)
+        )
+        # Max spatial locality: block layer optimal (1/B coefficient).
+        assert by[(p, "max_spatial")]["block_layer_coeff"] == pytest.approx(
+            1 / 64.0
+        )
+        # Worst-gap regime: both layers meet at coefficient 1.
+        assert by[(p, "high_spatial")]["block_layer_coeff"] == pytest.approx(
+            1.0
+        )
+
+
+def test_table2_finite_size(benchmark, out_dir):
+    rows = benchmark(table2.run_numeric, p=2.0, B=64.0, i=2.0**14)
+    write_csv(rows, out_dir / "table2_finite.csv")
+    print()
+    print(format_table(rows, title="Table 2 finite-size (i=b=2^14)"))
+    by = {r["label"]: r for r in rows}
+    # §7.3: the worst IBLP-vs-baseline gap is the middle regime, and it
+    # approaches B^{1-1/p} = 8 for p = 2, B = 64.
+    assert by["high_spatial"]["gap_vs_baseline"] >= by["no_spatial"][
+        "gap_vs_baseline"
+    ]
+    assert by["high_spatial"]["gap_vs_baseline"] >= by["max_spatial"][
+        "gap_vs_baseline"
+    ]
+    assert by["high_spatial"]["gap_vs_baseline"] == pytest.approx(
+        gap_vs_baseline(2.0, 64.0), rel=0.25
+    )
+
+
+def test_table2_gap_limit(benchmark):
+    gaps = benchmark(
+        lambda: [gap_vs_baseline(p, 64.0) for p in (2, 4, 8, 64, 1024)]
+    )
+    # Monotone in p, limiting to B.
+    assert all(a < b for a, b in zip(gaps, gaps[1:]))
+    assert gaps[-1] == pytest.approx(64.0, rel=0.05)

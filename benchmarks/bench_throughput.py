@@ -1,0 +1,103 @@
+"""E-PERF: simulator throughput (accesses per second).
+
+Timing benches proper: policy hot loops on realistic workloads, the
+referee's overhead, and the LinkedLRU vs OrderedLRU substrate choice.
+Run with ``pytest benchmarks/ --benchmark-only`` to get ops/sec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import simulate
+from repro.policies import make_policy
+from repro.structs.linked_lru import LinkedLRU
+from repro.structs.ordered_lru import OrderedLRU
+from repro.workloads import markov_spatial, zipf_items
+
+TRACE_LEN = 50_000
+K = 1024
+
+
+@pytest.fixture(scope="module")
+def zipf_trace():
+    return zipf_items(TRACE_LEN, universe=8192, alpha=1.0, block_size=64, seed=1)
+
+
+@pytest.fixture(scope="module")
+def spatial_trace():
+    return markov_spatial(
+        TRACE_LEN, universe=8192, block_size=64, stay=0.85, seed=2
+    )
+
+
+@pytest.mark.parametrize(
+    "policy_name",
+    ["item-lru", "item-clock", "block-lru", "iblp", "gcm", "athreshold-lru"],
+)
+def test_policy_throughput_zipf(benchmark, zipf_trace, policy_name):
+    def run():
+        policy = make_policy(policy_name, K, zipf_trace.mapping)
+        return simulate(policy, zipf_trace, validate=False).misses
+
+    misses = benchmark(run)
+    assert 0 < misses <= TRACE_LEN
+
+
+@pytest.mark.parametrize("policy_name", ["item-lru", "iblp", "block-lru"])
+def test_policy_throughput_spatial(benchmark, spatial_trace, policy_name):
+    def run():
+        policy = make_policy(policy_name, K, spatial_trace.mapping)
+        return simulate(policy, spatial_trace, validate=False).misses
+
+    misses = benchmark(run)
+    assert 0 < misses <= TRACE_LEN
+
+
+def test_referee_overhead(benchmark, zipf_trace):
+    """Validated run; compare against the unvalidated bench above."""
+
+    def run():
+        policy = make_policy("iblp", K, zipf_trace.mapping)
+        return simulate(policy, zipf_trace, validate=True).misses
+
+    misses = benchmark(run)
+    assert misses > 0
+
+
+def _lru_workout(lru_cls, keys):
+    lru = lru_cls()
+    resident = set()
+    for key in keys:
+        if key in resident:
+            lru.touch(key)
+        else:
+            if len(resident) >= 512:
+                victim, _ = lru.pop_lru()
+                resident.discard(victim)
+            lru.insert_mru(key)
+            resident.add(key)
+    return len(resident)
+
+
+@pytest.fixture(scope="module")
+def lru_keys():
+    rng = np.random.default_rng(3)
+    return rng.integers(0, 2048, size=100_000).tolist()
+
+
+def test_linked_lru_throughput(benchmark, lru_keys):
+    assert benchmark(_lru_workout, LinkedLRU, lru_keys) == 512
+
+
+def test_ordered_lru_throughput(benchmark, lru_keys):
+    assert benchmark(_lru_workout, OrderedLRU, lru_keys) == 512
+
+
+def test_belady_preparation_throughput(benchmark, zipf_trace):
+    """Offline next-use precomputation is a single backward pass."""
+    from repro.policies.belady import next_use_array
+
+    out = benchmark(next_use_array, zipf_trace.items)
+    assert out.shape == zipf_trace.items.shape

@@ -1,0 +1,19 @@
+"""Shared fixtures for the reproduction benches.
+
+Every bench writes its rows to ``benchmarks/out/*.csv`` so
+EXPERIMENTS.md can reference stable artifacts, and registers timing via
+pytest-benchmark (run with ``pytest benchmarks/ --benchmark-only``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    path = Path(__file__).parent / "out"
+    path.mkdir(exist_ok=True)
+    return path

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Adaptive layer splitting: hedging §5.3's unknown-optimal-size problem.
+
+The paper shows (§5.3, Figure 6) that IBLP's best layer split depends
+on the offline cache size it is compared against — equivalently, on
+how temporal vs spatial the workload turns out to be — and that a
+fixed split degrades badly outside its design regime.  This example
+runs two fixed splits and the library's ARC-style
+:class:`~repro.policies.adaptive_iblp.AdaptiveIBLP` across a regime
+shift: a temporal-heavy phase followed by a spatial-heavy phase.
+
+Run:  python examples/adaptive_split.py
+"""
+
+import numpy as np
+
+from repro import IBLP, AdaptiveIBLP, simulate
+from repro.analysis.tables import format_table
+from repro.core.mapping import FixedBlockMapping
+from repro.core.trace import Trace
+from repro.workloads import hot_and_stream, interleaved_streams
+
+K, B = 128, 8
+
+
+def build_phase_shift_trace(length_per_phase: int = 25_000) -> Trace:
+    """Temporal-heavy phase, then spatial-heavy phase, shared universe."""
+    temporal = hot_and_stream(
+        length=length_per_phase,
+        hot_items=int(0.8 * K),
+        stream_blocks=4 * K // B,
+        block_size=B,
+        hot_fraction=0.95,
+        seed=1,
+    )
+    spatial = interleaved_streams(
+        length=length_per_phase,
+        streams=12,
+        blocks_per_stream=32,
+        block_size=B,
+    )
+    universe = max(temporal.universe, spatial.universe)
+    mapping = FixedBlockMapping(universe=universe, block_size=B)
+    return Trace(
+        np.concatenate([temporal.items, spatial.items]),
+        mapping,
+        {"generator": "phase_shift"},
+    )
+
+
+def main() -> None:
+    trace = build_phase_shift_trace()
+    print(
+        f"phase-shift workload: {len(trace):,} accesses "
+        f"(temporal half, then spatial half), k={K}, B={B}"
+    )
+    rows = []
+    policies = {
+        "fixed i=0.9k (temporal-tuned)": IBLP(
+            K, trace.mapping, item_layer_size=int(0.9 * K)
+        ),
+        "fixed i=0.25k (spatial-tuned)": IBLP(
+            K, trace.mapping, item_layer_size=int(0.25 * K)
+        ),
+        "fixed i=0.5k (even, §7.3)": IBLP(K, trace.mapping),
+        "adaptive (ghost-tuned)": AdaptiveIBLP(K, trace.mapping),
+    }
+    for label, policy in policies.items():
+        res = simulate(policy, trace)
+        row = {
+            "policy": label,
+            "misses": res.misses,
+            "miss_ratio": res.miss_ratio,
+        }
+        if isinstance(policy, AdaptiveIBLP):
+            row["final_item_layer"] = policy.item_layer_target
+        rows.append(row)
+    print()
+    print(format_table(rows, title="regime shift: fixed vs adaptive splits"))
+    print()
+    print(
+        "Each fixed split collapses in the phase it was not tuned for;\n"
+        "the adaptive split follows the regime (watch final_item_layer)\n"
+        "— the library's answer to the paper's observation that no\n"
+        "fixed policy is simultaneously competitive at every h."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Adversarial competitive analysis: watch the §4 theorems happen.
+
+Builds the paper's worst-case constructions *adaptively* against live
+policies and prints measured competitive ratios next to the closed-form
+bounds (Theorems 2-4).  Everything is referee-validated: the adversary
+can only request items, and the claimed OPT costs are certified by a
+clairvoyant replay (``gc_opt_upper``).
+
+Run:  python examples/adversarial_analysis.py
+"""
+
+from repro import (
+    GCM,
+    IBLP,
+    AThresholdLRU,
+    BlockLRU,
+    ItemLRU,
+    MarkingLRU,
+)
+from repro.adversary import (
+    BlockCacheAdversary,
+    GeneralAdversary,
+    ItemCacheAdversary,
+    SleatorTarjanAdversary,
+)
+from repro.analysis.competitive import measure_adversarial
+from repro.analysis.tables import format_table
+from repro.bounds import (
+    block_cache_lower,
+    gc_general_lower,
+    general_a_lower,
+    iblp_optimal_ratio,
+    item_cache_lower,
+    sleator_tarjan_lower,
+)
+
+K, H, B = 256, 48, 8
+
+
+def main() -> None:
+    print(f"game: online cache k={K}, offline OPT h={H}, block size B={B}")
+    print(f"  Sleator-Tarjan bound:      {sleator_tarjan_lower(K, H):7.3f}")
+    print(f"  Theorem 2 (item caches):   {item_cache_lower(K, H, B):7.3f}")
+    print(f"  Theorem 4 (any policy):    {gc_general_lower(K, H, B):7.3f}")
+    print(f"  Theorem 7 (IBLP, best split): {iblp_optimal_ratio(K, H, B):5.3f}")
+    print()
+
+    policies = {
+        "item-lru": lambda m: ItemLRU(K, m),
+        "marking-lru": lambda m: MarkingLRU(K, m),
+        "block-lru": lambda m: BlockLRU(K, m),
+        "athreshold(a=4)": lambda m: AThresholdLRU(K, m, a=4),
+        "iblp": lambda m: IBLP(K, m),
+        "gcm": lambda m: GCM(K, m),
+    }
+
+    rows = []
+    for name, factory in policies.items():
+        adv = GeneralAdversary(K, H, B)
+        m = measure_adversarial(adv, factory, cycles=4, bracket_opt=True)
+        a = max(max(c) for c in adv.probed_a)
+        rows.append(
+            {
+                "policy": name,
+                "probed_a": a,
+                "measured_ratio": m.ratio_vs_claimed,
+                "thm4_bound(a)": general_a_lower(K, H, B, a),
+                "certified_opt<=": m.opt_upper,
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title="Theorem 4 adversary: ratio matches the probed-a bound",
+        )
+    )
+    print()
+
+    rows = []
+    for name, factory in policies.items():
+        adv = ItemCacheAdversary(K, H, B)
+        m = measure_adversarial(adv, factory, cycles=4)
+        rows.append({"policy": name, "measured_ratio": m.ratio_vs_claimed})
+    print(
+        format_table(
+            rows,
+            title=f"Theorem 2 adversary (bound {item_cache_lower(K, H, B):.2f}): "
+            "item caches pinned, block loaders escape",
+        )
+    )
+    print()
+
+    h3 = K // (2 * B)
+    rows = []
+    for name, factory in policies.items():
+        adv = BlockCacheAdversary(K, h3, B)
+        m = measure_adversarial(adv, factory, cycles=4)
+        rows.append({"policy": name, "measured_ratio": m.ratio_vs_claimed})
+    print(
+        format_table(
+            rows,
+            title=f"Theorem 3 adversary at h={h3} "
+            f"(bound {block_cache_lower(K, h3, B):.2f}): pollution hurts "
+            "whole-block eviction",
+        )
+    )
+    print()
+
+    adv = SleatorTarjanAdversary(K, H, B)
+    m = measure_adversarial(adv, lambda mp: ItemLRU(K, mp), cycles=4)
+    print(
+        f"Classical check: ST adversary vs LRU measures "
+        f"{m.ratio_vs_claimed:.3f} (bound {sleator_tarjan_lower(K, H):.3f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""DRAM-cache scenario: 64-line rows at a granularity boundary.
+
+Models the motivating system from the paper's introduction — a cache of
+64 B lines in front of a memory organized in rows of 64 lines (B = 64),
+as in die-stacked DRAM caches [Qureshi & Loh 2012; Jevdjic et al.].
+Row-buffer-friendly bursts coexist with pointer-chase noise; the
+question is how much of the row to pull into the cache on each miss.
+
+Sweeps the cache size and prints, for each policy, the miss ratio and
+how the hits decompose into temporal vs spatial — the quantity the GC
+model is about.
+
+Run:  python examples/dram_cache_scenario.py
+"""
+
+from repro import simulate, make_policy
+from repro.analysis.tables import format_table
+from repro.locality.profile import profile_trace
+from repro.workloads import dram_cache_workload
+
+POLICIES = ["item-lru", "block-lru", "iblp", "gcm", "athreshold-lru"]
+
+
+def main() -> None:
+    trace = dram_cache_workload(
+        length=60_000,
+        rows=512,
+        lines_per_row=64,
+        hot_row_fraction=0.08,
+        burst_mean=10.0,
+        noise_fraction=0.25,
+        seed=7,
+    )
+    profile = profile_trace(trace, windows=[16, 256, 4096])
+    ratios = profile.spatial_ratio()
+    print(
+        f"workload: {len(trace):,} accesses over {trace.universe:,} lines "
+        f"({trace.mapping.num_blocks} rows of {trace.block_size})"
+    )
+    print(
+        "spatial locality f/g at windows 16/256/4096: "
+        + ", ".join(f"{r:.1f}" for r in ratios)
+        + f"  (1 = none, {trace.block_size} = whole-row reuse)"
+    )
+
+    rows = []
+    for k in (512, 2048, 4096):
+        for name in POLICIES:
+            res = simulate(make_policy(name, k, trace.mapping), trace)
+            rows.append(
+                {
+                    "k": k,
+                    "policy": name,
+                    "miss_ratio": res.miss_ratio,
+                    "temporal_hits": res.temporal_hits,
+                    "spatial_hits": res.spatial_hits,
+                    "mean_load": res.mean_load_size,
+                }
+            )
+    print()
+    print(format_table(rows, title="DRAM cache sweep (B = 64)"))
+    print()
+    print(
+        "Row bursts reward row-granularity loads: the pure item cache\n"
+        "pays several times more misses at every size. IBLP and GCM\n"
+        "stay within a small factor of the best baseline at every size\n"
+        "without knowing the workload regime in advance — the paper's\n"
+        "robustness argument for granularity-aware policies (§4.4, §5)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Locality profiling: measure f(n)/g(n) and predict fault rates (§7).
+
+Profiles several workloads, fits the polynomial locality family of
+§7.3, then evaluates the Theorem 8 lower bound and the Theorem 11 IBLP
+upper bound on the *empirical* profile — and compares them with
+measured miss ratios.
+
+Run:  python examples/locality_profiling.py
+"""
+
+from repro import IBLP, BlockLRU, ItemLRU, simulate
+from repro.analysis.tables import format_table
+from repro.bounds.locality import fault_rate_lower, iblp_fault_rate_upper
+from repro.locality.profile import profile_trace
+from repro.workloads import (
+    block_runs,
+    markov_spatial,
+    page_cache_workload,
+    zipf_items,
+)
+
+K = 128
+B = 8
+
+
+def main() -> None:
+    workloads = {
+        "zipf (temporal only)": zipf_items(
+            40_000, 2048, alpha=1.0, block_size=B, seed=1
+        ),
+        "block runs (spatial only)": block_runs(
+            40_000, 2048, block_size=B, seed=2
+        ),
+        "markov stay=0.85 (mixed)": markov_spatial(
+            40_000, 2048, block_size=B, stay=0.85, seed=3
+        ),
+        "page cache": page_cache_workload(
+            40_000, files=256, pages_per_file=B, seed=4
+        ),
+    }
+    rows = []
+    for name, trace in workloads.items():
+        profile = profile_trace(trace)
+        c, p, gamma = profile.fit_polynomial()
+        loc = profile.to_bounds()
+        lower = fault_rate_lower(loc, K)
+        upper = iblp_fault_rate_upper(loc, K // 2, K - K // 2, B)
+        measured = {
+            "item-lru": simulate(ItemLRU(K, trace.mapping), trace).miss_ratio,
+            "block-lru": simulate(BlockLRU(K, trace.mapping), trace).miss_ratio,
+            "iblp": simulate(IBLP(K, trace.mapping), trace).miss_ratio,
+        }
+        rows.append(
+            {
+                "workload": name,
+                "fit_p": p,
+                "fit_gamma": gamma,
+                "thm8_lower": lower,
+                "thm11_iblp_upper": upper,
+                **{f"measured_{k}": v for k, v in measured.items()},
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=f"Locality model on empirical profiles (k={K}, B={B})",
+            floatfmt=".3g",
+        )
+    )
+    print()
+    print(
+        "thm8_lower is the worst case over traces with this profile —\n"
+        "concrete traces may do better; thm11 bounds IBLP from above.\n"
+        "High fit_gamma (spatial locality) is where block-aware\n"
+        "policies separate from the item baseline."
+    )
+
+
+if __name__ == "__main__":
+    main()

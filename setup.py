@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and an older
+setuptools, so PEP 660 editable installs fail; this shim lets
+``pip install -e . --no-build-isolation`` use the legacy develop path.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Adversarial trace constructions from §4 and §7.1.
+
+Each adversary builds a worst-case trace *adaptively*: it runs the
+online policy inside the referee engine, inspects which items are
+resident (``policy.contains``), and requests exactly what the proof
+prescribes — fresh blocks in the growth step, then items the online
+cache just evicted.  Alongside the trace it returns the offline cost
+*claimed* by the corresponding proof (an upper bound on OPT, hence the
+measured ``online/claimed`` ratio is a certified lower bound on the
+policy's competitive ratio on that trace).
+
+========================  ==================================================
+:class:`SleatorTarjanAdversary`  classical bound (no spatial locality)
+:class:`ItemCacheAdversary`      Theorem 2 (vs single-item loaders)
+:class:`BlockCacheAdversary`     Theorem 3 (vs whole-block caches)
+:class:`GeneralAdversary`        Theorem 4 (``a``-parameter construction)
+:class:`LocalityAdversary`       Theorem 8 (phase traces under f/g limits)
+========================  ==================================================
+"""
+
+from repro.adversary.base import Adversary, AdversaryRun
+from repro.adversary.sleator_tarjan import SleatorTarjanAdversary
+from repro.adversary.item_adversary import ItemCacheAdversary
+from repro.adversary.block_adversary import BlockCacheAdversary
+from repro.adversary.general_adversary import GeneralAdversary
+from repro.adversary.locality_adversary import LocalityAdversary
+
+__all__ = [
+    "Adversary",
+    "AdversaryRun",
+    "SleatorTarjanAdversary",
+    "ItemCacheAdversary",
+    "BlockCacheAdversary",
+    "GeneralAdversary",
+    "LocalityAdversary",
+]

@@ -1,0 +1,219 @@
+"""Shared machinery for adaptive adversaries.
+
+An adversary owns a live :class:`~repro.core.engine.Engine` around the
+policy under attack.  It issues accesses one at a time, watching the
+policy's residency to pick the next request, and records the claimed
+offline cost of each completed cycle.  Misses incurred during the
+warm-up (filling the initially empty caches — the proofs assume full
+caches) are tracked separately so ratios reflect steady-state cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+import numpy as np
+
+from repro.core.engine import Engine
+from repro.core.mapping import FixedBlockMapping
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError
+from repro.policies.base import Policy
+from repro.types import HitKind
+
+__all__ = ["Adversary", "AdversaryRun"]
+
+
+@dataclass
+class AdversaryRun:
+    """Outcome of an adversarial attack on one policy.
+
+    ``claimed_opt_misses`` is the offline cost the proof's prescribed
+    strategy pays on the steady-state part of the trace; dividing the
+    online policy's steady-state misses by it gives
+    ``empirical_ratio`` — a certified lower bound on the policy's
+    competitive ratio (OPT can only be cheaper than the prescription).
+    """
+
+    trace: Trace
+    policy_name: str
+    k: int
+    h: int
+    B: int
+    cycles: int
+    warmup_accesses: int
+    warmup_misses: int
+    online_misses: int
+    claimed_opt_misses: int
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def empirical_ratio(self) -> float:
+        """Steady-state online misses per claimed offline miss."""
+        if self.claimed_opt_misses == 0:
+            return float("inf") if self.online_misses else 0.0
+        return self.online_misses / self.claimed_opt_misses
+
+
+class Adversary:
+    """Base class: block allocation, engine stepping, trace recording."""
+
+    def __init__(self, k: int, h: int, B: int) -> None:
+        if not 1 <= h <= k:
+            raise ConfigurationError(f"need 1 <= h <= k, got h={h}, k={k}")
+        if B < 1:
+            raise ConfigurationError(f"need B >= 1, got {B}")
+        self.k = k
+        self.h = h
+        self.B = B
+        self._accesses: List[int] = []
+        self._next_fresh_block = 0
+        self._engine: Optional[Engine] = None
+        self._misses = 0
+
+    # -- to be provided by subclasses ---------------------------------------
+    #: Upper bound on blocks consumed per steady-state cycle (used to
+    #: size the item universe).  Subclasses override.
+    def _blocks_per_cycle(self) -> int:
+        raise NotImplementedError
+
+    def _run_cycle(self, policy: Policy) -> int:
+        """Execute one steady-state cycle; return the claimed OPT cost."""
+        raise NotImplementedError
+
+    # -- shared plumbing ------------------------------------------------------
+    def _universe_blocks(self, cycles: int) -> int:
+        # Warm-up may touch up to 2k single-item blocks (stall-guarded)
+        # plus padding for the prescribed-OPT seed.
+        warm = 2 * self.k + self.h + -(-self.k // self.B) + self.B
+        return warm + cycles * self._blocks_per_cycle() + 4
+
+    def make_mapping(self, cycles: int) -> FixedBlockMapping:
+        """A fixed-B mapping large enough for the whole attack."""
+        blocks = self._universe_blocks(cycles)
+        return FixedBlockMapping(universe=blocks * self.B, block_size=self.B)
+
+    def fresh_block(self) -> List[int]:
+        """Allocate a never-before-accessed block; return its items."""
+        blk = self._next_fresh_block
+        self._next_fresh_block += 1
+        mapping = self._engine.mapping
+        if blk >= mapping.num_blocks:
+            raise ConfigurationError(
+                "adversary exhausted its pre-sized universe; "
+                "increase cycles passed to make_mapping"
+            )
+        return list(mapping.items_in(blk))
+
+    def access(self, item: int) -> bool:
+        """Issue one request; record it; return True on a miss."""
+        kind = self._engine.access(item)
+        self._accesses.append(item)
+        missed = kind is HitKind.MISS
+        if missed:
+            self._misses += 1
+        return missed
+
+    def online_contains(self, item: int) -> bool:
+        """Referee-side residency check (cannot be fooled by the policy)."""
+        return item in self._engine.resident
+
+    def warm_up(self, policy: Policy) -> None:
+        """Fill the online cache with fresh items (default strategy).
+
+        Accesses fresh blocks item by item until the cache is full *or*
+        stops growing — policies that duplicate items across internal
+        partitions (IBLP) saturate below ``k`` by design, and the
+        constructions remain valid from any saturated state.
+        """
+        guard = 0
+        prev = -1
+        while len(self._engine.resident) < self.k:
+            if len(self._engine.resident) <= prev:
+                break  # saturated below k (e.g. layered duplication)
+            prev = len(self._engine.resident)
+            for item in self.fresh_block():
+                if len(self._engine.resident) >= self.k:
+                    break
+                self.access(item)
+            guard += 1
+            if guard > 2 * self.k:
+                raise ConfigurationError(
+                    f"warm-up failed to fill cache of {policy} "
+                    f"(stuck at {len(self._engine.resident)}/{self.k})"
+                )
+
+    def _seed_opt_content(self) -> Set[int]:
+        """``h`` items the prescribed OPT plausibly holds after warm-up.
+
+        Prefers currently resident items and pads from the accessed
+        prefix (OPT, being offline, may retain anything it has seen).
+        """
+        seed = set(sorted(self._engine.resident)[: self.h])
+        for item in reversed(self._accesses):
+            if len(seed) >= self.h:
+                break
+            seed.add(item)
+        return seed
+
+    def run(self, policy: Policy, cycles: int = 3) -> AdversaryRun:
+        """Attack ``policy`` for ``cycles`` steady-state cycles."""
+        if cycles < 1:
+            raise ConfigurationError(f"cycles must be >= 1, got {cycles}")
+        mapping = policy.mapping
+        if mapping.max_block_size != self.B:
+            raise ConfigurationError(
+                f"policy mapping B={mapping.max_block_size} != adversary B={self.B}"
+            )
+        if policy.capacity != self.k:
+            raise ConfigurationError(
+                f"policy capacity {policy.capacity} != adversary k={self.k}"
+            )
+        self._accesses = []
+        self._next_fresh_block = 0
+        self._misses = 0
+        self._engine = Engine(policy, mapping)
+        self.warm_up(policy)
+        warmup_accesses = len(self._accesses)
+        warmup_misses = self._misses
+        claimed = 0
+        for _ in range(cycles):
+            claimed += self._run_cycle(policy)
+        trace = Trace(
+            np.asarray(self._accesses, dtype=np.int64),
+            mapping,
+            {
+                "adversary": type(self).__name__,
+                "k": self.k,
+                "h": self.h,
+                "B": self.B,
+                "cycles": cycles,
+            },
+        )
+        return AdversaryRun(
+            trace=trace,
+            policy_name=getattr(policy, "name", type(policy).__name__),
+            k=self.k,
+            h=self.h,
+            B=self.B,
+            cycles=cycles,
+            warmup_accesses=warmup_accesses,
+            warmup_misses=warmup_misses,
+            online_misses=self._misses - warmup_misses,
+            claimed_opt_misses=claimed,
+        )
+
+    # -- helpers used by several constructions ---------------------------------
+    def _evade_online(self, candidates: Set[int]) -> int:
+        """An item from ``candidates`` absent from the online cache.
+
+        The constructions guarantee one exists (|candidates| > k).
+        """
+        for item in sorted(candidates):
+            if not self.online_contains(item):
+                return item
+        raise ConfigurationError(
+            "construction invariant violated: every candidate is cached "
+            f"(|candidates|={len(candidates)}, k={self.k})"
+        )

@@ -1,0 +1,101 @@
+"""Theorem 3's adversary against Block Caches (whole-block loaders).
+
+The trace touches exactly one item per block, so a Block Cache wastes
+``B - 1`` slots per block and effectively shrinks to ``⌈k/B⌉``
+entries.  Step 2 streams ``d = ⌈k/B⌉ - h + 1`` fresh single-item
+blocks; step 4 requests ``h - 1`` items from a candidate set of
+``⌈k/B⌉ + 1`` single-block items, always choosing one the online
+cache lacks.  Online pays ``d + h - 1`` versus OPT's ``d``, i.e.
+``k / (k - B(h-1))`` after substitution — unbounded once
+``k <= B(h-1)``, which the constructor rejects (Theorem 3 declares
+the ratio infinite there).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.adversary.base import Adversary
+from repro.errors import ConfigurationError
+from repro.policies.base import Policy
+
+__all__ = ["BlockCacheAdversary"]
+
+
+class BlockCacheAdversary(Adversary):
+    """Theorem 3 construction; requires ``⌈k/B⌉ >= h`` and ``h >= 2``."""
+
+    def __init__(self, k: int, h: int, B: int) -> None:
+        super().__init__(k, h, B)
+        self._cap_blocks = -(-k // B)  # ⌈k/B⌉
+        if self._cap_blocks - h + 1 < 1:
+            raise ConfigurationError(
+                f"Theorem 3 needs ⌈k/B⌉ >= h (got k={k}, B={B}, h={h}); "
+                "below that the block-cache ratio is unbounded"
+            )
+        self._opt_content: Set[int] = set()
+
+    def _blocks_per_cycle(self) -> int:
+        return self._cap_blocks - self.h + 1
+
+    def warm_up(self, policy: Policy) -> None:
+        """Fill the cache touching one item per fresh block.
+
+        Theorem 3's step 1 additionally assumes every item in the
+        optimal cache comes from a different block; warming up with
+        block-distinct items establishes that for the candidate set.
+        """
+        guard = 0
+        stalled = 0
+        prev = -1
+        seeds: list[int] = []
+        while len(self._engine.resident) < self.k:
+            # Policies that cannot reach k residents (block caches cover
+            # only ⌈k/B⌉ single-item blocks; layered policies duplicate)
+            # saturate: stop once occupancy stops growing.
+            stalled = stalled + 1 if len(self._engine.resident) <= prev else 0
+            if stalled >= 2:
+                break
+            prev = len(self._engine.resident)
+            item = self.fresh_block()[0]
+            self.access(item)
+            seeds.append(item)
+            guard += 1
+            if guard > 2 * self.k:
+                break
+        self._opt_content = set(seeds[-self.h :])
+        while len(self._opt_content) < self.h:
+            # Degenerate tiny warm-up; pad with more fresh blocks.
+            item = self.fresh_block()[0]
+            self.access(item)
+            self._opt_content.add(item)
+
+    def _run_cycle(self, policy: Policy) -> int:
+        d = self._blocks_per_cycle()
+        fresh = []
+        for _ in range(d):
+            item = self.fresh_block()[0]
+            self.access(item)
+            fresh.append(item)
+        candidates = self._opt_content | set(fresh)
+        step4 = []
+        for idx in range(self.h - 1):
+            # The candidate set has only ⌈k/B⌉ + 1 members — more than a
+            # *block* cache can cover, but an item-granularity policy can
+            # hold all of them.  When that happens the escape is real:
+            # access a cached candidate (a hit for both sides) and move
+            # on, which is exactly how such policies beat Theorem 3.
+            item = next(
+                (c for c in sorted(candidates) if not self.online_contains(c)),
+                None,
+            )
+            if item is None:
+                item = sorted(candidates)[idx % len(candidates)]
+            self.access(item)
+            step4.append(item)
+        self._opt_content = set(step4) | {fresh[-1]}
+        for item in reversed(fresh):
+            if len(self._opt_content) >= self.h:
+                break
+            self._opt_content.add(item)
+        return d

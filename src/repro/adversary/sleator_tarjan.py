@@ -1,0 +1,67 @@
+"""The classical Sleator–Tarjan lower-bound construction.
+
+Each cycle accesses ``k - h + 1`` never-seen items (every policy
+misses; the prescribed OPT misses too), then ``h - 1`` times requests
+an item — drawn from a candidate set of ``k + 1`` items that OPT could
+hold — that the online cache currently lacks (online misses; OPT hits,
+having kept exactly those items).  Online pays ``k`` per cycle versus
+OPT's ``k - h + 1``: ratio ``k / (k - h + 1)``.
+
+To stay inside the *traditional* model this adversary uses one item
+per block, so spatial locality never helps anyone.  It serves as the
+baseline the GC adversaries are contrasted with, and as a differential
+check of the whole adversary stack (BeladyItem at size ``h`` must
+reproduce the claimed OPT cost exactly, since single-item blocks make
+the GC problem collapse to classical caching).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.adversary.base import Adversary
+from repro.policies.base import Policy
+
+__all__ = ["SleatorTarjanAdversary"]
+
+
+class SleatorTarjanAdversary(Adversary):
+    """Classical construction; requires ``h >= 2`` to have a step 4."""
+
+    def __init__(self, k: int, h: int, B: int = 1) -> None:
+        super().__init__(k, h, B)
+        #: prescribed OPT contents at the top of the next cycle
+        self._opt_content: Set[int] = set()
+
+    def _blocks_per_cycle(self) -> int:
+        return self.k - self.h + 1
+
+    def warm_up(self, policy: Policy) -> None:
+        super().warm_up(policy)
+        # Seed the prescribed OPT with h of the items the online cache
+        # currently holds (any h reachable items work; the first cycle's
+        # candidate set only needs k + 1 members).
+        self._opt_content = self._seed_opt_content()
+
+    def _run_cycle(self, policy: Policy) -> int:
+        # Step 2: k - h + 1 fresh items, one per block (no spatial help).
+        fresh = []
+        for _ in range(self.k - self.h + 1):
+            item = self.fresh_block()[0]
+            self.access(item)
+            fresh.append(item)
+        # Step 3: candidate set of >= k + 1 items.
+        candidates = self._opt_content | set(fresh)
+        # Step 4: h - 1 requests the online cache is guaranteed to miss.
+        step4 = []
+        for _ in range(self.h - 1):
+            item = self._evade_online(candidates)
+            self.access(item)
+            step4.append(item)
+        # Prescribed OPT for the next cycle: the step-4 items plus one
+        # fresh item (it held all of these at some point this cycle).
+        self._opt_content = set(step4) | {fresh[-1]}
+        while len(self._opt_content) < self.h:
+            self._opt_content.add(fresh[len(self._opt_content)])
+        # OPT misses only on the fresh items.
+        return self.k - self.h + 1

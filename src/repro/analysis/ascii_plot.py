@@ -1,0 +1,85 @@
+"""Terminal line plots for the figure-reproduction benches.
+
+The paper's Figures 3 and 6 are log-log competitive-ratio curves; the
+benches render them as ASCII so the reproduction is inspectable in CI
+logs without a plotting dependency.  Series are drawn with distinct
+glyphs; overlapping points show the later series.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = ["line_plot"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _transform(v: float, log: bool) -> float:
+    return math.log10(v) if log else v
+
+
+def line_plot(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 78,
+    height: int = 22,
+    logx: bool = True,
+    logy: bool = True,
+    title: Optional[str] = None,
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Render named ``(xs, ys)`` series on a character grid.
+
+    Non-finite and non-positive values (under log scaling) are
+    skipped.  Returns the multi-line string; callers print it.
+    """
+    pts = []
+    for name, (xs, ys) in series.items():
+        for x, y in zip(xs, ys):
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            if (logx and x <= 0) or (logy and y <= 0):
+                continue
+            pts.append((name, _transform(x, logx), _transform(y, logy)))
+    if not pts:
+        return "(no finite data to plot)"
+    xmin = min(p[1] for p in pts)
+    xmax = max(p[1] for p in pts)
+    ymin = min(p[2] for p in pts)
+    ymax = max(p[2] for p in pts)
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    if ymax == ymin:
+        ymax = ymin + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    glyph_of = {
+        name: _GLYPHS[i % len(_GLYPHS)] for i, name in enumerate(series)
+    }
+    for name, tx, ty in pts:
+        col = int((tx - xmin) / (xmax - xmin) * (width - 1))
+        row = height - 1 - int((ty - ymin) / (ymax - ymin) * (height - 1))
+        grid[row][col] = glyph_of[name]
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi = f"{10**ymax:.3g}" if logy else f"{ymax:.3g}"
+    y_lo = f"{10**ymin:.3g}" if logy else f"{ymin:.3g}"
+    margin = max(len(y_hi), len(y_lo)) + 1
+    for i, row in enumerate(grid):
+        label = y_hi if i == 0 else (y_lo if i == height - 1 else "")
+        lines.append(label.rjust(margin) + "|" + "".join(row))
+    x_lo = f"{10**xmin:.3g}" if logx else f"{xmin:.3g}"
+    x_hi = f"{10**xmax:.3g}" if logx else f"{xmax:.3g}"
+    axis = " " * margin + "+" + "-" * width
+    lines.append(axis)
+    lines.append(
+        " " * margin
+        + x_lo
+        + " " * max(1, width - len(x_lo) - len(x_hi))
+        + x_hi
+    )
+    legend = "  ".join(f"{glyph_of[n]}={n}" for n in series)
+    lines.append(f"{ylabel} vs {xlabel}   {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Empirical competitive-ratio measurement.
+
+Two complementary estimators:
+
+* :func:`measure_adversarial` — run a §4 adversary against a policy
+  and report the online/claimed-OPT ratio, optionally tightening the
+  OPT side with the clairvoyant bracket
+  (:func:`repro.offline.heuristics.gc_opt_upper` /
+  :func:`repro.offline.lower_bounds.gc_opt_lower`) on the *full*
+  generated trace.
+* :func:`ratio_on_trace` — for an arbitrary trace, the policy's misses
+  divided by the OPT bracket at a chosen offline size ``h``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.adversary.base import Adversary, AdversaryRun
+from repro.core.engine import simulate
+from repro.core.trace import Trace
+from repro.offline.heuristics import gc_opt_upper
+from repro.offline.lower_bounds import gc_opt_lower
+from repro.policies.base import Policy
+
+__all__ = ["CompetitiveMeasurement", "measure_adversarial", "ratio_on_trace"]
+
+
+@dataclass
+class CompetitiveMeasurement:
+    """An empirical ratio with its certification details.
+
+    ``ratio_vs_claimed`` uses the adversary's prescribed OPT cost
+    (valid lower bound on the true ratio for the steady-state part);
+    ``ratio_vs_bracket`` divides *total* online misses by the
+    clairvoyant upper bound on OPT for the *whole* trace including
+    warm-up (a second certified lower bound on the ratio, usually
+    slightly looser because warm-up misses hit both sides).
+    """
+
+    run: AdversaryRun
+    opt_upper: Optional[int] = None
+    opt_lower: Optional[int] = None
+
+    @property
+    def ratio_vs_claimed(self) -> float:
+        return self.run.empirical_ratio
+
+    @property
+    def ratio_vs_bracket(self) -> Optional[float]:
+        if not self.opt_upper:
+            return None
+        total_online = self.run.online_misses + self.run.warmup_misses
+        return total_online / self.opt_upper
+
+    def as_row(self) -> dict:
+        row = {
+            "policy": self.run.policy_name,
+            "k": self.run.k,
+            "h": self.run.h,
+            "B": self.run.B,
+            "cycles": self.run.cycles,
+            "online_misses": self.run.online_misses,
+            "claimed_opt": self.run.claimed_opt_misses,
+            "ratio_vs_claimed": self.ratio_vs_claimed,
+        }
+        if self.opt_upper is not None:
+            row["opt_upper"] = self.opt_upper
+            row["opt_lower"] = self.opt_lower
+            row["ratio_vs_bracket"] = self.ratio_vs_bracket
+        row.update(self.run.notes)
+        return row
+
+
+def measure_adversarial(
+    adversary: Adversary,
+    policy_factory: Callable[[object], Policy],
+    cycles: int = 4,
+    bracket_opt: bool = False,
+) -> CompetitiveMeasurement:
+    """Attack a freshly-built policy and certify the observed ratio.
+
+    Parameters
+    ----------
+    adversary:
+        A configured §4 adversary (its ``k``/``h``/``B`` fix the game).
+    policy_factory:
+        ``mapping -> Policy``; the adversary sizes the mapping itself
+        (it must pre-allocate enough fresh blocks for ``cycles``).
+    cycles:
+        Steady-state cycles to play.
+    bracket_opt:
+        Additionally run the clairvoyant OPT bracket on the generated
+        trace at size ``h`` (costs three offline simulations).
+    """
+    mapping = adversary.make_mapping(cycles)
+    policy = policy_factory(mapping)
+    run = adversary.run(policy, cycles=cycles)
+    upper = lower = None
+    if bracket_opt:
+        upper = gc_opt_upper(run.trace, adversary.h)
+        lower = gc_opt_lower(run.trace, adversary.h)
+    return CompetitiveMeasurement(run=run, opt_upper=upper, opt_lower=lower)
+
+
+def ratio_on_trace(
+    policy: Policy, trace: Trace, h: int
+) -> dict:
+    """Miss ratio of ``policy`` against the OPT bracket at size ``h``.
+
+    Returns a row with the policy's misses, the certified OPT interval
+    ``[opt_lower, opt_upper]``, and the implied competitive-ratio
+    interval ``[misses/opt_upper, misses/opt_lower]``.
+    """
+    result = simulate(policy, trace)
+    upper = gc_opt_upper(trace, h)
+    lower = gc_opt_lower(trace, h)
+    return {
+        "policy": result.policy,
+        "misses": result.misses,
+        "opt_lower": lower,
+        "opt_upper": upper,
+        "ratio_min": result.misses / upper if upper else float("inf"),
+        "ratio_max": result.misses / lower if lower else float("inf"),
+    }

@@ -1,0 +1,84 @@
+"""Result rendering: aligned text tables and CSV export.
+
+Experiments print the same rows the paper's tables report; benches tee
+them to ``benchmarks/out/*.csv`` so EXPERIMENTS.md can cite stable
+artifacts.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "write_csv"]
+
+
+def _fmt(value: Any, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    floatfmt: str = ".4g",
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    Columns default to the union of keys in first-seen order.  Missing
+    cells render empty.
+    """
+    if columns is None:
+        seen: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    header = list(columns)
+    body = [[_fmt(row.get(c, ""), floatfmt) for c in header] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in body)) if body else len(h)
+        for i, h in enumerate(header)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def write_csv(
+    rows: Sequence[Dict[str, Any]],
+    path: str | Path,
+    columns: Optional[Sequence[str]] = None,
+) -> Path:
+    """Write rows to CSV (creating parent directories); return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if columns is None:
+        seen: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path

@@ -1,0 +1,71 @@
+"""Closed-form competitive-ratio and fault-rate bounds from the paper.
+
+Modules
+-------
+* :mod:`repro.bounds.traditional` — Sleator–Tarjan bounds for classical
+  caching (the paper's comparison baseline).
+* :mod:`repro.bounds.lower` — Theorems 2–4: GC lower bounds for Item
+  Caches, Block Caches, and the general ``a``-parameter family.
+* :mod:`repro.bounds.upper` — Theorems 5–7 and the §5.3 layer-size
+  optimization for IBLP.
+* :mod:`repro.bounds.locality` — Theorems 8–11 and the Table 2
+  asymptotics in the extended locality-of-reference model.
+* :mod:`repro.bounds.salient` — the Table 1 salient comparison points.
+
+All functions are pure and cheap; figures sweep them directly at the
+paper's scale (``k = 1.28M``, ``B = 64``).
+"""
+
+from repro.bounds.traditional import (
+    lru_competitive_upper,
+    sleator_tarjan_lower,
+)
+from repro.bounds.lower import (
+    block_cache_lower,
+    gc_general_lower,
+    general_a_lower,
+    item_cache_lower,
+    optimal_a,
+)
+from repro.bounds.upper import (
+    iblp_block_layer_upper,
+    iblp_item_layer_upper,
+    iblp_optimal_item_layer,
+    iblp_optimal_ratio,
+    iblp_ratio,
+    iblp_small_k_threshold,
+)
+from repro.bounds.locality import (
+    LocalityBounds,
+    fault_rate_lower,
+    iblp_fault_rate_upper,
+    item_layer_fault_upper,
+    block_layer_fault_upper,
+    table2_asymptotics,
+)
+from repro.bounds.salient import table1_rows, meeting_point, k_for_ratio
+
+__all__ = [
+    "sleator_tarjan_lower",
+    "lru_competitive_upper",
+    "item_cache_lower",
+    "block_cache_lower",
+    "general_a_lower",
+    "gc_general_lower",
+    "optimal_a",
+    "iblp_item_layer_upper",
+    "iblp_block_layer_upper",
+    "iblp_ratio",
+    "iblp_optimal_item_layer",
+    "iblp_optimal_ratio",
+    "iblp_small_k_threshold",
+    "fault_rate_lower",
+    "item_layer_fault_upper",
+    "block_layer_fault_upper",
+    "iblp_fault_rate_upper",
+    "LocalityBounds",
+    "table2_asymptotics",
+    "table1_rows",
+    "meeting_point",
+    "k_for_ratio",
+]

@@ -1,0 +1,105 @@
+"""GC caching competitive lower bounds (Theorems 2–4).
+
+All bounds compare a deterministic online cache of ``k`` items against
+an optimal offline cache of ``h <= k`` items, with blocks of up to
+``B`` items.  The headline: relative to Sleator–Tarjan, spatial
+locality inflates the (ratio x augmentation) product by Θ(B).
+
+* Theorem 2 (Item Caches): ``B(k - B + 1) / (k - h + 1)``.
+* Theorem 3 (Block Caches): ``k / (k - B(h - 1))`` — unbounded unless
+  ``k > B(h-1)`` (pollution shrinks the effective cache by B).
+* Theorem 4 (any policy that loads a whole block only after ``a``
+  distinct consecutive accesses):
+  ``(a(k - h + 1) + B(h - a)) / (k - h + 1)``.
+
+The general deterministic lower bound plotted in Figure 3 is the best
+case over ``a`` (§4.4 shows the optimum is at an extreme: ``a = 1`` or
+``a = B``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bounds.traditional import _check_kh
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "item_cache_lower",
+    "block_cache_lower",
+    "general_a_lower",
+    "gc_general_lower",
+    "optimal_a",
+]
+
+
+def _check_b(B: float) -> None:
+    if B < 1:
+        raise ConfigurationError(f"block size B must be >= 1, got {B}")
+
+
+def item_cache_lower(k: float, h: float, B: float) -> float:
+    """Theorem 2: lower bound for any deterministic Item Cache."""
+    _check_kh(k, h)
+    _check_b(B)
+    return B * (k - B + 1) / (k - h + 1)
+
+
+def block_cache_lower(k: float, h: float, B: float) -> float:
+    """Theorem 3: lower bound for any deterministic Block Cache.
+
+    Returns ``math.inf`` when ``k <= B(h-1)`` — the adversary can then
+    make the block cache miss forever while OPT hits (§4.2: "the
+    competitive ratio of such policies is infinite unless they have at
+    least B times as much space").
+    """
+    _check_kh(k, h)
+    _check_b(B)
+    denom = k - B * (h - 1)
+    if denom <= 0:
+        return math.inf
+    return k / denom
+
+
+def general_a_lower(k: float, h: float, B: float, a: float) -> float:
+    """Theorem 4: lower bound for the ``a``-parameter policy family.
+
+    ``a`` is the number of distinct consecutive accesses to a block the
+    policy requires before loading all of it (``1 <= a <= B``).
+    Requires ``h > a`` for the construction's step 4 to be non-empty;
+    for ``h <= a`` the bound degrades gracefully to the step-2-only
+    ratio ``a``.
+    """
+    _check_kh(k, h)
+    _check_b(B)
+    if not 1 <= a <= B:
+        raise ConfigurationError(f"a must be in [1, B]={B}, got {a}")
+    num = a * (k - h + 1) + B * (h - a)
+    if num <= 0:  # pragma: no cover - impossible for valid inputs
+        return float(a)
+    return max(num / (k - h + 1), float(a))
+
+
+def optimal_a(k: float, h: float, B: float) -> int:
+    """The ``a`` minimizing Theorem 4's bound: 1 or B (§4.4).
+
+    The bound is linear in ``a`` with slope ``(k - h + 1 - B)``;
+    positive slope → ``a = 1`` (load whole blocks), negative →
+    ``a = B`` (load single items).
+    """
+    _check_kh(k, h)
+    _check_b(B)
+    return 1 if (k - h + 1) > B else int(B)
+
+
+def gc_general_lower(k: float, h: float, B: float) -> float:
+    """Figure 3's general GC lower bound: Theorem 4 at the best ``a``.
+
+    Equals ``1 + B(h-1)/(k-h+1)`` when ``k - h + 1 > B`` and
+    ``B(k-B+1)/(k-h+1)`` otherwise.  Any deterministic policy — item,
+    block, IBLP, or otherwise — has competitive ratio at least this.
+    """
+    return min(
+        general_a_lower(k, h, B, 1),
+        general_a_lower(k, h, B, B),
+    )

@@ -1,0 +1,44 @@
+"""Classical (single-granularity) caching bounds.
+
+Sleator and Tarjan [31] proved that any deterministic online policy
+with cache size ``k`` compared against an optimal offline cache of size
+``h ≤ k`` has competitive ratio at least ``k / (k - h + 1)``, and that
+LRU (and FIFO) achieve exactly that ratio.  These are the "Sleator-
+Tarjan Bound" rows/curves of Table 1 and Figure 3, against which the
+paper contrasts the GC model's extra Θ(B) penalty.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["sleator_tarjan_lower", "lru_competitive_upper"]
+
+
+def _check_kh(k: float, h: float) -> None:
+    if k <= 0 or h <= 0:
+        raise ConfigurationError(f"cache sizes must be positive, got k={k}, h={h}")
+    if h > k:
+        raise ConfigurationError(
+            f"optimal cache must not exceed online cache (h={h} > k={k})"
+        )
+
+
+def sleator_tarjan_lower(k: float, h: float) -> float:
+    """Lower bound ``k / (k - h + 1)`` for deterministic policies.
+
+    Parameters
+    ----------
+    k:
+        Online cache size.
+    h:
+        Offline (optimal) cache size, ``h <= k``.
+    """
+    _check_kh(k, h)
+    return k / (k - h + 1)
+
+
+def lru_competitive_upper(k: float, h: float) -> float:
+    """LRU's matching upper bound ``k / (k - h + 1)`` (tight)."""
+    _check_kh(k, h)
+    return k / (k - h + 1)

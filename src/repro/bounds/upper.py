@@ -1,0 +1,140 @@
+"""IBLP competitive upper bounds (Theorems 5–7) and §5.3 layer sizing.
+
+IBLP splits ``k = i + b`` into an item layer of size ``i`` and a block
+layer of size ``b``.  The paper analyzes each layer against its
+adversarial locality via a linear program (validated numerically in
+:mod:`repro.analysis.lp`), then combines them:
+
+* Theorem 5 (temporal only):  ``i / (i - h)``.
+* Theorem 6 (spatial only):   ``min(B, (b + 2Bh - B) / (b + B))``.
+* Theorem 7 (combined), two regimes split at
+  ``i* = (2Bb - b + 2B² + B) / (2B)``:
+
+  - ``i <= i*``:  ``(b + B(2i-1))² / (8B(B+b)(i-h))``
+  - ``i >  i*``:  ``(2Bi - Bb + b - B² - B) / (2i - 2h)``
+
+§5.3 then chooses the split.  For
+``k >= (3Bh - h - B² - B)/(B-1)`` the optimal interior split gives
+
+  ``ratio = (k + B - 1)(k - h + B(2h-1)) / (k - h + B)²``
+
+with item layer
+
+  ``i = (k² + 4Bhk - hk + 4B²h - 3Bh - B²)
+        / (2Bk + k + 2Bh - h + 2B² - 3B)``;
+
+below the threshold the whole cache should be the item layer
+(``i = k``), giving ``(2Bk - B² - B) / (2(k - h))``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bounds.traditional import _check_kh
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "iblp_item_layer_upper",
+    "iblp_block_layer_upper",
+    "iblp_ratio",
+    "iblp_small_k_threshold",
+    "iblp_optimal_item_layer",
+    "iblp_optimal_ratio",
+]
+
+
+def _check_b(B: float) -> None:
+    if B < 1:
+        raise ConfigurationError(f"block size B must be >= 1, got {B}")
+
+
+def iblp_item_layer_upper(i: float, h: float) -> float:
+    """Theorem 5: item-layer ratio ``i / (i - h)`` (temporal locality).
+
+    Requires ``i > h``; returns ``inf`` at ``i <= h`` (the layer alone
+    cannot be competitive against an equal-or-larger OPT).
+    """
+    if i <= 0 or h <= 0:
+        raise ConfigurationError(f"sizes must be positive, got i={i}, h={h}")
+    if i <= h:
+        return math.inf
+    return i / (i - h)
+
+
+def iblp_block_layer_upper(b: float, h: float, B: float) -> float:
+    """Theorem 6: block-layer ratio ``min(B, (b + 2Bh - B)/(b + B))``."""
+    if b < 0 or h <= 0:
+        raise ConfigurationError(f"sizes must be positive, got b={b}, h={h}")
+    _check_b(B)
+    return min(float(B), (b + 2 * B * h - B) / (b + B))
+
+
+def _theorem7_regime_boundary(b: float, B: float) -> float:
+    """The ``i`` value where Theorem 7 switches regimes (t hits B)."""
+    return (2 * B * b - b + 2 * B * B + B) / (2 * B)
+
+
+def iblp_ratio(i: float, b: float, h: float, B: float) -> float:
+    """Theorem 7: IBLP's competitive-ratio upper bound for split (i, b).
+
+    Valid for ``i > h`` (the theorem assumes ``i >= h``; at equality
+    the ratio diverges).  Returns ``inf`` when ``i <= h``.
+    """
+    if i < 0 or b < 0:
+        raise ConfigurationError(f"layer sizes must be non-negative: i={i}, b={b}")
+    if h <= 0:
+        raise ConfigurationError(f"h must be positive, got {h}")
+    _check_b(B)
+    if i <= h:
+        return math.inf
+    if i <= _theorem7_regime_boundary(b, B):
+        return (b + B * (2 * i - 1)) ** 2 / (8 * B * (B + b) * (i - h))
+    return (2 * B * i - B * b + b - B * B - B) / (2 * i - 2 * h)
+
+
+def iblp_small_k_threshold(h: float, B: float) -> float:
+    """§5.3's regime boundary ``(3Bh - h - B² - B) / (B - 1)``.
+
+    For ``k`` below this, IBLP should devote the whole cache to the
+    item layer (temporal locality dominates).  With ``B = 1`` the GC
+    model degenerates to traditional caching and the threshold is
+    irrelevant; we return 0 so every ``k`` is in the "large" regime.
+    """
+    _check_b(B)
+    if B == 1:
+        return 0.0
+    return (3 * B * h - h - B * B - B) / (B - 1)
+
+
+def iblp_optimal_item_layer(k: float, h: float, B: float) -> float:
+    """§5.3: the competitive-ratio-optimal item-layer size.
+
+    Returns ``k`` (pure item cache) in the small-``k`` regime and the
+    interior optimum otherwise.  The result is a real number; callers
+    simulating discrete caches should round and clamp to ``[h+1, k]``.
+    """
+    _check_kh(k, h)
+    _check_b(B)
+    if k < iblp_small_k_threshold(h, B):
+        return float(k)
+    num = k * k + 4 * B * h * k - h * k + 4 * B * B * h - 3 * B * h - B * B
+    den = 2 * B * k + k + 2 * B * h - h + 2 * B * B - 3 * B
+    return num / den
+
+
+def iblp_optimal_ratio(k: float, h: float, B: float) -> float:
+    """§5.3: IBLP's upper bound with the best split for known ``h``.
+
+    ``(k + B - 1)(k - h + B(2h-1)) / (k - h + B)²`` in the large-``k``
+    regime; ``(2Bk - B² - B) / (2(k - h))`` with ``i = k`` otherwise.
+    Returns ``inf`` at ``k <= h`` (no online cache is competitive with
+    a larger OPT in the worst case).
+    """
+    _check_kh(k, h)
+    _check_b(B)
+    if k <= h:
+        return math.inf
+    if k < iblp_small_k_threshold(h, B):
+        return (2 * B * k - B * B - B) / (2 * (k - h))
+    return (k + B - 1) * (k - h + B * (2 * h - 1)) / (k - h + B) ** 2

@@ -1,0 +1,9 @@
+"""Command-line interface (``gc-caching`` / ``python -m repro.cli``).
+
+Subcommands map one-to-one onto the experiment drivers plus a generic
+simulator front-end; see ``gc-caching --help``.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["main", "build_parser"]

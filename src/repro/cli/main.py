@@ -1,0 +1,261 @@
+"""Argument parsing and dispatch for the ``gc-caching`` CLI.
+
+Examples
+--------
+::
+
+    gc-caching table 1
+    gc-caching table 2 --B 64 --p 2
+    gc-caching figure 3 --k 1280000 --B 64
+    gc-caching figure 2 --trials 6
+    gc-caching simulate --policy iblp --workload hot_and_stream \\
+        --capacity 256 --block-size 8 --length 50000
+    gc-caching adversarial --k 256 --h 48 --B 8
+    gc-caching profile --workload dram --length 50000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.tables import format_table
+from repro.core.engine import simulate as run_simulation
+from repro.errors import ConfigurationError
+from repro.locality.profile import profile_trace
+from repro.policies import make_policy, policy_names
+from repro.workloads import (
+    block_runs,
+    dram_cache_workload,
+    hot_and_stream,
+    markov_spatial,
+    page_cache_workload,
+    sequential_scan,
+    uniform_random,
+    zipf_items,
+)
+
+__all__ = ["build_parser", "main"]
+
+_WORKLOADS: Dict[str, Callable] = {
+    "uniform": lambda ns: uniform_random(
+        ns.length, ns.universe, ns.block_size, ns.seed
+    ),
+    "zipf": lambda ns: zipf_items(
+        ns.length, ns.universe, ns.alpha, ns.block_size, ns.seed
+    ),
+    "scan": lambda ns: sequential_scan(
+        ns.universe, ns.block_size, repeats=max(1, ns.length // ns.universe)
+    ),
+    "block_runs": lambda ns: block_runs(
+        ns.length, ns.universe, ns.block_size, seed=ns.seed
+    ),
+    "markov": lambda ns: markov_spatial(
+        ns.length, ns.universe, ns.block_size, stay=ns.stay, seed=ns.seed
+    ),
+    "hot_and_stream": lambda ns: hot_and_stream(
+        ns.length,
+        hot_items=max(1, ns.universe // 8),
+        stream_blocks=max(1, ns.universe // ns.block_size),
+        block_size=ns.block_size,
+        seed=ns.seed,
+    ),
+    "dram": lambda ns: dram_cache_workload(length=ns.length, seed=ns.seed),
+    "pagecache": lambda ns: page_cache_workload(length=ns.length, seed=ns.seed),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="gc-caching",
+        description="Granularity-Change Caching reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table", help="reproduce a paper table")
+    p_table.add_argument("number", type=int, choices=(1, 2))
+    p_table.add_argument("--B", type=float, default=64.0)
+    p_table.add_argument("--h", type=float, default=10_000.0)
+    p_table.add_argument("--p", type=float, default=2.0)
+    p_table.add_argument("--i", type=float, default=4096.0)
+
+    p_fig = sub.add_parser("figure", help="reproduce a paper figure")
+    p_fig.add_argument("number", type=int, choices=(2, 3, 5, 6))
+    p_fig.add_argument("--k", type=int, default=1_280_000)
+    p_fig.add_argument("--B", type=int, default=64)
+    p_fig.add_argument("--trials", type=int, default=8)
+    p_fig.add_argument("--points", type=int, default=100)
+
+    p_sim = sub.add_parser("simulate", help="run one policy on a workload")
+    p_sim.add_argument("--policy", choices=sorted(policy_names()), required=True)
+    group = p_sim.add_mutually_exclusive_group(required=True)
+    group.add_argument("--workload", choices=sorted(_WORKLOADS))
+    group.add_argument(
+        "--trace-file",
+        help="text trace file (see repro.workloads.trace_io); "
+        "items one per line, optional r/w flag",
+    )
+    p_sim.add_argument(
+        "--densify",
+        action="store_true",
+        help="rename sparse trace-file addresses onto a dense universe",
+    )
+    p_sim.add_argument("--capacity", type=int, required=True)
+    p_sim.add_argument("--block-size", type=int, default=8)
+    p_sim.add_argument("--length", type=int, default=50_000)
+    p_sim.add_argument("--universe", type=int, default=4096)
+    p_sim.add_argument("--alpha", type=float, default=1.0)
+    p_sim.add_argument("--stay", type=float, default=0.8)
+    p_sim.add_argument("--seed", type=int, default=0)
+
+    p_adv = sub.add_parser(
+        "adversarial", help="empirical competitive-ratio experiment"
+    )
+    p_adv.add_argument("--k", type=int, default=256)
+    p_adv.add_argument("--h", type=int, default=48)
+    p_adv.add_argument("--B", type=int, default=8)
+    p_adv.add_argument("--cycles", type=int, default=4)
+
+    p_abl = sub.add_parser("ablation", help="design-choice ablations")
+    p_abl.add_argument("--k", type=int, default=256)
+    p_abl.add_argument("--B", type=int, default=8)
+
+    p_prof = sub.add_parser("profile", help="empirical f(n)/g(n) profile")
+    p_prof.add_argument("--workload", choices=sorted(_WORKLOADS), required=True)
+    p_prof.add_argument("--length", type=int, default=50_000)
+    p_prof.add_argument("--universe", type=int, default=4096)
+    p_prof.add_argument("--block-size", type=int, default=8)
+    p_prof.add_argument("--alpha", type=float, default=1.0)
+    p_prof.add_argument("--stay", type=float, default=0.8)
+    p_prof.add_argument("--seed", type=int, default=0)
+
+    p_mrc = sub.add_parser(
+        "mrc", help="Mattson miss-ratio curve (item and block LRU)"
+    )
+    p_mrc.add_argument("--workload", choices=sorted(_WORKLOADS), required=True)
+    p_mrc.add_argument(
+        "--capacities",
+        type=lambda s: [int(x) for x in s.split(",")],
+        default=[16, 64, 256, 1024],
+        help="comma-separated capacities",
+    )
+    p_mrc.add_argument("--length", type=int, default=50_000)
+    p_mrc.add_argument("--universe", type=int, default=4096)
+    p_mrc.add_argument("--block-size", type=int, default=8)
+    p_mrc.add_argument("--alpha", type=float, default=1.0)
+    p_mrc.add_argument("--stay", type=float, default=0.8)
+    p_mrc.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("schematics", help="executable Figures 1 & 4 demo")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    ns = build_parser().parse_args(argv)
+    out = _dispatch(ns)
+    print(out)
+    return 0
+
+
+def _dispatch(ns: argparse.Namespace) -> str:
+    # Imports are local so `--help` stays fast.
+    from repro.experiments import (
+        ablation,
+        adversarial,
+        figure2,
+        figure3,
+        figure5,
+        figure6,
+        schematics,
+        table1,
+        table2,
+    )
+
+    if ns.command == "table":
+        if ns.number == 1:
+            return table1.render(h=ns.h, B=ns.B)
+        return table2.render(p=ns.p, B=ns.B, i=ns.i)
+    if ns.command == "figure":
+        if ns.number == 2:
+            return figure2.render(trials=ns.trials)
+        if ns.number == 3:
+            return figure3.render(k=ns.k, B=ns.B, points=ns.points)
+        if ns.number == 5:
+            return figure5.render(B=min(ns.B, 32))
+        return figure6.render(k=ns.k, B=ns.B, points=ns.points)
+    if ns.command == "simulate":
+        if ns.trace_file:
+            from repro.workloads.trace_io import read_text_trace
+
+            trace = read_text_trace(
+                ns.trace_file,
+                block_size=ns.block_size,
+                densify=ns.densify,
+            ).trace
+        else:
+            trace = _WORKLOADS[ns.workload](ns)
+        policy = make_policy(ns.policy, ns.capacity, trace.mapping)
+        result = run_simulation(policy, trace)
+        return format_table([result.as_row()], title="simulation result")
+    if ns.command == "adversarial":
+        return adversarial.render(k=ns.k, h=ns.h, B=ns.B, cycles=ns.cycles)
+    if ns.command == "ablation":
+        return ablation.render(k=ns.k, B=ns.B)
+    if ns.command == "profile":
+        trace = _WORKLOADS[ns.workload](ns)
+        profile = profile_trace(trace)
+        c, p, gamma = profile.fit_polynomial()
+        rows = [
+            {
+                "n": int(n),
+                "f(n)": int(f),
+                "g(n)": int(g),
+                "f/g": float(f) / max(int(g), 1),
+            }
+            for n, f, g in zip(
+                profile.windows, profile.f_values, profile.g_values
+            )
+        ]
+        fit = f"\npolynomial fit: f(n) ~= {c:.3g} * n^(1/{p:.3g}), gamma ~= {gamma:.3g}"
+        return format_table(rows, title="locality profile") + fit
+    if ns.command == "mrc":
+        from repro.analysis.mrc import (
+            block_lru_stack_distances,
+            lru_stack_distances,
+            miss_ratio_curve,
+        )
+
+        trace = _WORKLOADS[ns.workload](ns)
+        caps = sorted(set(ns.capacities))
+        item_curve = dict(
+            miss_ratio_curve(lru_stack_distances(trace.items), caps)
+        )
+        block_slots = sorted(
+            {max(1, c // trace.block_size) for c in caps}
+        )
+        block_curve = dict(
+            miss_ratio_curve(block_lru_stack_distances(trace), block_slots)
+        )
+        rows = [
+            {
+                "capacity": c,
+                "item_lru_miss_ratio": item_curve[c],
+                "block_lru_miss_ratio": block_curve[
+                    max(1, c // trace.block_size)
+                ],
+            }
+            for c in caps
+        ]
+        return format_table(
+            rows, title=f"Mattson MRC ({ns.workload}, B={trace.block_size})"
+        )
+    if ns.command == "schematics":
+        return schematics.render()
+    raise ConfigurationError(f"unknown command {ns.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Core model of the Granularity-Change Caching Problem (§2).
+
+* :mod:`repro.core.mapping` — item→block partitions (Definition 1's
+  block structure).
+* :mod:`repro.core.trace` — request traces with attached mapping and
+  metadata, plus (de)serialization.
+* :mod:`repro.core.engine` — the referee simulator: drives a policy
+  over a trace, validates every action against the model, and
+  classifies hits into temporal vs spatial.
+* :mod:`repro.core.readwrite` — read/write traces and write-back
+  accounting (extension beyond the paper's read-only scope).
+"""
+
+from repro.core.mapping import BlockMapping, FixedBlockMapping, ExplicitBlockMapping
+from repro.core.trace import Trace
+from repro.core.engine import simulate, Engine
+from repro.core.readwrite import (
+    RWTrace,
+    WritebackSimulator,
+    WritebackStats,
+    make_rw_trace,
+)
+
+__all__ = [
+    "BlockMapping",
+    "FixedBlockMapping",
+    "ExplicitBlockMapping",
+    "Trace",
+    "simulate",
+    "Engine",
+    "RWTrace",
+    "WritebackSimulator",
+    "WritebackStats",
+    "make_rw_trace",
+]

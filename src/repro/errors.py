@@ -1,0 +1,58 @@
+"""Exception hierarchy for the GC caching library.
+
+Every error raised by this package derives from :class:`GCCachingError`,
+so callers can catch library failures with a single ``except`` clause
+while still distinguishing configuration mistakes from protocol
+violations detected by the simulation engine's referee.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "GCCachingError",
+    "ConfigurationError",
+    "ProtocolViolation",
+    "CapacityExceeded",
+    "IllegalLoadSet",
+    "TraceFormatError",
+    "SolverError",
+]
+
+
+class GCCachingError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(GCCachingError, ValueError):
+    """Invalid parameters (non-positive capacity, bad block size, ...)."""
+
+
+class ProtocolViolation(GCCachingError):
+    """A policy produced an action that violates the GC caching model.
+
+    The simulation engine re-validates every policy decision against
+    Definition 1 of the paper; any discrepancy (loading items outside
+    the requested block, claiming a hit for a non-resident item,
+    exceeding capacity) raises a subclass of this error rather than
+    silently producing wrong statistics.
+    """
+
+
+class CapacityExceeded(ProtocolViolation):
+    """Cache occupancy exceeded the configured capacity ``k``."""
+
+
+class IllegalLoadSet(ProtocolViolation):
+    """A miss loaded a set that is not a valid subset of the block.
+
+    Definition 1 requires the loaded set to (a) be contained in the
+    requested item's block and (b) contain the requested item.
+    """
+
+
+class TraceFormatError(GCCachingError, ValueError):
+    """A trace array or file does not satisfy the expected format."""
+
+
+class SolverError(GCCachingError, RuntimeError):
+    """An offline solver or LP optimizer failed to produce a solution."""

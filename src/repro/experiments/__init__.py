@@ -1,0 +1,52 @@
+"""Experiment drivers: one module per paper artifact.
+
+Every module exposes a ``run(...)`` returning plain row-dicts (and,
+for figures, an ASCII rendering), so the same code backs the CLI
+(``gc-caching figure 3``), the benches, and EXPERIMENTS.md.
+
+=================  ======================================================
+``table1``         Salient bound points (Table 1)
+``figure3``        Competitive-ratio curves vs ``h`` (Figure 3)
+``figure6``        Fixed vs optimal IBLP splits (Figure 6)
+``table2``         Locality-model fault-rate bounds (Table 2)
+``figure2``        VSC→GC reduction cost equality (Figure 2 / §3)
+``figure5``        LP-vs-closed-form validation (Figure 5 / §5.2)
+``adversarial``    Empirical Theorem 2/3/4 ratios (supports Fig. 3)
+``locality_exp``   Empirical Theorem 8–11 fault rates (supports Tab. 2)
+``ablation``       §4.4/§5.1/§6 design-choice ablations
+``schematics``     Executable Figures 1 & 4 semantics checks
+``size_dependence`` §5.3/§6.2: competitiveness depends on comparison size
+=================  ======================================================
+"""
+
+from repro.experiments import (  # noqa: F401 (re-export modules)
+    ablation,
+    adversarial,
+    figure2,
+    figure3,
+    figure5,
+    figure6,
+    gcm_analysis,
+    locality_exp,
+    scale_check,
+    schematics,
+    size_dependence,
+    table1,
+    table2,
+)
+
+__all__ = [
+    "table1",
+    "table2",
+    "figure2",
+    "figure3",
+    "figure5",
+    "figure6",
+    "adversarial",
+    "locality_exp",
+    "ablation",
+    "schematics",
+    "size_dependence",
+    "scale_check",
+    "gcm_analysis",
+]

@@ -1,0 +1,84 @@
+"""Experiment E-F5: validate the §5.2 LP analysis (Figure 5).
+
+Figure 5 illustrates the worst-case access pattern behind Theorems
+5–7: temporal hits pinning ``i`` space and spatial hits forming the
+``b/B + 1`` triangle.  The executable counterpart solves the linear
+programs numerically (:mod:`repro.analysis.lp`) across a parameter
+sweep and compares against the closed forms:
+
+* Theorems 5 and 6 must match the numeric optimum exactly;
+* Theorem 7's closed form must upper-bound the numeric optimum, with
+  equality whenever the paper's interior solution is feasible
+  (its optimal ``r`` is non-negative).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.lp import thm5_numeric, thm6_numeric, thm7_numeric
+from repro.analysis.tables import format_table
+from repro.bounds.upper import (
+    iblp_block_layer_upper,
+    iblp_item_layer_upper,
+    iblp_ratio,
+)
+
+__all__ = ["run", "render", "paper_interior_r"]
+
+
+def paper_interior_r(i: float, b: float, h: float, B: float) -> float:
+    """The interior-optimal ``r`` from Theorem 7's proof.
+
+    ``r = (b + B(4h - 2i - 1)) / (b + B(2i - 1))`` — when negative the
+    closed form sits outside the feasible region and is loose.
+    """
+    return (b + B * (4 * h - 2 * i - 1)) / (b + B * (2 * i - 1))
+
+
+def run(B: float = 16.0) -> List[Dict[str, float]]:
+    """Sweep (i, b, h) and compare numeric LP optima to closed forms."""
+    cases = [
+        (200.0, 200.0, 50.0),
+        (100.0, 1000.0, 60.0),
+        (500.0, 100.0, 80.0),
+        (1000.0, 1000.0, 30.0),
+        (64.0, 64.0, 20.0),
+        (256.0, 768.0, 100.0),
+        (3000.0, 200.0, 500.0),
+    ]
+    rows: List[Dict[str, float]] = []
+    for i, b, h in cases:
+        lp5 = thm5_numeric(i, h)
+        lp6 = thm6_numeric(b, h, B)
+        lp7 = thm7_numeric(i, b, h, B)
+        closed7 = iblp_ratio(i, b, h, B)
+        rows.append(
+            {
+                "i": i,
+                "b": b,
+                "h": h,
+                "B": B,
+                "thm5_lp": lp5.ratio,
+                "thm5_closed": iblp_item_layer_upper(i, h),
+                "thm6_lp": lp6.ratio,
+                "thm6_closed": iblp_block_layer_upper(b, h, B),
+                "thm7_lp": lp7.ratio,
+                "thm7_closed": closed7,
+                "thm7_t_star": lp7.t,
+                "thm7_r_star": lp7.r,
+                "interior_r": paper_interior_r(i, b, h, B),
+                "closed_is_upper": lp7.ratio <= closed7 * (1 + 1e-6),
+            }
+        )
+    return rows
+
+
+def render(B: float = 16.0) -> str:
+    """Formatted LP-validation table."""
+    rows = run(B=B)
+    ok = all(r["closed_is_upper"] for r in rows)
+    return format_table(
+        rows,
+        title=f"Figure 5 / §5.2 LP validation (B={B:g})",
+    ) + ("\nclosed forms upper-bound numeric optima: OK" if ok else "\nVIOLATION")

@@ -1,0 +1,82 @@
+"""Experiment E-F6: reproduce Figure 6 (fixed vs optimal IBLP splits).
+
+Figure 6 plots Theorem 7's upper bound as a function of the optimal
+cache size ``h`` for several *fixed* layer splits, against the
+envelope obtained by re-optimizing the split for every ``h`` (§5.3).
+The paper's observation: a fixed split is optimal at exactly one
+``h``, degrades significantly for larger ``h``, and improves only
+marginally for smaller ``h`` — the "unknown optimal size" problem
+unique to GC caching.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.ascii_plot import line_plot
+from repro.bounds.upper import (
+    iblp_optimal_item_layer,
+    iblp_optimal_ratio,
+    iblp_ratio,
+)
+
+__all__ = ["run", "render", "PAPER_K", "PAPER_B"]
+
+PAPER_K = 1_280_000
+PAPER_B = 64
+
+
+def run(
+    k: int = PAPER_K,
+    B: int = PAPER_B,
+    fixed_for_h: Sequence[float] | None = None,
+    points: int = 100,
+) -> List[Dict[str, float]]:
+    """Evaluate fixed-split curves against the optimal envelope.
+
+    ``fixed_for_h`` lists the ``h`` values each fixed split is tuned
+    for (default: ``k/1000``, ``k/100``, ``k/10``); the splits are
+    ``i* = iblp_optimal_item_layer(k, h0, B)``.
+    """
+    if fixed_for_h is None:
+        fixed_for_h = [k / 1000, k / 100, k / 10]
+    splits = {
+        f"fixed_i_for_h={h0:g}": iblp_optimal_item_layer(k, float(h0), B)
+        for h0 in fixed_for_h
+    }
+    hs = np.unique(
+        np.round(
+            np.logspace(math.log10(B + 1.0), math.log10(k * 0.6), num=points)
+        ).astype(np.int64)
+    )
+    rows: List[Dict[str, float]] = []
+    for h in hs:
+        h = float(h)
+        row: Dict[str, float] = {"h": h, "optimal_split": iblp_optimal_ratio(k, h, B)}
+        for label, i in splits.items():
+            row[label] = iblp_ratio(i, k - i, h, B)
+        rows.append(row)
+    return rows
+
+
+def render(k: int = PAPER_K, B: int = PAPER_B, points: int = 100) -> str:
+    """ASCII rendering of Figure 6."""
+    rows = run(k=k, B=B, points=points)
+    hs = [r["h"] for r in rows]
+    series = {
+        name: (hs, [r[name] for r in rows])
+        for name in rows[0]
+        if name != "h"
+    }
+    return line_plot(
+        series,
+        title=(
+            f"Figure 6 reproduction: fixed vs optimal IBLP splits "
+            f"(k={k:,}, B={B})"
+        ),
+        xlabel="h (optimal cache size)",
+        ylabel="competitive ratio (upper bound)",
+    )

@@ -1,0 +1,58 @@
+"""Experiment E-T1: reproduce Table 1 (salient bound points).
+
+Computes, for the Sleator–Tarjan bound, the GC lower bound, and the GC
+upper bound, the three operating points the paper tabulates, at the
+reference ``B = 64`` (and any other ``B``), and compares each cell
+with the paper's approximate prediction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.tables import format_table
+from repro.bounds.salient import paper_predictions, table1_rows
+
+__all__ = ["run", "render"]
+
+
+def run(h: float = 10_000.0, B: float = 64.0) -> List[Dict[str, float]]:
+    """Compute the nine Table 1 cells and attach paper predictions.
+
+    Returns one row per (setting, family) with computed augmentation,
+    computed ratio, the paper's approximate value, and the relative
+    deviation of whichever quantity the paper predicts (the ratio for
+    the constant-augmentation/constant-ratio rows, the augmentation at
+    the meeting point).
+    """
+    rows = []
+    predictions = paper_predictions(B)
+    for row in table1_rows(h=h, B=B):
+        setting = row["setting"]
+        for family in ("sleator_tarjan", "gc_lower", "gc_upper"):
+            aug = row[f"{family}_augmentation"]
+            ratio = row[f"{family}_ratio"]
+            paper = predictions[setting][family]
+            measured = aug if setting == "ratio_equals_augmentation" else ratio
+            rows.append(
+                {
+                    "setting": setting,
+                    "family": family,
+                    "B": B,
+                    "h": h,
+                    "augmentation": aug,
+                    "ratio": ratio,
+                    "paper_value": paper,
+                    "rel_dev": abs(measured - paper) / paper,
+                }
+            )
+    return rows
+
+
+def render(h: float = 10_000.0, B: float = 64.0) -> str:
+    """Formatted Table 1 reproduction."""
+    return format_table(
+        run(h=h, B=B),
+        title=f"Table 1 reproduction (h={h:g}, B={B:g}) — "
+        "augmentation => competitive ratio",
+    )

@@ -1,0 +1,90 @@
+"""Experiment E-T2: reproduce Table 2 (locality-model bounds).
+
+Table 2 compares, for the polynomial locality family
+``f(n) = n^{1/p}``, ``g = f/γ``, the Theorem 8 lower bound at baseline
+cache size ``h = i + b`` against the Theorem 9/10 layer upper bounds
+of an equally-split IBLP (``i = b``, i.e. augmentation 2x).  Rows are
+the three spatial regimes ``γ ∈ {1, B^{1−1/p}, B}``.
+
+Two views are produced: the *asymptotic coefficients* of the paper's
+table (via :func:`repro.bounds.locality.table2_asymptotics`) and a
+*finite-size numeric* evaluation of the exact bound expressions, whose
+ratios must converge to those coefficients as sizes grow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.tables import format_table
+from repro.bounds.locality import (
+    block_layer_fault_upper,
+    fault_rate_lower,
+    iblp_fault_rate_upper,
+    item_layer_fault_upper,
+    table2_asymptotics,
+)
+from repro.locality.functions import PolynomialLocality
+
+__all__ = ["run_asymptotic", "run_numeric", "render"]
+
+
+def run_asymptotic(p: float = 2.0, B: float = 64.0) -> List[Dict[str, float]]:
+    """The paper's leading-order Table 2 entries."""
+    rows = table2_asymptotics(p=p, B=B)
+    for row in rows:
+        row["p"] = p
+        row["B"] = B
+    return rows
+
+
+def run_numeric(
+    p: float = 2.0, B: float = 64.0, i: float = 4096.0
+) -> List[Dict[str, float]]:
+    """Exact Theorem 8–11 values for an equal split at finite size.
+
+    ``i = b``; the baseline lower bound uses ``h = i`` — "a cache of
+    the same size as each partition", §7.3 — so IBLP's total size is
+    ``k = i + b = 2h`` (augmentation 2x).
+    """
+    b = i
+    h = i
+    rows: List[Dict[str, float]] = []
+    for label, gamma in (
+        ("no_spatial", 1.0),
+        ("high_spatial", B ** (1.0 - 1.0 / p)),
+        ("max_spatial", float(B)),
+    ):
+        loc = PolynomialLocality(p=p, gamma=gamma).to_bounds()
+        lower = fault_rate_lower(loc, h)
+        item_ub = item_layer_fault_upper(loc, i)
+        block_ub = block_layer_fault_upper(loc, b, B)
+        iblp_ub = iblp_fault_rate_upper(loc, i, b, B)
+        rows.append(
+            {
+                "label": label,
+                "gamma": gamma,
+                "p": p,
+                "B": B,
+                "i": i,
+                "lower_bound": lower,
+                "item_layer_ub": item_ub,
+                "block_layer_ub": block_ub,
+                "iblp_ub": iblp_ub,
+                "gap_vs_baseline": iblp_ub / lower if lower else float("inf"),
+            }
+        )
+    return rows
+
+
+def render(p: float = 2.0, B: float = 64.0, i: float = 4096.0) -> str:
+    """Both Table 2 views, formatted."""
+    asym = format_table(
+        run_asymptotic(p=p, B=B),
+        title=f"Table 2 (asymptotic coefficients), p={p:g}, B={B:g}",
+    )
+    num = format_table(
+        run_numeric(p=p, B=B, i=i),
+        title=f"\nTable 2 (finite-size bounds), i=b={i:g}, h=i (k=2h)",
+    )
+    return asym + "\n" + num

@@ -1,0 +1,22 @@
+"""Two-level memory hierarchy around the granularity boundary.
+
+The GC model abstracts a concrete system (paper §1–2, Figure 1): a
+small cache above a larger level that internally operates on blocks
+through a row buffer — "once items are brought into the buffer, they
+can be accessed at low cost, motivating our model".
+:class:`~repro.hierarchy.two_level.TwoLevelSimulator` makes that
+concrete: it runs any policy under the referee while modelling the
+lower level's row buffer, separating
+
+* **row activations** (expensive: the lower level fetches a whole
+  block into its buffer) from
+* **buffer reads** (cheap: items streamed out of the open row).
+
+This quantifies *why* subset loads are free — a policy that grabs more
+of an open row does not add activations — and exposes the energy/latency
+proxy :func:`~repro.hierarchy.two_level.traffic_cost`.
+"""
+
+from repro.hierarchy.two_level import TwoLevelSimulator, TwoLevelStats, traffic_cost
+
+__all__ = ["TwoLevelSimulator", "TwoLevelStats", "traffic_cost"]

@@ -1,0 +1,21 @@
+"""The extended locality-of-reference model (§2, §7).
+
+* :mod:`repro.locality.functions` — analytic locality families
+  (polynomial ``f(n) = c·n^{1/p}``, ``g = f/γ``) with exact inverses.
+* :mod:`repro.locality.profile` — empirical ``f(n)``/``g(n)``
+  extraction from traces via sliding-window distinct counting.
+* :mod:`repro.locality.generator` — non-adaptive phase traces
+  consistent with a target (f, g) pair.
+"""
+
+from repro.locality.functions import PolynomialLocality, concavity_violations
+from repro.locality.profile import LocalityProfile, profile_trace
+from repro.locality.generator import phase_trace
+
+__all__ = [
+    "PolynomialLocality",
+    "concavity_violations",
+    "LocalityProfile",
+    "profile_trace",
+    "phase_trace",
+]

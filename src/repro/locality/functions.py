@@ -1,0 +1,113 @@
+"""Analytic locality families for the extended model.
+
+§7.3 analyzes polynomial locality ``f(n) = c·n^{1/p}`` ("positive
+concave functions … the majority of high order terms that would occur
+in real traces") with block-level locality ``g = f/γ`` for a spatial
+factor ``γ ∈ [1, B]``:
+
+* ``γ = 1`` — no spatial locality (``g = f``);
+* ``γ = B`` — maximal (whole blocks accessed together);
+* ``γ = B^{1-1/p}`` — the paper's worst-gap point for equal-split
+  IBLP.
+
+All functions are exposed with exact inverses so Theorem 8–11 bounds
+evaluate without numeric root finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.bounds.locality import LocalityBounds
+from repro.errors import ConfigurationError
+
+__all__ = ["PolynomialLocality", "concavity_violations"]
+
+
+@dataclass(frozen=True)
+class PolynomialLocality:
+    """``f(n) = c · n^{1/p}``, ``g(n) = max(f(n)/γ, 1)``.
+
+    ``p >= 1`` controls temporal locality (larger = more reuse), ``γ``
+    the spatial locality (``f/g`` ratio), ``c`` the scale (``c = 1``
+    makes ``f(1) = 1``, the canonical normalization).
+    """
+
+    p: float = 2.0
+    gamma: float = 1.0
+    c: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.p < 1:
+            raise ConfigurationError(f"p must be >= 1, got {self.p}")
+        if self.gamma < 1:
+            raise ConfigurationError(f"gamma must be >= 1, got {self.gamma}")
+        if self.c <= 0:
+            raise ConfigurationError(f"c must be positive, got {self.c}")
+
+    # -- the functions -------------------------------------------------------
+    def f(self, n: float) -> float:
+        """Max distinct items in a window of ``n`` accesses."""
+        if n < 0:
+            raise ConfigurationError(f"window size must be >= 0, got {n}")
+        return self.c * n ** (1.0 / self.p)
+
+    def g(self, n: float) -> float:
+        """Max distinct blocks in a window of ``n`` accesses (>= 1)."""
+        return max(self.f(n) / self.gamma, 1.0) if n > 0 else 0.0
+
+    def f_inverse(self, y: float) -> float:
+        """Window size at which ``f`` reaches ``y``."""
+        if y < 0:
+            raise ConfigurationError(f"target must be >= 0, got {y}")
+        return (y / self.c) ** self.p
+
+    def g_inverse(self, y: float) -> float:
+        """Window size at which ``g`` reaches ``y``."""
+        if y < 0:
+            raise ConfigurationError(f"target must be >= 0, got {y}")
+        return (y * self.gamma / self.c) ** self.p
+
+    def spatial_ratio(self, n: float) -> float:
+        """``f(n)/g(n)`` — the paper's spatial-locality measure."""
+        g = self.g(n)
+        return self.f(n) / g if g else 0.0
+
+    def to_bounds(self) -> LocalityBounds:
+        """Package as a :class:`LocalityBounds` with exact inverses."""
+        return LocalityBounds(
+            f=self.f,
+            g=self.g,
+            f_inverse=self.f_inverse,
+            g_inverse=self.g_inverse,
+        )
+
+    @classmethod
+    def worst_gap(cls, p: float, B: float, c: float = 1.0) -> "PolynomialLocality":
+        """The §7.3 worst-gap family: ``γ = B^{1-1/p}``."""
+        return cls(p=p, gamma=B ** (1.0 - 1.0 / p), c=c)
+
+
+def concavity_violations(values: Sequence[float]) -> List[int]:
+    """Indices where a sampled locality function fails concavity.
+
+    A valid working-set function is increasing and concave; empirical
+    profiles (integer-valued maxima) may violate strict concavity by
+    rounding — callers decide the tolerance.  Returns indices ``i``
+    with ``values[i+1] - values[i] > values[i] - values[i-1]``
+    (increasing increments) or ``values[i+1] < values[i]``
+    (non-monotone).
+    """
+    vals = np.asarray(values, dtype=float)
+    bad: List[int] = []
+    for i in range(1, len(vals) - 1):
+        if vals[i + 1] < vals[i] or (vals[i + 1] - vals[i]) > (
+            vals[i] - vals[i - 1]
+        ) + 1e-9:
+            bad.append(i)
+    if len(vals) >= 2 and vals[1] < vals[0]:
+        bad.insert(0, 0)
+    return bad

@@ -1,0 +1,147 @@
+"""Non-adaptive phase traces consistent with a target (f, g).
+
+A policy-independent counterpart of
+:class:`~repro.adversary.locality_adversary.LocalityAdversary`: it
+emits the same repetition structure (repetition ``j`` of a phase
+starts at access ``f⁻¹(j+1) − 1``, so no window sees more distinct
+items than ``f`` allows) but picks items by seeded randomness rather
+than by inspecting a cache.  New blocks are opened only while the
+count of blocks touched in the phase stays within ``g``.
+
+Use it to manufacture workloads whose *measured* profile matches a
+requested analytic family — the E-LOC bench generates traces this way,
+re-profiles them, and checks the Theorem 8–11 bounds bracket measured
+fault rates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.mapping import FixedBlockMapping
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError
+
+__all__ = ["phase_trace"]
+
+
+def phase_trace(
+    f_inverse: Callable[[float], float],
+    g: Callable[[float], float],
+    universe_items: int,
+    block_size: int,
+    phases: int = 4,
+    distinct_per_phase: Optional[int] = None,
+    seed: int = 0,
+) -> Trace:
+    """Generate ``phases`` locality-constrained phases.
+
+    Parameters
+    ----------
+    f_inverse, g:
+        The target locality family (e.g. from
+        :class:`~repro.locality.functions.PolynomialLocality`).
+    universe_items:
+        Pool of distinct items to draw from (>= distinct_per_phase+1).
+    block_size:
+        The model's ``B``.
+    phases:
+        Number of phases to emit.
+    distinct_per_phase:
+        Distinct items per phase (defaults to ``universe_items - 1``,
+        mirroring Theorem 8's ``k + 1``-item pool with ``k - 1``
+        repetitions).
+    seed:
+        RNG seed; the generator is fully deterministic given it.
+    """
+    if universe_items < 2:
+        raise ConfigurationError("need at least 2 items")
+    if block_size < 1:
+        raise ConfigurationError("block size must be >= 1")
+    reps = distinct_per_phase if distinct_per_phase else universe_items - 1
+    if reps < 1:
+        raise ConfigurationError("need at least one repetition per phase")
+    length = int(math.floor(f_inverse(reps + 2))) - 2
+    if length < reps:
+        raise ConfigurationError(
+            f"phase length {length} < repetitions {reps}: f has too "
+            "little locality for this many distinct items"
+        )
+    n_blocks = -(-universe_items // block_size)
+    mapping = FixedBlockMapping(
+        universe=n_blocks * block_size, block_size=block_size
+    )
+    rng = np.random.default_rng(seed)
+    # Spread the pool round-robin over the blocks so sizes differ by at
+    # most one — a remainder singleton block would burn a block-open
+    # for a single repetition and break the g-budget locally.
+    pool = [
+        blk * block_size + depth
+        for depth in range(block_size)
+        for blk in range(n_blocks)
+    ][:universe_items]
+    # Repetition start offsets (Theorem 8's schedule).
+    starts: List[int] = []
+    for j in range(1, reps + 1):
+        s = int(math.ceil(f_inverse(j + 1))) - 1
+        starts.append(max(s, j - 1))
+    starts[0] = 0
+    for i in range(1, reps):
+        starts[i] = max(starts[i], starts[i - 1] + 1)
+    accesses: List[int] = []
+    for _ in range(phases):
+        order = rng.permutation(pool).tolist()
+        used_blocks: set = set()
+        chosen: List[int] = []
+        pos = 0
+        for j in range(reps):
+            end = starts[j + 1] if j + 1 < reps else length
+            if end <= pos:
+                continue
+            item = _pick(order, chosen, used_blocks, mapping, g, pos)
+            chosen.append(item)
+            used_blocks.add(mapping.block_of(item))
+            accesses.extend([item] * (end - pos))
+            pos = end
+    return Trace(
+        np.asarray(accesses, dtype=np.int64),
+        mapping,
+        {
+            "generator": "phase_trace",
+            "phases": phases,
+            "seed": seed,
+            "phase_length": length,
+        },
+    )
+
+
+def _pick(
+    order: List[int],
+    chosen: List[int],
+    used_blocks: set,
+    mapping: FixedBlockMapping,
+    g: Callable[[float], float],
+    pos: int,
+) -> int:
+    taken = set(chosen)
+    budget = max(1.0, math.floor(g(pos + 1)))
+    may_open = len(used_blocks) < budget
+    # Exhaust already-used blocks before opening a new one: opening
+    # early wastes g-budget and lets straddling windows exceed g.
+    for item in order:
+        if item in taken:
+            continue
+        if mapping.block_of(item) in used_blocks:
+            return item
+    if may_open:
+        for item in order:
+            if item not in taken:
+                return item
+    # Budget exhausted and every item in used blocks consumed: relax.
+    for item in order:
+        if item not in taken:
+            return item
+    raise ConfigurationError("phase exhausted its item pool")

@@ -1,0 +1,45 @@
+"""Offline GC caching: NP-completeness machinery and exact solvers (§3).
+
+The paper proves Offline GC Caching NP-complete by reduction from
+variable-size caching in the fault model [Chrobak et al. 2012].  This
+package makes the whole argument executable:
+
+* :mod:`repro.offline.vsc` — variable-size caching instances and an
+  exact exponential solver (the reduction's source problem).
+* :mod:`repro.offline.reduction` — the §3 construction mapping a VSC
+  instance to a GC instance with identical optimal cost (Figure 2).
+* :mod:`repro.offline.exact` — exact offline GC solver (memoized
+  search over cache states) for small instances.
+* :mod:`repro.offline.bnb` — best-first branch-and-bound with an
+  admissible block-slot-Belady heuristic (reaches larger instances).
+* :mod:`repro.offline.lower_bounds` — polynomial-time certified lower
+  bounds on OPT (block-level Belady, distinct-block count).
+* :mod:`repro.offline.heuristics` — ``BeladyGC``, a clairvoyant
+  block-aware heuristic used as a strong polynomial upper bound on
+  OPT throughout the benches.
+"""
+
+from repro.offline.vsc import VSCInstance, solve_vsc_exact
+from repro.offline.reduction import reduce_vsc_to_gc, ReducedInstance
+from repro.offline.exact import solve_gc_exact
+from repro.offline.bnb import solve_gc_bnb
+from repro.offline.lower_bounds import (
+    block_belady_lower,
+    distinct_blocks_lower,
+    gc_opt_lower,
+)
+from repro.offline.heuristics import BeladyGC, gc_opt_upper
+
+__all__ = [
+    "VSCInstance",
+    "solve_vsc_exact",
+    "reduce_vsc_to_gc",
+    "ReducedInstance",
+    "solve_gc_exact",
+    "solve_gc_bnb",
+    "block_belady_lower",
+    "distinct_blocks_lower",
+    "gc_opt_lower",
+    "BeladyGC",
+    "gc_opt_upper",
+]

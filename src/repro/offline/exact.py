@@ -1,0 +1,95 @@
+"""Exact offline GC caching by memoized state-space search.
+
+Offline GC caching is NP-complete (§3), so no polynomial exact solver
+exists unless P = NP; this module provides an exponential one for the
+small instances that validate the reduction and calibrate heuristics.
+
+State = (trace position, frozenset of cached items).  On a miss the
+solver branches over
+
+* the *load set*: subsets of the requested block containing the item,
+  restricted to items with a future use (loading a never-again-used
+  item is dominated), and
+* the *keep set*: which cached items survive to make room.
+
+Hits advance the position without branching, which collapses the long
+round-robin runs the reduction produces.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import combinations
+from typing import FrozenSet, Tuple
+
+from repro.core.trace import Trace
+from repro.errors import SolverError
+
+__all__ = ["solve_gc_exact"]
+
+
+def solve_gc_exact(
+    trace: Trace, capacity: int, state_limit: int = 4_000_000
+) -> int:
+    """Optimal number of misses for ``trace`` with a ``capacity`` cache.
+
+    Raises :class:`SolverError` when the search exceeds
+    ``state_limit`` visited states (instance too large).
+    """
+    items: Tuple[int, ...] = tuple(int(x) for x in trace.items)
+    mapping = trace.mapping
+    n = len(items)
+    # future_use[pos] = set of items accessed at or after pos.  Stored
+    # as tuple of frozensets for O(1) "has a future" checks.
+    future: list = [None] * (n + 1)
+    future[n] = frozenset()
+    for pos in range(n - 1, -1, -1):
+        future[pos] = future[pos + 1] | {items[pos]}
+    visited = [0]
+
+    @lru_cache(maxsize=None)
+    def best(pos: int, cached: FrozenSet[int]) -> int:
+        visited[0] += 1
+        if visited[0] > state_limit:
+            raise SolverError(
+                f"solve_gc_exact exceeded {state_limit} states"
+            )
+        # Fast-forward over hits.
+        while pos < n and items[pos] in cached:
+            pos += 1
+        if pos >= n:
+            return 0
+        item = items[pos]
+        block = mapping.block_of(item)
+        members = mapping.items_in(block)
+        # Useful side loads: block members, not cached, used in future.
+        side = tuple(
+            m
+            for m in members
+            if m != item and m not in cached and m in future[pos + 1]
+        )
+        # Dropping dead weight first shrinks the branching: items with
+        # no future use can always be evicted for free.
+        live = frozenset(c for c in cached if c in future[pos + 1])
+        best_cost: int | None = None
+        for r in range(len(side), -1, -1):
+            for extra in combinations(side, r):
+                load = frozenset(extra) | {item}
+                room = capacity - len(load)
+                if room < 0:
+                    continue
+                keep_pool = sorted(live)
+                max_keep = min(len(keep_pool), room)
+                # Keeping more live items never costs; still explore
+                # smaller keeps since *which* items matters.
+                for kr in range(max_keep, -1, -1):
+                    for keep in combinations(keep_pool, kr):
+                        cost = 1 + best(pos + 1, frozenset(keep) | load)
+                        if best_cost is None or cost < best_cost:
+                            best_cost = cost
+                    if best_cost == 1:
+                        return 1  # cannot do better than a single miss
+        assert best_cost is not None
+        return best_cost
+
+    return best(0, frozenset())

@@ -1,0 +1,112 @@
+"""The §3 reduction: variable-size caching → GC caching (Figure 2).
+
+For each VSC item ``i`` of (integral) size ``z_i`` the reduction
+creates one block whose *active set* is ``z_i`` fresh unit-size items.
+Every VSC request to ``i`` becomes ``z_i`` round-robin passes over the
+active set — ``z_i × z_i`` consecutive GC accesses.  The GC cache
+keeps the VSC capacity.
+
+The paper proves the optimal costs coincide: the repeated round-robin
+forces any optimal GC cache to load and evict whole active sets, at
+which point each set behaves exactly like the original variable-size
+item (one unit of cost to bring in, ``z_i`` units of space to keep).
+
+:func:`reduce_vsc_to_gc` builds the instance;
+:func:`figure2_instance` reproduces the paper's worked example with
+items A (size 2), B (size 1), C (size 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.mapping import ExplicitBlockMapping
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError
+from repro.offline.vsc import VSCInstance
+
+__all__ = ["ReducedInstance", "reduce_vsc_to_gc", "figure2_instance"]
+
+
+@dataclass(frozen=True)
+class ReducedInstance:
+    """A GC instance produced by the reduction, with provenance."""
+
+    trace: Trace
+    capacity: int
+    source: VSCInstance
+    #: ``active_sets[i]`` lists the GC items standing in for VSC item i.
+    active_sets: Tuple[Tuple[int, ...], ...]
+
+
+def reduce_vsc_to_gc(
+    instance: VSCInstance, block_capacity: int | None = None
+) -> ReducedInstance:
+    """Build the GC instance whose optimal cost equals the VSC optimum.
+
+    Parameters
+    ----------
+    instance:
+        A variable-size caching instance with integral sizes (run
+        :func:`repro.offline.vsc.scale_to_integral` first if needed).
+    block_capacity:
+        The model's ``B``; must be at least the largest item size.
+        Defaults to exactly that size (the tightest legal choice).
+    """
+    largest = max(instance.sizes)
+    if block_capacity is None:
+        block_capacity = largest
+    if block_capacity < largest:
+        raise ConfigurationError(
+            f"block capacity {block_capacity} smaller than largest item "
+            f"size {largest}"
+        )
+    # One block per VSC item; active set = that block's items.
+    active_sets: List[Tuple[int, ...]] = []
+    next_item = 0
+    for z in instance.sizes:
+        active_sets.append(tuple(range(next_item, next_item + z)))
+        next_item += z
+    mapping = ExplicitBlockMapping.from_groups(
+        active_sets, max_block_size=block_capacity
+    )
+    accesses: List[int] = []
+    for vsc_item in instance.trace:
+        active = active_sets[vsc_item]
+        z = len(active)
+        # z round-robin passes over the active set: each item accessed
+        # z times, interleaved, preserving the VSC ordering of blocks.
+        for _ in range(z):
+            accesses.extend(active)
+    trace = Trace(
+        np.asarray(accesses, dtype=np.int64),
+        mapping,
+        {
+            "generator": "reduce_vsc_to_gc",
+            "source": instance.name or "vsc",
+            "capacity": instance.capacity,
+        },
+    )
+    return ReducedInstance(
+        trace=trace,
+        capacity=instance.capacity,
+        source=instance,
+        active_sets=tuple(active_sets),
+    )
+
+
+def figure2_instance() -> Tuple[VSCInstance, ReducedInstance]:
+    """The worked example of Figure 2.
+
+    Three variable-size items — A (size 2), B (size 1), C (size 3) —
+    with trace A, B, A, C, A and a cache of size 3.  Figure 2 shows the
+    generated GC trace ``A1 A2 A1 A2 · B1 · A1 A2 A1 A2 · C1..C3 ×3 ·
+    A1 A2 A1 A2``.
+    """
+    vsc = VSCInstance.build(
+        sizes=[2, 1, 3], capacity=3, trace=[0, 1, 0, 2, 0], name="figure2"
+    )
+    return vsc, reduce_vsc_to_gc(vsc)

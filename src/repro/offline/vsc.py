@@ -1,0 +1,144 @@
+"""Variable-size caching in the fault model (the §3 reduction source).
+
+An instance has ``n`` items with positive integral sizes, a cache of
+capacity ``k`` (total size of cached items may never exceed ``k``), and
+a request trace.  Serving a request to a non-cached item costs 1 (the
+*fault model* of Chrobak, Woeginger, Makino & Xu 2012, who proved the
+offline problem NP-complete) and requires loading the item, evicting
+others as needed.  Items larger than the cache can never be cached and
+always fault.
+
+:func:`solve_vsc_exact` finds the optimal cost by memoized search over
+(position, cached-set) states — exponential, intended for the small
+instances used to validate the reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from functools import lru_cache
+from itertools import combinations
+from typing import FrozenSet, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError, SolverError
+
+__all__ = ["VSCInstance", "solve_vsc_exact", "scale_to_integral"]
+
+
+def scale_to_integral(
+    sizes: Sequence[Fraction | float | int], capacity: Fraction | float | int
+) -> Tuple[List[int], int]:
+    """Scale rational sizes and capacity to integers (§3, first step).
+
+    Multiplies every size and the capacity by the LCM of the size
+    denominators; the fraction of cache each item occupies — hence the
+    optimal cost — is unchanged.
+    """
+    fracs = [Fraction(s).limit_denominator(10**9) for s in sizes]
+    cap = Fraction(capacity).limit_denominator(10**9)
+    lcm = 1
+    for f in fracs + [cap]:
+        d = f.denominator
+        g = _gcd(lcm, d)
+        lcm = lcm // g * d
+    scaled = [int(f * lcm) for f in fracs]
+    return scaled, int(cap * lcm)
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+@dataclass(frozen=True)
+class VSCInstance:
+    """A variable-size caching instance (fault model).
+
+    Attributes
+    ----------
+    sizes:
+        ``sizes[i]`` is the integral size of item ``i``.
+    capacity:
+        Cache capacity (same units as sizes).
+    trace:
+        Sequence of item indices requested.
+    """
+
+    sizes: Tuple[int, ...]
+    capacity: int
+    trace: Tuple[int, ...]
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.sizes:
+            raise ConfigurationError("instance needs at least one item")
+        if any(s < 1 for s in self.sizes):
+            raise ConfigurationError("item sizes must be positive integers")
+        if self.capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+        if any(not 0 <= t < len(self.sizes) for t in self.trace):
+            raise ConfigurationError("trace references unknown items")
+
+    @classmethod
+    def build(
+        cls,
+        sizes: Sequence[int],
+        capacity: int,
+        trace: Sequence[int],
+        name: str = "",
+    ) -> "VSCInstance":
+        return cls(tuple(int(s) for s in sizes), int(capacity), tuple(trace), name)
+
+    def used_size(self, cached: FrozenSet[int]) -> int:
+        """Total size of a cached set."""
+        return sum(self.sizes[i] for i in cached)
+
+
+def solve_vsc_exact(
+    instance: VSCInstance, state_limit: int = 2_000_000
+) -> int:
+    """Optimal fault count by exhaustive memoized search.
+
+    At each miss the solver branches over which cached items to keep
+    (only subsets that fit together with the new item; keeping more is
+    never worse, but non-maximal keeps are also explored when they are
+    incomparable under sizes).  ``state_limit`` caps visited states to
+    fail fast on oversized instances.
+    """
+    sizes = instance.sizes
+    cap = instance.capacity
+    trace = instance.trace
+    visited = [0]
+
+    @lru_cache(maxsize=None)
+    def best(pos: int, cached: FrozenSet[int]) -> int:
+        visited[0] += 1
+        if visited[0] > state_limit:
+            raise SolverError(
+                f"solve_vsc_exact exceeded {state_limit} states; "
+                "instance too large for exact search"
+            )
+        if pos >= len(trace):
+            return 0
+        item = trace[pos]
+        if item in cached:
+            return best(pos + 1, cached)
+        if sizes[item] > cap:
+            # Can never be cached: pay and move on unchanged.
+            return 1 + best(pos + 1, cached)
+        room = cap - sizes[item]
+        others = sorted(cached)
+        best_cost = None
+        # Branch over kept subsets that fit (dedup via frozenset cache).
+        for r in range(len(others), -1, -1):
+            for keep in combinations(others, r):
+                if instance.used_size(frozenset(keep)) <= room:
+                    cost = 1 + best(pos + 1, frozenset(keep) | {item})
+                    if best_cost is None or cost < best_cost:
+                        best_cost = cost
+        assert best_cost is not None  # r = 0 always feasible
+        return best_cost
+
+    return best(0, frozenset())

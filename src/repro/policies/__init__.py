@@ -1,0 +1,78 @@
+"""Replacement policies for the GC caching model.
+
+Importing this package registers every built-in policy with the
+registry in :mod:`repro.policies.base`; use
+:func:`~repro.policies.base.make_policy` to construct one by name.
+
+Online policies
+---------------
+========================  ====================================================
+``item-lru``              Traditional LRU item cache (§2 baseline)
+``item-fifo``/``-mru``    Further item-granularity baselines
+``item-clock``/``-lfu``   CLOCK and in-cache LFU item baselines
+``item-2q``               Scan-resistant 2Q item baseline
+``item-random``           Seeded random-replacement item cache
+``block-lru``/``-fifo``   Whole-block caches (§2 baseline)
+``iblp``                  Item-Block Layered Partitioning (§5, contribution)
+``iblp-blockfirst``       Ablation: block layer in front (§5.1 hazard)
+``iblp-adaptive``         ARC-style self-tuning split (extension, §5.3)
+``athreshold-lru``        Theorem 4's ``a``-parameter family
+``marking-lru``           Traditional deterministic marking
+``gcm``                   Granularity-Change Marking (§6, randomized)
+``gcm-markall``           §6 strawman that marks side loads
+``gcm-partial``           §6.1 middle ground: load some, not all
+========================  ====================================================
+
+Offline policies
+----------------
+``belady-item`` and ``belady-block`` are clairvoyant baselines (optimal
+in the traditional model at item/block granularity respectively; both
+suboptimal for GC caching, which is NP-complete — see
+:mod:`repro.offline` for exact solvers on small instances).
+"""
+
+from repro.policies.base import (
+    OfflinePolicy,
+    Policy,
+    make_policy,
+    policy_names,
+    register_policy,
+)
+from repro.policies.item_base import ItemPolicyBase
+from repro.policies.item_lru import ItemFIFO, ItemLRU, ItemMRU
+from repro.policies.item_other import ItemClock, ItemLFU, ItemRandom
+from repro.policies.item_twoq import ItemTwoQ
+from repro.policies.block_cache import BlockFIFO, BlockLRU
+from repro.policies.iblp import IBLP, BlockFirstIBLP
+from repro.policies.adaptive_iblp import AdaptiveIBLP
+from repro.policies.athreshold import AThresholdLRU
+from repro.policies.marking import GCM, MarkAllGCM, MarkingLRU, PartialGCM
+from repro.policies.belady import BeladyBlock, BeladyItem
+
+__all__ = [
+    "Policy",
+    "OfflinePolicy",
+    "ItemPolicyBase",
+    "register_policy",
+    "policy_names",
+    "make_policy",
+    "ItemLRU",
+    "ItemFIFO",
+    "ItemMRU",
+    "ItemClock",
+    "ItemLFU",
+    "ItemRandom",
+    "ItemTwoQ",
+    "BlockLRU",
+    "BlockFIFO",
+    "IBLP",
+    "BlockFirstIBLP",
+    "AdaptiveIBLP",
+    "AThresholdLRU",
+    "MarkingLRU",
+    "GCM",
+    "MarkAllGCM",
+    "PartialGCM",
+    "BeladyItem",
+    "BeladyBlock",
+]

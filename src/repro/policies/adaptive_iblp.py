@@ -1,0 +1,246 @@
+"""Adaptive-split IBLP: ghost-list tuning of the layer boundary.
+
+§5.3 shows IBLP's optimal split depends on the unknown comparison size
+``h``, and Figure 6 shows a fixed split degrades badly away from its
+design point.  This extension (beyond the paper, in the spirit of its
+"unknown optimal size" discussion) adapts the split online with the
+ghost-list technique of ARC [Megiddo & Modha 2003]:
+
+* a bounded **item ghost** remembers items recently evicted from the
+  item layer — a miss found there means a larger item layer would have
+  hit (temporal pressure → grow ``i``);
+* a bounded **block ghost** remembers blocks recently evicted from the
+  block layer — a miss whose block is found there means a larger block
+  layer would have hit (spatial pressure → shrink ``i``).
+
+The boundary moves by ``B`` items per spatial signal and 1 per temporal
+signal (one block trades against B items), clamped to ``[0, k]``;
+layers shed entries lazily when the boundary moves.  On stationary
+workloads the split converges toward the better regime, and on phase
+changes it re-adapts — see ``tests/test_adaptive_iblp.py`` and the
+ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from repro.core.mapping import BlockMapping
+from repro.errors import ConfigurationError
+from repro.policies.base import Policy, register_policy
+from repro.structs.linked_lru import LinkedLRU
+from repro.types import AccessOutcome, BlockId, ItemId
+
+__all__ = ["AdaptiveIBLP"]
+
+
+@register_policy
+class AdaptiveIBLP(Policy):
+    """IBLP with an ARC-style self-tuning layer boundary."""
+
+    name = "iblp-adaptive"
+
+    def __init__(
+        self,
+        capacity: int,
+        mapping: BlockMapping,
+        initial_item_fraction: float = 0.5,
+        ghost_factor: float = 1.0,
+    ) -> None:
+        super().__init__(capacity, mapping)
+        if not 0.0 <= initial_item_fraction <= 1.0:
+            raise ConfigurationError(
+                f"initial_item_fraction must be in [0, 1], got "
+                f"{initial_item_fraction}"
+            )
+        if ghost_factor <= 0:
+            raise ConfigurationError(
+                f"ghost_factor must be positive, got {ghost_factor}"
+            )
+        self.initial_item_fraction = initial_item_fraction
+        self.ghost_factor = ghost_factor
+        #: the adaptive target for the item layer size (float; floored
+        #: when enforcing)
+        self._target_i = capacity * initial_item_fraction
+        self._items = LinkedLRU()  # item layer: item -> None
+        self._blocks = LinkedLRU()  # block layer: block -> tuple(items)
+        self._block_occupancy = 0
+        self._refcount: dict[ItemId, int] = {}
+        self._ghost_items = LinkedLRU()  # item -> None
+        self._ghost_blocks = LinkedLRU()  # block -> None
+        self._ghost_item_cap = max(1, int(capacity * ghost_factor))
+        self._ghost_block_cap = max(
+            1, int(capacity * ghost_factor) // mapping.max_block_size
+        )
+
+    def reset(self) -> None:
+        self.__init__(
+            self.capacity,
+            self.mapping,
+            initial_item_fraction=self.initial_item_fraction,
+            ghost_factor=self.ghost_factor,
+        )
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def item_layer_target(self) -> int:
+        """Current adaptive item-layer size (floored)."""
+        return int(self._target_i)
+
+    def item_layer_contents(self) -> FrozenSet[ItemId]:
+        return frozenset(self._items)
+
+    def block_layer_blocks(self) -> FrozenSet[BlockId]:
+        return frozenset(self._blocks)
+
+    # -- union bookkeeping -------------------------------------------------
+    def _acquire(self, item: ItemId, loaded: Set[ItemId]) -> None:
+        n = self._refcount.get(item, 0)
+        self._refcount[item] = n + 1
+        if n == 0:
+            loaded.add(item)
+
+    def _release(self, item: ItemId, evicted: Set[ItemId]) -> None:
+        n = self._refcount[item] - 1
+        if n:
+            self._refcount[item] = n
+        else:
+            del self._refcount[item]
+            evicted.add(item)
+
+    # -- ghost upkeep ------------------------------------------------------
+    def _remember_item(self, item: ItemId) -> None:
+        if item in self._ghost_items:
+            self._ghost_items.touch(item)
+        else:
+            self._ghost_items.insert_mru(item)
+            if len(self._ghost_items) > self._ghost_item_cap:
+                self._ghost_items.pop_lru()
+
+    def _remember_block(self, block: BlockId) -> None:
+        if block in self._ghost_blocks:
+            self._ghost_blocks.touch(block)
+        else:
+            self._ghost_blocks.insert_mru(block)
+            if len(self._ghost_blocks) > self._ghost_block_cap:
+                self._ghost_blocks.pop_lru()
+
+    # -- boundary enforcement ---------------------------------------------
+    def _shrink_layers(self, loaded: Set[ItemId], evicted: Set[ItemId]) -> None:
+        i_cap = int(self._target_i)
+        b_cap = self.capacity - i_cap
+        while len(self._items) > i_cap:
+            victim, _ = self._items.pop_lru()
+            self._remember_item(victim)
+            self._release(victim, evicted)
+        while self._block_occupancy > b_cap and self._blocks:
+            blk, members = self._blocks.pop_lru()
+            self._block_occupancy -= len(members)
+            self._remember_block(blk)
+            for it in members:
+                self._release(it, evicted)
+
+    # -- Policy API ---------------------------------------------------------
+    def access(self, item: ItemId) -> AccessOutcome:
+        self._assert_known(item)
+        if item in self._items:
+            self._items.touch(item)
+            return AccessOutcome(item=item, hit=True)
+        block = self.mapping.block_of(item)
+        loaded: Set[ItemId] = set()
+        evicted: Set[ItemId] = set()
+        if block in self._blocks and item in self._refcount:
+            self._blocks.touch(block)
+            self._promote(item, loaded, evicted)
+            loaded.discard(item)
+            churn = loaded & evicted
+            return AccessOutcome(
+                item=item,
+                hit=True,
+                loaded=frozenset(),
+                evicted=frozenset(evicted - churn),
+            )
+        # Miss: consult the ghosts to move the boundary first.
+        if item in self._ghost_items:
+            self._ghost_items.remove(item)
+            self._target_i = min(
+                float(self.capacity), self._target_i + 1.0
+            )
+        elif block in self._ghost_blocks:
+            self._ghost_blocks.remove(block)
+            self._target_i = max(
+                0.0, self._target_i - float(self.mapping.max_block_size)
+            )
+        self._shrink_layers(loaded, evicted)
+        self._promote(item, loaded, evicted)
+        self._insert_block(block, item, loaded, evicted)
+        churn = loaded & evicted
+        return AccessOutcome(
+            item=item,
+            hit=False,
+            loaded=frozenset(loaded - churn),
+            evicted=frozenset(evicted - churn),
+        )
+
+    def _promote(
+        self, item: ItemId, loaded: Set[ItemId], evicted: Set[ItemId]
+    ) -> None:
+        i_cap = int(self._target_i)
+        if i_cap == 0:
+            return
+        if item in self._items:
+            self._items.touch(item)
+            return
+        while len(self._items) >= i_cap and self._items:
+            victim, _ = self._items.pop_lru()
+            self._remember_item(victim)
+            self._release(victim, evicted)
+        self._items.insert_mru(item)
+        self._acquire(item, loaded)
+
+    def _insert_block(
+        self, block: BlockId, item: ItemId, loaded: Set[ItemId], evicted: Set[ItemId]
+    ) -> None:
+        b_cap = self.capacity - int(self._target_i)
+        if b_cap == 0:
+            # No block layer: ensure the item itself is resident.
+            if item not in self._refcount:
+                self._promote_forced(item, loaded, evicted)
+            return
+        if block in self._blocks:
+            stale = self._blocks.remove(block)
+            self._block_occupancy -= len(stale)
+            for it in stale:
+                self._release(it, evicted)
+        members = self.mapping.items_in(block)
+        load = members
+        if len(members) > b_cap:
+            keep = [item] + [it for it in members if it != item]
+            load = tuple(keep[:b_cap])
+        while self._block_occupancy + len(load) > b_cap and self._blocks:
+            victim, victims = self._blocks.pop_lru()
+            self._block_occupancy -= len(victims)
+            self._remember_block(victim)
+            for it in victims:
+                self._release(it, evicted)
+        self._blocks.insert_mru(block, load)
+        self._block_occupancy += len(load)
+        for it in load:
+            self._acquire(it, loaded)
+
+    def _promote_forced(
+        self, item: ItemId, loaded: Set[ItemId], evicted: Set[ItemId]
+    ) -> None:
+        """Guarantee residency of a missed item when b = 0 and i full."""
+        if len(self._items) >= max(1, int(self._target_i)):
+            victim, _ = self._items.pop_lru()
+            self._remember_item(victim)
+            self._release(victim, evicted)
+        self._items.insert_mru(item)
+        self._acquire(item, loaded)
+
+    def contains(self, item: ItemId) -> bool:
+        return item in self._refcount
+
+    def resident_items(self) -> FrozenSet[ItemId]:
+        return frozenset(self._refcount)

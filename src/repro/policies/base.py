@@ -1,0 +1,142 @@
+"""Policy interface and registry.
+
+A *policy* owns the cache content decisions: on each access it reports
+hit/miss and, on a miss, decides which subset of the block to load
+(Definition 1 allows any subset containing the requested item) and
+which resident items to evict.  The engine (:mod:`repro.core.engine`)
+re-validates every decision, so policies here concentrate on strategy,
+not bookkeeping safety.
+
+Policies register themselves under a short name via
+:func:`register_policy`, which lets the CLI, sweep harness, and benches
+construct them from strings.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, FrozenSet, Iterable, Type
+
+from repro.core.mapping import BlockMapping
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError
+from repro.types import AccessOutcome, ItemId
+
+__all__ = [
+    "Policy",
+    "OfflinePolicy",
+    "register_policy",
+    "policy_names",
+    "make_policy",
+]
+
+
+class Policy(abc.ABC):
+    """Base class for online replacement policies in the GC model.
+
+    Parameters
+    ----------
+    capacity:
+        Cache size ``k`` in items.
+    mapping:
+        The item→block partition the cache operates against.
+    """
+
+    #: Short registry name, set by subclasses.
+    name: str = "abstract"
+    #: Whether the policy needs the full trace in advance.
+    is_offline: bool = False
+
+    def __init__(self, capacity: int, mapping: BlockMapping) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.mapping = mapping
+
+    # -- required API ----------------------------------------------------------
+    @abc.abstractmethod
+    def access(self, item: ItemId) -> AccessOutcome:
+        """Serve one request and return the resulting action."""
+
+    @abc.abstractmethod
+    def contains(self, item: ItemId) -> bool:
+        """Whether ``item`` is currently resident.
+
+        Adversaries (§4) interrogate this to construct worst-case
+        traces; it must agree with the engine's shadow state at all
+        times.
+        """
+
+    @abc.abstractmethod
+    def resident_items(self) -> FrozenSet[ItemId]:
+        """A snapshot of all resident items."""
+
+    # -- optional hooks ----------------------------------------------------------
+    def prepare(self, trace: Trace) -> None:
+        """Receive the full trace before simulation (offline policies)."""
+
+    def reset(self) -> None:
+        """Restore the empty-cache initial state.
+
+        The default re-runs ``__init__`` with the stored configuration;
+        subclasses with extra constructor arguments must override.
+        """
+        self.__init__(self.capacity, self.mapping)  # type: ignore[misc]
+
+    # -- helpers ----------------------------------------------------------------
+    def _assert_known(self, item: ItemId) -> None:
+        self.mapping.validate_item(item)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(k={self.capacity})"
+
+
+class OfflinePolicy(Policy):
+    """Base for clairvoyant policies; ``prepare`` must be called first."""
+
+    is_offline = True
+
+    def __init__(self, capacity: int, mapping: BlockMapping) -> None:
+        super().__init__(capacity, mapping)
+        self._prepared = False
+
+    def prepare(self, trace: Trace) -> None:
+        self._prepared = True
+
+    def _require_prepared(self) -> None:
+        if not self._prepared:
+            raise ConfigurationError(
+                f"{type(self).__name__} is offline: call prepare(trace) "
+                "before access()"
+            )
+
+
+_REGISTRY: Dict[str, Type[Policy]] = {}
+
+
+def register_policy(cls: Type[Policy]) -> Type[Policy]:
+    """Class decorator: register ``cls`` under ``cls.name``."""
+    if not getattr(cls, "name", None) or cls.name == "abstract":
+        raise ConfigurationError(f"{cls.__name__} must define a registry name")
+    if cls.name in _REGISTRY:
+        raise ConfigurationError(f"duplicate policy name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def policy_names() -> Iterable[str]:
+    """All registered policy names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def make_policy(
+    name: str, capacity: int, mapping: BlockMapping, **kwargs
+) -> Policy:
+    """Instantiate a registered policy by name."""
+    try:
+        cls: Callable[..., Policy] = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; known: {', '.join(policy_names())}"
+        ) from None
+    return cls(capacity, mapping, **kwargs)

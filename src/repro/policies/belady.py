@@ -1,0 +1,207 @@
+"""Clairvoyant reference policies: Belady at item and block granularity.
+
+:class:`BeladyItem` is Belady/MIN [Belady 1966, Mattson et al. 1970]:
+evict the resident item whose next use is furthest in the future.  It
+is *optimal for traditional caching* (B = 1) but generally suboptimal
+in the GC model — it never exploits free subset loads, which is exactly
+the gap Theorem 2's adversary magnifies.
+
+:class:`BeladyBlock` runs Belady over the block-granularity projection
+of the trace: it loads/evicts whole blocks and evicts the block whose
+next use (any item) is furthest away.  Misses of an optimal GC cache
+are lower-bounded by this policy's misses at the same *item* capacity
+(see :mod:`repro.offline.lower_bounds`), because any cache of ``k``
+items covers at most ``k`` blocks and serving a block-level cold block
+always costs a load.
+
+Both implement the incremental :class:`Policy` interface — ``prepare``
+precomputes next-use chains, and ``access`` replays them in O(log k)
+per access with a lazy max-heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, FrozenSet, List, Set
+
+import numpy as np
+
+from repro.core.mapping import BlockMapping
+from repro.core.trace import Trace
+from repro.errors import ProtocolViolation
+from repro.policies.base import OfflinePolicy, register_policy
+from repro.types import AccessOutcome, ItemId
+
+__all__ = ["BeladyItem", "BeladyBlock", "next_use_array"]
+
+_INF = np.iinfo(np.int64).max
+
+
+def next_use_array(ids: np.ndarray) -> np.ndarray:
+    """For each position, the index of the next occurrence of the same id.
+
+    Positions with no later occurrence get ``np.iinfo(int64).max``.
+    One backward O(T) pass.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    out = np.full(ids.shape, _INF, dtype=np.int64)
+    last_seen: Dict[int, int] = {}
+    for pos in range(ids.size - 1, -1, -1):
+        nxt = last_seen.get(int(ids[pos]))
+        if nxt is not None:
+            out[pos] = nxt
+        last_seen[int(ids[pos])] = pos
+    return out
+
+
+class _BeladyCore:
+    """Furthest-in-future eviction over a stream of (key, next_use)."""
+
+    def __init__(self) -> None:
+        self.next_use: Dict[int, int] = {}
+        self._heap: List[tuple] = []  # (-next_use, key) with lazy deletion
+
+    def __contains__(self, key: int) -> bool:
+        return key in self.next_use
+
+    def __len__(self) -> int:
+        return len(self.next_use)
+
+    def update(self, key: int, next_use: int) -> None:
+        self.next_use[key] = next_use
+        heapq.heappush(self._heap, (-next_use, key))
+
+    def remove(self, key: int) -> None:
+        del self.next_use[key]  # heap entry becomes stale; skipped later
+
+    def evict_furthest(self) -> int:
+        while self._heap:
+            neg, key = heapq.heappop(self._heap)
+            if self.next_use.get(key) == -neg:
+                del self.next_use[key]
+                return key
+        raise ProtocolViolation("Belady eviction from empty cache")
+
+
+@register_policy
+class BeladyItem(OfflinePolicy):
+    """Belady/MIN at item granularity (loads only the requested item)."""
+
+    name = "belady-item"
+
+    def __init__(self, capacity: int, mapping: BlockMapping) -> None:
+        super().__init__(capacity, mapping)
+        self._core = _BeladyCore()
+        self._pos = 0
+        self._next: np.ndarray | None = None
+        self._trace_items: np.ndarray | None = None
+
+    def prepare(self, trace: Trace) -> None:
+        super().prepare(trace)
+        self._trace_items = trace.items
+        self._next = next_use_array(trace.items)
+        self._pos = 0
+
+    def access(self, item: ItemId) -> AccessOutcome:
+        self._require_prepared()
+        assert self._next is not None and self._trace_items is not None
+        if int(self._trace_items[self._pos]) != item:
+            raise ProtocolViolation(
+                f"offline policy replayed out of order at position {self._pos}"
+            )
+        nxt = int(self._next[self._pos])
+        self._pos += 1
+        if item in self._core:
+            self._core.update(item, nxt)
+            return AccessOutcome(item=item, hit=True)
+        evicted: Set[ItemId] = set()
+        if len(self._core) >= self.capacity:
+            evicted.add(self._core.evict_furthest())
+        self._core.update(item, nxt)
+        return AccessOutcome(
+            item=item, hit=False, loaded=frozenset((item,)), evicted=frozenset(evicted)
+        )
+
+    def contains(self, item: ItemId) -> bool:
+        return item in self._core
+
+    def resident_items(self) -> FrozenSet[ItemId]:
+        return frozenset(self._core.next_use)
+
+
+@register_policy
+class BeladyBlock(OfflinePolicy):
+    """Belady/MIN at block granularity (whole-block loads and evictions).
+
+    The block's priority is the next access to *any* of its items.
+    Capacity is still counted in items; a block occupies its full size.
+    """
+
+    name = "belady-block"
+
+    def __init__(self, capacity: int, mapping: BlockMapping) -> None:
+        super().__init__(capacity, mapping)
+        self._core = _BeladyCore()  # keys are block ids
+        self._members: Dict[int, tuple] = {}
+        self._resident: Set[ItemId] = set()
+        self._occupancy = 0
+        self._pos = 0
+        self._next_block: np.ndarray | None = None
+        self._trace_items: np.ndarray | None = None
+
+    def prepare(self, trace: Trace) -> None:
+        super().prepare(trace)
+        self._trace_items = trace.items
+        self._next_block = next_use_array(trace.block_trace())
+        self._pos = 0
+
+    def access(self, item: ItemId) -> AccessOutcome:
+        self._require_prepared()
+        assert self._next_block is not None and self._trace_items is not None
+        if int(self._trace_items[self._pos]) != item:
+            raise ProtocolViolation(
+                f"offline policy replayed out of order at position {self._pos}"
+            )
+        blk = self.mapping.block_of(item)
+        nxt = int(self._next_block[self._pos])
+        self._pos += 1
+        evicted: Set[ItemId] = set()
+        if blk in self._core:
+            if item in self._resident:
+                self._core.update(blk, nxt)
+                return AccessOutcome(item=item, hit=True)
+            # Trimmed-block residue (k < |block|): drop the partial
+            # entry and reload it around the requested item.
+            stale = self._members.pop(blk)
+            self._occupancy -= len(stale)
+            self._resident.difference_update(stale)
+            self._core.remove(blk)
+            evicted.update(stale)
+        members = self.mapping.items_in(blk)
+        load = members
+        if len(members) > self.capacity:
+            keep = [item] + [it for it in members if it != item]
+            load = tuple(keep[: self.capacity])
+        while self._occupancy + len(load) > self.capacity:
+            victim = self._core.evict_furthest()
+            victims = self._members.pop(victim)
+            self._occupancy -= len(victims)
+            self._resident.difference_update(victims)
+            evicted.update(victims)
+        self._core.update(blk, nxt)
+        self._members[blk] = load
+        self._occupancy += len(load)
+        self._resident.update(load)
+        churn = set(load) & evicted
+        return AccessOutcome(
+            item=item,
+            hit=False,
+            loaded=frozenset(set(load) - churn),
+            evicted=frozenset(evicted - churn),
+        )
+
+    def contains(self, item: ItemId) -> bool:
+        return item in self._resident
+
+    def resident_items(self) -> FrozenSet[ItemId]:
+        return frozenset(self._resident)

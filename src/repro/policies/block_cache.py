@@ -1,0 +1,99 @@
+"""Block Cache baselines: load and evict whole blocks.
+
+A *Block Cache* (paper §2) raises the cache's own granularity to the
+block level: a miss loads every item of the block, and evictions remove
+whole blocks.  Residency is therefore always a union of complete
+blocks.  Block caches excel at spatial locality but, per Theorem 3,
+suffer cache pollution on sparse traces — their competitive ratio
+``k/(k - B(h-1))`` is unbounded unless ``k > B(h-1)``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from repro.core.mapping import BlockMapping
+from repro.policies.base import Policy, register_policy
+from repro.structs.linked_lru import LinkedLRU
+from repro.types import AccessOutcome, BlockId, ItemId
+
+__all__ = ["BlockLRU", "BlockFIFO"]
+
+
+class _BlockPolicyBase(Policy):
+    """Common bookkeeping for whole-block policies."""
+
+    #: If True, hits refresh the block's recency (LRU); if False they
+    #: do not (FIFO).
+    touch_on_hit = True
+
+    def __init__(self, capacity: int, mapping: BlockMapping) -> None:
+        super().__init__(capacity, mapping)
+        self._blocks = LinkedLRU()  # block id -> tuple of items
+        self._resident: Set[ItemId] = set()
+
+    def access(self, item: ItemId) -> AccessOutcome:
+        self._assert_known(item)
+        block: BlockId = self.mapping.block_of(item)
+        evicted: Set[ItemId] = set()
+        if block in self._blocks:
+            if item in self._resident:
+                if self.touch_on_hit:
+                    self._blocks.touch(block)
+                return AccessOutcome(item=item, hit=True)
+            # Trimmed residue (k < |block|): the block entry exists but
+            # the requested item was left out — replace the stale entry.
+            stale = self._blocks.remove(block)
+            self._resident.difference_update(stale)
+            evicted.update(stale)
+        members = self.mapping.items_in(block)
+        # Keep only as much of the block as fits: when the whole block
+        # exceeds remaining capacity even after evicting everything
+        # else, trim from the tail (but always include the requested
+        # item).  This only matters for pathological k < B setups.
+        load = members
+        if len(members) > self.capacity:
+            keep = [item]
+            for it in members:
+                if it != item and len(keep) < self.capacity:
+                    keep.append(it)
+            load = tuple(sorted(keep))
+        while len(self._resident) + len(load) > self.capacity:
+            victim_block, victim_items = self._blocks.pop_lru()
+            evicted.update(victim_items)
+            self._resident.difference_update(victim_items)
+        self._blocks.insert_mru(block, load)
+        self._resident.update(load)
+        churn = set(load) & evicted
+        return AccessOutcome(
+            item=item,
+            hit=False,
+            loaded=frozenset(set(load) - churn),
+            evicted=frozenset(evicted - churn),
+        )
+
+    def contains(self, item: ItemId) -> bool:
+        return item in self._resident
+
+    def resident_items(self) -> FrozenSet[ItemId]:
+        return frozenset(self._resident)
+
+    def resident_blocks(self) -> FrozenSet[BlockId]:
+        """Blocks currently held (useful to adversaries and tests)."""
+        return frozenset(self._blocks)
+
+
+@register_policy
+class BlockLRU(_BlockPolicyBase):
+    """Whole-block cache with LRU block replacement."""
+
+    name = "block-lru"
+    touch_on_hit = True
+
+
+@register_policy
+class BlockFIFO(_BlockPolicyBase):
+    """Whole-block cache with FIFO block replacement."""
+
+    name = "block-fifo"
+    touch_on_hit = False

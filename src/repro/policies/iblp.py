@@ -1,0 +1,252 @@
+"""Item-Block Layered Partitioning (IBLP) — the paper's policy (§5).
+
+IBLP splits a cache of ``k`` items into two LRU partitions:
+
+* an **item layer** of size ``i`` that serves every access first and
+  loads only requested items (pure temporal locality), and
+* a **block layer** of size ``b = k - i`` that serves only accesses
+  missing the item layer and loads/evicts *whole blocks* (pure spatial
+  locality).
+
+The ordering is load-bearing (§5.1): because item-layer hits never
+reach the block layer, blocks holding a few hot items cannot keep
+refreshing their block-layer recency and pollute it.  The block layer
+is neither inclusive nor exclusive of the item layer; an item may
+occupy a slot in both partitions at once (the paper accepts this
+duplication to keep the policy simple).
+
+The engine views the cache as the *union* of the layers, so this
+policy reports loads/evictions as deltas of that union: evicting an
+item from one layer while the other still holds it is not a cache-level
+eviction.
+
+:class:`BlockFirstIBLP` is the ablation variant that consults the block
+layer first — exactly the reordering hazard §5.1 warns about — used by
+``benchmarks/bench_ablation.py``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Set, Tuple
+
+from repro.core.mapping import BlockMapping
+from repro.errors import ConfigurationError
+from repro.policies.base import Policy, register_policy
+from repro.structs.linked_lru import LinkedLRU
+from repro.types import AccessOutcome, BlockId, ItemId
+
+__all__ = ["IBLP", "BlockFirstIBLP"]
+
+
+class _LayeredBase(Policy):
+    """Shared two-layer machinery; subclasses fix the lookup order."""
+
+    def __init__(
+        self,
+        capacity: int,
+        mapping: BlockMapping,
+        item_layer_size: Optional[int] = None,
+    ) -> None:
+        super().__init__(capacity, mapping)
+        if item_layer_size is None:
+            # Default to the equal split analyzed in §7.3 (i = b).
+            item_layer_size = capacity // 2
+        if not 0 <= item_layer_size <= capacity:
+            raise ConfigurationError(
+                f"item layer size {item_layer_size} not in [0, {capacity}]"
+            )
+        self.item_layer_size = item_layer_size
+        self.block_layer_size = capacity - item_layer_size
+        self._items = LinkedLRU()  # item id -> None
+        self._blocks = LinkedLRU()  # block id -> tuple of resident items
+        self._block_occupancy = 0
+        #: item -> number of layers holding it (1 or 2)
+        self._refcount: dict[ItemId, int] = {}
+
+    def reset(self) -> None:
+        self.__init__(self.capacity, self.mapping, self.item_layer_size)
+
+    # -- union bookkeeping ------------------------------------------------
+    def _acquire(self, item: ItemId, loaded: Set[ItemId]) -> None:
+        n = self._refcount.get(item, 0)
+        self._refcount[item] = n + 1
+        if n == 0:
+            loaded.add(item)
+
+    def _release(self, item: ItemId, evicted: Set[ItemId]) -> None:
+        n = self._refcount[item] - 1
+        if n:
+            self._refcount[item] = n
+        else:
+            del self._refcount[item]
+            evicted.add(item)
+
+    # -- per-layer operations ------------------------------------------------
+    def _item_layer_insert(
+        self, item: ItemId, loaded: Set[ItemId], evicted: Set[ItemId]
+    ) -> None:
+        """Insert into the item layer, evicting its LRU victim if full."""
+        if self.item_layer_size == 0:
+            return
+        if item in self._items:
+            self._items.touch(item)
+            return
+        if len(self._items) >= self.item_layer_size:
+            victim, _ = self._items.pop_lru()
+            self._release(victim, evicted)
+        self._items.insert_mru(item)
+        self._acquire(item, loaded)
+
+    def _block_layer_insert(
+        self, block: BlockId, item: ItemId, loaded: Set[ItemId], evicted: Set[ItemId]
+    ) -> None:
+        """Insert ``block`` (whole) into the block layer, evicting LRU blocks."""
+        if self.block_layer_size == 0:
+            return
+        if block in self._blocks:
+            # Only reachable when a previous insertion trimmed the block
+            # (b < |block|) so the requested item was left out: replace
+            # the stale partial entry.
+            stale = self._blocks.remove(block)
+            self._block_occupancy -= len(stale)
+            for it in stale:
+                self._release(it, evicted)
+        members: Tuple[int, ...] = self.mapping.items_in(block)
+        load: Tuple[int, ...] = members
+        if len(members) > self.block_layer_size:
+            # Degenerate b < |block|: keep the requested item plus as
+            # many neighbours as fit (only reachable when k is tiny).
+            keep = [item] + [it for it in members if it != item]
+            load = tuple(keep[: self.block_layer_size])
+        while self._block_occupancy + len(load) > self.block_layer_size:
+            victim_block, victim_items = self._blocks.pop_lru()
+            self._block_occupancy -= len(victim_items)
+            for it in victim_items:
+                self._release(it, evicted)
+        self._blocks.insert_mru(block, load)
+        self._block_occupancy += len(load)
+        for it in load:
+            self._acquire(it, loaded)
+
+    # -- Policy API ---------------------------------------------------------
+    def contains(self, item: ItemId) -> bool:
+        return item in self._refcount
+
+    def resident_items(self) -> FrozenSet[ItemId]:
+        return frozenset(self._refcount)
+
+    def item_layer_contents(self) -> FrozenSet[ItemId]:
+        """Snapshot of the item layer (tests/ablation introspection)."""
+        return frozenset(self._items)
+
+    def block_layer_blocks(self) -> FrozenSet[BlockId]:
+        """Snapshot of blocks resident in the block layer."""
+        return frozenset(self._blocks)
+
+
+@register_policy
+class IBLP(_LayeredBase):
+    """Canonical IBLP: item layer in front of the block layer (§5.1)."""
+
+    name = "iblp"
+
+    def access(self, item: ItemId) -> AccessOutcome:
+        self._assert_known(item)
+        # 1. Item layer serves the access first.
+        if item in self._items:
+            self._items.touch(item)
+            return AccessOutcome(item=item, hit=True)
+        block = self.mapping.block_of(item)
+        loaded: Set[ItemId] = set()
+        evicted: Set[ItemId] = set()
+        # 2. Item-layer miss falls through to the block layer.
+        if block in self._blocks and item in self._refcount:
+            # Block-layer hit: refresh the block's recency and promote
+            # the item into the item layer (it was accessed).
+            self._blocks.touch(block)
+            self._item_layer_insert(item, loaded, evicted)
+            # A block-layer hit cannot change cache-level residency of
+            # the requested item, and item-layer insertion only evicts
+            # at the cache level if the victim has no other copy.
+            return AccessOutcome(
+                item=item, hit=True, loaded=frozenset(), evicted=frozenset()
+            ) if not (loaded or evicted) else self._hit_with_motion(item, loaded, evicted)
+        # 3. Full miss: both layers load.
+        self._item_layer_insert(item, loaded, evicted)
+        self._block_layer_insert(block, item, loaded, evicted)
+        if self.item_layer_size == 0 and self.block_layer_size == 0:
+            raise ConfigurationError("cache has zero capacity in both layers")
+        # Items both loaded and evicted within this access cancel out.
+        churn = loaded & evicted
+        return AccessOutcome(
+            item=item,
+            hit=False,
+            loaded=frozenset(loaded - churn),
+            evicted=frozenset(evicted - churn),
+        )
+
+    def _hit_with_motion(
+        self, item: ItemId, loaded: Set[ItemId], evicted: Set[ItemId]
+    ) -> AccessOutcome:
+        """A hit whose item-layer promotion changed cache-level residency.
+
+        Promoting the requested item duplicates it (it stays resident),
+        but the item-layer victim may lose its last copy, producing a
+        genuine eviction.  The promotion itself must not be reported as
+        a load: the item was already resident.
+        """
+        loaded.discard(item)
+        churn = loaded & evicted
+        if loaded - churn:
+            # The only insertion was `item`, already discarded; anything
+            # else would be a bookkeeping bug.
+            raise ConfigurationError(
+                f"unexpected load set on block-layer hit: {sorted(loaded)}"
+            )
+        return AccessOutcome(
+            item=item, hit=True, loaded=frozenset(), evicted=frozenset(evicted - churn)
+        )
+
+
+@register_policy
+class BlockFirstIBLP(_LayeredBase):
+    """Ablation: block layer consulted (and re-ordered) on every access.
+
+    This variant lets temporal hits refresh block-layer recency — the
+    pollution hazard §5.1's ordering avoids.  On traces mixing a few
+    hot items with streaming blocks it measurably underperforms
+    canonical IBLP (see ``benchmarks/bench_ablation.py``).
+    """
+
+    name = "iblp-blockfirst"
+
+    def access(self, item: ItemId) -> AccessOutcome:
+        self._assert_known(item)
+        block = self.mapping.block_of(item)
+        block_hit = block in self._blocks
+        if block_hit:
+            self._blocks.touch(block)  # the harmful reordering
+        if item in self._items:
+            self._items.touch(item)
+            return AccessOutcome(item=item, hit=True)
+        loaded: Set[ItemId] = set()
+        evicted: Set[ItemId] = set()
+        if block_hit and item in self._refcount:
+            self._item_layer_insert(item, loaded, evicted)
+            loaded.discard(item)
+            churn = loaded & evicted
+            return AccessOutcome(
+                item=item,
+                hit=True,
+                loaded=frozenset(),
+                evicted=frozenset(evicted - churn),
+            )
+        self._item_layer_insert(item, loaded, evicted)
+        self._block_layer_insert(block, item, loaded, evicted)
+        churn = loaded & evicted
+        return AccessOutcome(
+            item=item,
+            hit=False,
+            loaded=frozenset(loaded - churn),
+            evicted=frozenset(evicted - churn),
+        )

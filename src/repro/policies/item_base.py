@@ -1,0 +1,69 @@
+"""Shared machinery for item-granularity (traditional) policies.
+
+An *Item Cache* (paper §2, "Baseline policies") loads only the
+requested item on a miss and evicts single items.  All such policies
+differ only in victim selection, so :class:`ItemPolicyBase` centralizes
+the resident-set bookkeeping and outcome construction; subclasses
+implement three small hooks.
+
+Theorem 2 lower-bounds the competitive ratio of *every* policy in this
+family at ``B(k-B+1)/(k-h+1)`` — the empirical adversary benches run
+several of these to demonstrate the bound's policy independence.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from repro.core.mapping import BlockMapping
+from repro.policies.base import Policy
+from repro.types import AccessOutcome, ItemId
+
+__all__ = ["ItemPolicyBase"]
+
+
+class ItemPolicyBase(Policy):
+    """Base class: single-item loads, single-item evictions."""
+
+    def __init__(self, capacity: int, mapping: BlockMapping) -> None:
+        super().__init__(capacity, mapping)
+        self._resident: Set[ItemId] = set()
+
+    # -- hooks for subclasses ----------------------------------------------
+    def _on_hit(self, item: ItemId) -> None:
+        """Update recency/frequency metadata after a hit."""
+        raise NotImplementedError
+
+    def _on_load(self, item: ItemId) -> None:
+        """Record a newly loaded item."""
+        raise NotImplementedError
+
+    def _choose_victim(self) -> ItemId:
+        """Pick and *remove from internal metadata* the eviction victim."""
+        raise NotImplementedError
+
+    # -- Policy API ---------------------------------------------------------
+    def access(self, item: ItemId) -> AccessOutcome:
+        self._assert_known(item)
+        if item in self._resident:
+            self._on_hit(item)
+            return AccessOutcome(item=item, hit=True)
+        evicted: Set[ItemId] = set()
+        if len(self._resident) >= self.capacity:
+            victim = self._choose_victim()
+            self._resident.discard(victim)
+            evicted.add(victim)
+        self._resident.add(item)
+        self._on_load(item)
+        return AccessOutcome(
+            item=item,
+            hit=False,
+            loaded=frozenset((item,)),
+            evicted=frozenset(evicted),
+        )
+
+    def contains(self, item: ItemId) -> bool:
+        return item in self._resident
+
+    def resident_items(self) -> FrozenSet[ItemId]:
+        return frozenset(self._resident)

@@ -1,0 +1,85 @@
+"""Item Cache baselines with recency-based eviction: LRU, MRU, FIFO.
+
+``item-lru`` is the canonical traditional cache the paper compares
+against: Sleator–Tarjan show it is ``k/(k-h+1)``-competitive in the
+traditional model, while Theorem 2 shows that in the GC model every
+item cache — LRU included — loses an extra ≈B factor.
+"""
+
+from __future__ import annotations
+
+from repro.core.mapping import BlockMapping
+from repro.policies.base import register_policy
+from repro.policies.item_base import ItemPolicyBase
+from repro.structs.linked_lru import LinkedLRU
+from repro.types import ItemId
+
+__all__ = ["ItemLRU", "ItemMRU", "ItemFIFO"]
+
+
+@register_policy
+class ItemLRU(ItemPolicyBase):
+    """Least-Recently-Used item cache (the traditional baseline)."""
+
+    name = "item-lru"
+
+    def __init__(self, capacity: int, mapping: BlockMapping) -> None:
+        super().__init__(capacity, mapping)
+        self._order = LinkedLRU()
+
+    def _on_hit(self, item: ItemId) -> None:
+        self._order.touch(item)
+
+    def _on_load(self, item: ItemId) -> None:
+        self._order.insert_mru(item)
+
+    def _choose_victim(self) -> ItemId:
+        key, _ = self._order.pop_lru()
+        return key
+
+
+@register_policy
+class ItemMRU(ItemPolicyBase):
+    """Most-Recently-Used eviction — strong on cyclic scans.
+
+    Included as a deliberately contrarian item policy for the
+    adversary benches (Theorem 2 applies to it as well).
+    """
+
+    name = "item-mru"
+
+    def __init__(self, capacity: int, mapping: BlockMapping) -> None:
+        super().__init__(capacity, mapping)
+        self._order = LinkedLRU()
+
+    def _on_hit(self, item: ItemId) -> None:
+        self._order.touch(item)
+
+    def _on_load(self, item: ItemId) -> None:
+        self._order.insert_mru(item)
+
+    def _choose_victim(self) -> ItemId:
+        key, _ = self._order.pop_mru()
+        return key
+
+
+@register_policy
+class ItemFIFO(ItemPolicyBase):
+    """First-In-First-Out item cache (no recency update on hits)."""
+
+    name = "item-fifo"
+
+    def __init__(self, capacity: int, mapping: BlockMapping) -> None:
+        super().__init__(capacity, mapping)
+        self._order = LinkedLRU()
+
+    def _on_hit(self, item: ItemId) -> None:
+        # FIFO ignores hits: insertion order alone decides eviction.
+        pass
+
+    def _on_load(self, item: ItemId) -> None:
+        self._order.insert_mru(item)
+
+    def _choose_victim(self) -> ItemId:
+        key, _ = self._order.pop_lru()
+        return key

@@ -1,0 +1,110 @@
+"""Further Item Cache baselines: CLOCK, LFU, and seeded Random.
+
+These round out the deterministic item-policy family used by the
+Theorem 2 adversary benches.  ``item-random`` draws victims from a
+seeded :class:`numpy.random.Generator`; with a fixed seed it is a
+deterministic function of the request sequence, so the deterministic
+lower-bound machinery applies to any fixed seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mapping import BlockMapping
+from repro.policies.base import register_policy
+from repro.policies.item_base import ItemPolicyBase
+from repro.structs.clock_hand import ClockHand
+from repro.types import ItemId
+
+__all__ = ["ItemClock", "ItemLFU", "ItemRandom"]
+
+
+@register_policy
+class ItemClock(ItemPolicyBase):
+    """CLOCK (second-chance) item cache — a practical LRU approximation."""
+
+    name = "item-clock"
+
+    def __init__(self, capacity: int, mapping: BlockMapping) -> None:
+        super().__init__(capacity, mapping)
+        self._clock = ClockHand()
+
+    def _on_hit(self, item: ItemId) -> None:
+        self._clock.reference(item)
+
+    def _on_load(self, item: ItemId) -> None:
+        self._clock.insert(item)
+
+    def _choose_victim(self) -> ItemId:
+        return self._clock.evict()
+
+
+@register_policy
+class ItemLFU(ItemPolicyBase):
+    """Least-Frequently-Used item cache with LRU tie-breaking.
+
+    Frequencies persist only while resident (in-cache LFU).
+    """
+
+    name = "item-lfu"
+
+    def __init__(self, capacity: int, mapping: BlockMapping) -> None:
+        super().__init__(capacity, mapping)
+        self._freq: dict[ItemId, int] = {}
+        self._tick = 0
+        self._last_use: dict[ItemId, int] = {}
+
+    def _on_hit(self, item: ItemId) -> None:
+        self._tick += 1
+        self._freq[item] += 1
+        self._last_use[item] = self._tick
+
+    def _on_load(self, item: ItemId) -> None:
+        self._tick += 1
+        self._freq[item] = 1
+        self._last_use[item] = self._tick
+
+    def _choose_victim(self) -> ItemId:
+        victim = min(
+            self._freq, key=lambda it: (self._freq[it], self._last_use[it])
+        )
+        del self._freq[victim]
+        del self._last_use[victim]
+        return victim
+
+
+@register_policy
+class ItemRandom(ItemPolicyBase):
+    """Random-replacement item cache with a reproducible seed."""
+
+    name = "item-random"
+
+    def __init__(
+        self, capacity: int, mapping: BlockMapping, seed: int = 0
+    ) -> None:
+        super().__init__(capacity, mapping)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._slots: list[ItemId] = []
+        self._pos: dict[ItemId, int] = {}
+
+    def reset(self) -> None:
+        self.__init__(self.capacity, self.mapping, seed=self.seed)
+
+    def _on_hit(self, item: ItemId) -> None:
+        pass
+
+    def _on_load(self, item: ItemId) -> None:
+        self._pos[item] = len(self._slots)
+        self._slots.append(item)
+
+    def _choose_victim(self) -> ItemId:
+        idx = int(self._rng.integers(len(self._slots)))
+        victim = self._slots[idx]
+        last = self._slots.pop()
+        if last is not victim:
+            self._slots[idx] = last
+            self._pos[last] = idx
+        del self._pos[victim]
+        return victim

@@ -1,0 +1,113 @@
+"""2Q item cache [Johnson & Shasha 1994] — a scan-resistant baseline.
+
+A further member of the Item Cache family (every such policy falls
+under Theorem 2's lower bound): newly-admitted items go to a FIFO
+probation queue ``A1in``; only items re-referenced after leaving
+probation (tracked by the ghost queue ``A1out``) are promoted into the
+protected LRU queue ``Am``.  One-touch scans therefore wash through
+probation without displacing the protected working set.
+
+Sizing follows the paper's recommendations: ``A1in`` gets 25 % of
+capacity, ``A1out`` remembers 50 % of capacity worth of ghosts.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from repro.core.mapping import BlockMapping
+from repro.policies.base import Policy, register_policy
+from repro.structs.linked_lru import LinkedLRU
+from repro.types import AccessOutcome, ItemId
+
+__all__ = ["ItemTwoQ"]
+
+
+@register_policy
+class ItemTwoQ(Policy):
+    """2Q replacement at item granularity."""
+
+    name = "item-2q"
+
+    def __init__(
+        self,
+        capacity: int,
+        mapping: BlockMapping,
+        probation_fraction: float = 0.25,
+        ghost_fraction: float = 0.5,
+    ) -> None:
+        super().__init__(capacity, mapping)
+        self.probation_fraction = probation_fraction
+        self.ghost_fraction = ghost_fraction
+        self._a1in_cap = max(1, int(capacity * probation_fraction))
+        self._ghost_cap = max(1, int(capacity * ghost_fraction))
+        self._a1in = LinkedLRU()  # FIFO probation (insertion order)
+        self._am = LinkedLRU()  # protected LRU
+        self._ghosts = LinkedLRU()  # A1out: ids only, hold no data
+        self._resident: Set[ItemId] = set()
+
+    def reset(self) -> None:
+        self.__init__(
+            self.capacity,
+            self.mapping,
+            probation_fraction=self.probation_fraction,
+            ghost_fraction=self.ghost_fraction,
+        )
+
+    def _evict_one(self) -> ItemId:
+        # Prefer draining probation past its cap, else protected LRU,
+        # else probation anyway (protected may be empty).
+        if len(self._a1in) > self._a1in_cap or not self._am:
+            victim, _ = self._a1in.pop_lru()
+            self._remember_ghost(victim)
+        else:
+            victim, _ = self._am.pop_lru()
+        self._resident.discard(victim)
+        return victim
+
+    def _remember_ghost(self, item: ItemId) -> None:
+        if item in self._ghosts:
+            self._ghosts.touch(item)
+        else:
+            self._ghosts.insert_mru(item)
+            if len(self._ghosts) > self._ghost_cap:
+                self._ghosts.pop_lru()
+
+    def access(self, item: ItemId) -> AccessOutcome:
+        self._assert_known(item)
+        if item in self._resident:
+            if item in self._am:
+                self._am.touch(item)
+            elif item in self._a1in:
+                # 2Q leaves probation order untouched on hits (FIFO).
+                pass
+            return AccessOutcome(item=item, hit=True)
+        evicted: Set[ItemId] = set()
+        if len(self._resident) >= self.capacity:
+            evicted.add(self._evict_one())
+        if item in self._ghosts:
+            # Recently evicted from probation: promote straight to Am.
+            self._ghosts.remove(item)
+            self._am.insert_mru(item)
+        else:
+            self._a1in.insert_mru(item)
+        self._resident.add(item)
+        return AccessOutcome(
+            item=item,
+            hit=False,
+            loaded=frozenset((item,)),
+            evicted=frozenset(evicted),
+        )
+
+    def contains(self, item: ItemId) -> bool:
+        return item in self._resident
+
+    def resident_items(self) -> FrozenSet[ItemId]:
+        return frozenset(self._resident)
+
+    # -- introspection (tests) -------------------------------------------
+    def probation_items(self) -> FrozenSet[ItemId]:
+        return frozenset(self._a1in)
+
+    def protected_items(self) -> FrozenSet[ItemId]:
+        return frozenset(self._am)

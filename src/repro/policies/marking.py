@@ -1,0 +1,230 @@
+"""Marking algorithms: the traditional baseline and GC-aware GCM (§6).
+
+Marking algorithms proceed in phases: items are *marked* when
+requested; eviction victims must be unmarked; when every resident item
+is marked, all marks are cleared and a new phase begins.
+
+* :class:`MarkingLRU` — a deterministic traditional marking algorithm
+  (victim = least-recently-used unmarked item) that loads only the
+  requested item.  §6 notes such block-oblivious marking has
+  competitive ratio ≥ B in the GC model.
+* :class:`GCM` — Granularity-Change Marking, the paper's randomized
+  policy: on a miss it loads and *marks* the requested item, and loads
+  the remaining items of the block **unmarked**, replacing randomly
+  chosen unmarked residents.  Spatially-local items thus enter the
+  cache without displacing temporally-hot (marked) ones.
+* :class:`MarkAllGCM` — the §6 strawman that marks everything it
+  loads; like a Block Cache it loses effective capacity to pollution
+  (ablation bench).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Set
+
+import numpy as np
+
+from repro.core.mapping import BlockMapping
+from repro.policies.base import Policy, register_policy
+from repro.structs.linked_lru import LinkedLRU
+from repro.types import AccessOutcome, ItemId
+
+__all__ = ["MarkingLRU", "GCM", "MarkAllGCM"]
+
+
+@register_policy
+class MarkingLRU(Policy):
+    """Deterministic traditional marking (LRU victim among unmarked)."""
+
+    name = "marking-lru"
+
+    def __init__(self, capacity: int, mapping: BlockMapping) -> None:
+        super().__init__(capacity, mapping)
+        self._order = LinkedLRU()
+        self._resident: Set[ItemId] = set()
+        self._marked: Set[ItemId] = set()
+
+    def _new_phase_if_needed(self) -> None:
+        if len(self._marked) >= len(self._resident) and self._resident:
+            self._marked.clear()
+
+    def access(self, item: ItemId) -> AccessOutcome:
+        self._assert_known(item)
+        if item in self._resident:
+            self._order.touch(item)
+            self._marked.add(item)
+            return AccessOutcome(item=item, hit=True)
+        evicted: Set[ItemId] = set()
+        if len(self._resident) >= self.capacity:
+            self._new_phase_if_needed()
+            victim = next(
+                k for k in self._order.keys_lru_to_mru() if k not in self._marked
+            )
+            self._order.remove(victim)
+            self._resident.discard(victim)
+            evicted.add(victim)
+        self._resident.add(item)
+        self._order.insert_mru(item)
+        self._marked.add(item)
+        return AccessOutcome(
+            item=item, hit=False, loaded=frozenset((item,)), evicted=frozenset(evicted)
+        )
+
+    def contains(self, item: ItemId) -> bool:
+        return item in self._resident
+
+    def resident_items(self) -> FrozenSet[ItemId]:
+        return frozenset(self._resident)
+
+    def marked_items(self) -> FrozenSet[ItemId]:
+        """Currently marked residents (introspection for tests)."""
+        return frozenset(self._marked)
+
+
+class _GCMBase(Policy):
+    """Shared machinery for the GC marking variants."""
+
+    #: Whether side-loaded block neighbours are marked on load.
+    mark_side_loads = False
+    #: Maximum items loaded per miss (requested item included); ``None``
+    #: means the whole block.  §6.1 notes "there may be value in a
+    #: policy that loads some but not all of the items" — the
+    #: :class:`PartialGCM` subclass exposes that dial.
+    max_load: int | None = None
+
+    def __init__(
+        self, capacity: int, mapping: BlockMapping, seed: int = 0
+    ) -> None:
+        super().__init__(capacity, mapping)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._resident: Set[ItemId] = set()
+        self._marked: Set[ItemId] = set()
+
+    def reset(self) -> None:
+        self.__init__(self.capacity, self.mapping, seed=self.seed)
+
+    # -- helpers -----------------------------------------------------------
+    def _pick_unmarked_victim(self, protect: Set[ItemId]) -> ItemId:
+        """Random unmarked resident outside ``protect``; new phase if none."""
+        candidates = sorted(self._resident - self._marked - protect)
+        if not candidates:
+            # All (unprotected) items marked: phase ends, clear marks.
+            self._marked.clear()
+            candidates = sorted(self._resident - protect)
+        idx = int(self._rng.integers(len(candidates)))
+        return candidates[idx]
+
+    def access(self, item: ItemId) -> AccessOutcome:
+        self._assert_known(item)
+        if item in self._resident:
+            self._marked.add(item)
+            return AccessOutcome(item=item, hit=True)
+        loaded: Set[ItemId] = set()
+        evicted: Set[ItemId] = set()
+        # 1. Load and mark the requested item.
+        if len(self._resident) >= self.capacity:
+            victim = self._pick_unmarked_victim(protect=loaded)
+            self._resident.discard(victim)
+            evicted.add(victim)
+        self._resident.add(item)
+        self._marked.add(item)
+        loaded.add(item)
+        # 2. Bring in the rest of the block, replacing unmarked items.
+        blk = self.mapping.block_of(item)
+        neighbours: List[ItemId] = [
+            it for it in self.mapping.items_in(blk) if it not in self._resident
+        ]
+        if neighbours:
+            self._rng.shuffle(neighbours)
+        if self.max_load is not None:
+            neighbours = neighbours[: max(0, self.max_load - 1)]
+        for nb in neighbours:
+            if len(self._resident) >= self.capacity:
+                # Replace only unmarked items that were already cached
+                # before this access; never churn this access's loads,
+                # and never displace marked (temporally hot) items.
+                candidates = sorted(self._resident - self._marked - loaded)
+                if not candidates:
+                    break
+                victim = candidates[int(self._rng.integers(len(candidates)))]
+                self._resident.discard(victim)
+                if victim in loaded:  # pragma: no cover - excluded above
+                    loaded.discard(victim)
+                else:
+                    evicted.add(victim)
+            self._resident.add(nb)
+            loaded.add(nb)
+            if self.mark_side_loads:
+                self._marked.add(nb)
+        self._marked &= self._resident
+        churn = loaded & evicted
+        return AccessOutcome(
+            item=item,
+            hit=False,
+            loaded=frozenset(loaded - churn),
+            evicted=frozenset(evicted - churn),
+        )
+
+    def contains(self, item: ItemId) -> bool:
+        return item in self._resident
+
+    def resident_items(self) -> FrozenSet[ItemId]:
+        return frozenset(self._resident)
+
+    def marked_items(self) -> FrozenSet[ItemId]:
+        """Currently marked residents (introspection for tests)."""
+        return frozenset(self._marked)
+
+
+@register_policy
+class GCM(_GCMBase):
+    """Granularity-Change Marking (§6.1): side loads stay unmarked."""
+
+    name = "gcm"
+    mark_side_loads = False
+
+
+@register_policy
+class MarkAllGCM(_GCMBase):
+    """Strawman variant that marks every loaded item (pollutes phases)."""
+
+    name = "gcm-markall"
+    mark_side_loads = True
+
+
+@register_policy
+class PartialGCM(_GCMBase):
+    """GCM loading at most ``load_count`` items per miss (§6.1's open
+    middle ground between marking and full GCM).
+
+    ``load_count = 1`` degenerates to block-oblivious marking with a
+    randomized victim; ``load_count = B`` is exactly :class:`GCM`.
+    The ablation bench sweeps the dial on workloads with partial
+    spatial locality, where an intermediate value can win — the
+    randomized analogue of the §4.4 discussion.
+    """
+
+    name = "gcm-partial"
+    mark_side_loads = False
+
+    def __init__(
+        self,
+        capacity: int,
+        mapping: BlockMapping,
+        load_count: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if load_count < 1:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"load_count must be >= 1, got {load_count}"
+            )
+        super().__init__(capacity, mapping, seed=seed)
+        self.max_load = load_count
+
+    def reset(self) -> None:
+        self.__init__(
+            self.capacity, self.mapping, load_count=self.max_load, seed=self.seed
+        )

@@ -1,0 +1,106 @@
+"""Circular CLOCK structure (second-chance list) for the CLOCK policy.
+
+CLOCK approximates LRU with a single rotating hand and one reference
+bit per entry.  It is included as an additional Item Cache baseline:
+the paper's Item Cache lower bound (Theorem 2) applies to *any*
+deterministic item-granularity policy, so having several distinct item
+policies lets the empirical adversary benches demonstrate the bound's
+policy-independence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["ClockHand"]
+
+
+class _Entry:
+    __slots__ = ("key", "referenced")
+
+    def __init__(self, key: Any) -> None:
+        self.key = key
+        self.referenced = False
+
+
+class ClockHand:
+    """A circular buffer of keys with reference bits and a clock hand."""
+
+    def __init__(self) -> None:
+        self._entries: List[_Entry] = []
+        self._index: Dict[Any, int] = {}
+        self._hand = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._index
+
+    def insert(self, key: Any) -> None:
+        """Add ``key`` with its reference bit set (it was just used)."""
+        if key in self._index:
+            raise KeyError(f"duplicate key {key!r}")
+        entry = _Entry(key)
+        entry.referenced = True
+        # Insert just behind the hand so the new entry is inspected
+        # last in the current sweep, mirroring textbook CLOCK.
+        self._entries.insert(self._hand, entry)
+        if self._hand < len(self._entries) - 1:
+            self._hand += 1
+        self._reindex(from_pos=0)
+
+    def reference(self, key: Any) -> None:
+        """Set the reference bit of ``key`` (called on a hit)."""
+        self._entries[self._index[key]].referenced = True
+
+    def evict(self) -> Any:
+        """Run the clock sweep; remove and return the victim key."""
+        if not self._entries:
+            raise KeyError("evict from empty ClockHand")
+        while True:
+            if self._hand >= len(self._entries):
+                self._hand = 0
+            entry = self._entries[self._hand]
+            if entry.referenced:
+                entry.referenced = False
+                self._hand += 1
+            else:
+                victim = self._entries.pop(self._hand).key
+                del self._index[victim]
+                self._reindex(from_pos=self._hand)
+                if self._hand >= len(self._entries):
+                    self._hand = 0
+                return victim
+
+    def remove(self, key: Any) -> None:
+        """Remove an arbitrary key (needed when another layer steals it)."""
+        pos = self._index.pop(key)
+        self._entries.pop(pos)
+        if pos < self._hand:
+            self._hand -= 1
+        self._reindex(from_pos=pos)
+        if self._entries and self._hand >= len(self._entries):
+            self._hand = 0
+
+    def _reindex(self, from_pos: int) -> None:
+        for i in range(from_pos, len(self._entries)):
+            self._index[self._entries[i].key] = i
+
+    def peek_victim(self) -> Optional[Any]:
+        """Return the key the next :meth:`evict` would remove, or None.
+
+        Non-destructive: simulates the sweep on a copy of the bits.
+        """
+        if not self._entries:
+            return None
+        n = len(self._entries)
+        bits = [e.referenced for e in self._entries]
+        hand = self._hand if self._hand < n else 0
+        for _ in range(2 * n + 1):
+            if bits[hand]:
+                bits[hand] = False
+                hand = (hand + 1) % n
+            else:
+                return self._entries[hand].key
+        return self._entries[hand].key  # pragma: no cover - unreachable

@@ -1,0 +1,178 @@
+"""Intrusive doubly-linked LRU list with O(1) operations.
+
+This is the workhorse recency structure for every LRU-family policy in
+the simulator.  Compared to :class:`collections.OrderedDict`, an
+explicit node list lets policies hold direct node references, peek both
+ends, and remove arbitrary entries without hashing twice.
+
+The list orders keys from most-recently-used (head) to least-recently-
+used (tail).  Values are optional payloads attached to keys (block
+policies store the set of resident items of a block there).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = ["LinkedLRU"]
+
+
+class _Node:
+    __slots__ = ("key", "value", "prev", "next")
+
+    def __init__(self, key: Any, value: Any) -> None:
+        self.key = key
+        self.value = value
+        self.prev: Optional[_Node] = None
+        self.next: Optional[_Node] = None
+
+
+class LinkedLRU:
+    """A recency-ordered mapping: MRU at the head, LRU at the tail.
+
+    Examples
+    --------
+    >>> lru = LinkedLRU()
+    >>> for x in (1, 2, 3):
+    ...     lru.insert_mru(x)
+    >>> lru.lru_key()
+    1
+    >>> lru.touch(1)          # 1 becomes most recent
+    >>> lru.lru_key()
+    2
+    >>> lru.pop_lru()
+    (2, None)
+    """
+
+    def __init__(self) -> None:
+        self._index: Dict[Any, _Node] = {}
+        # Sentinel nodes avoid edge-case branching on empty/one-element
+        # lists; they are never exposed.
+        self._head = _Node(None, None)
+        self._tail = _Node(None, None)
+        self._head.next = self._tail
+        self._tail.prev = self._head
+
+    # -- container protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._index
+
+    def __bool__(self) -> bool:
+        return bool(self._index)
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate keys from MRU to LRU."""
+        node = self._head.next
+        while node is not self._tail:
+            yield node.key
+            node = node.next
+
+    def keys_lru_to_mru(self) -> Iterator[Any]:
+        """Iterate keys from LRU to MRU (reverse recency order)."""
+        node = self._tail.prev
+        while node is not self._head:
+            yield node.key
+            node = node.prev
+
+    # -- internal link surgery ---------------------------------------------
+    def _unlink(self, node: _Node) -> None:
+        node.prev.next = node.next
+        node.next.prev = node.prev
+
+    def _link_front(self, node: _Node) -> None:
+        node.prev = self._head
+        node.next = self._head.next
+        self._head.next.prev = node
+        self._head.next = node
+
+    def _link_back(self, node: _Node) -> None:
+        node.next = self._tail
+        node.prev = self._tail.prev
+        self._tail.prev.next = node
+        self._tail.prev = node
+
+    # -- mutating API --------------------------------------------------------
+    def insert_mru(self, key: Any, value: Any = None) -> None:
+        """Insert ``key`` at the MRU position; error if already present."""
+        if key in self._index:
+            raise KeyError(f"duplicate key {key!r}")
+        node = _Node(key, value)
+        self._index[key] = node
+        self._link_front(node)
+
+    def insert_lru(self, key: Any, value: Any = None) -> None:
+        """Insert ``key`` at the LRU position (coldest end)."""
+        if key in self._index:
+            raise KeyError(f"duplicate key {key!r}")
+        node = _Node(key, value)
+        self._index[key] = node
+        self._link_back(node)
+
+    def touch(self, key: Any) -> None:
+        """Move ``key`` to the MRU position."""
+        node = self._index[key]
+        self._unlink(node)
+        self._link_front(node)
+
+    def demote(self, key: Any) -> None:
+        """Move ``key`` to the LRU position (used by MRU-style policies)."""
+        node = self._index[key]
+        self._unlink(node)
+        self._link_back(node)
+
+    def remove(self, key: Any) -> Any:
+        """Remove ``key``; return its value."""
+        node = self._index.pop(key)
+        self._unlink(node)
+        return node.value
+
+    def pop_lru(self) -> tuple:
+        """Remove and return ``(key, value)`` of the least-recent entry."""
+        node = self._tail.prev
+        if node is self._head:
+            raise KeyError("pop from empty LinkedLRU")
+        self._unlink(node)
+        del self._index[node.key]
+        return node.key, node.value
+
+    def pop_mru(self) -> tuple:
+        """Remove and return ``(key, value)`` of the most-recent entry."""
+        node = self._head.next
+        if node is self._tail:
+            raise KeyError("pop from empty LinkedLRU")
+        self._unlink(node)
+        del self._index[node.key]
+        return node.key, node.value
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        self._index.clear()
+        self._head.next = self._tail
+        self._tail.prev = self._head
+
+    # -- lookups -------------------------------------------------------------
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Return the value for ``key`` without changing recency."""
+        node = self._index.get(key)
+        return default if node is None else node.value
+
+    def set_value(self, key: Any, value: Any) -> None:
+        """Replace the payload for ``key`` without changing recency."""
+        self._index[key].value = value
+
+    def lru_key(self) -> Any:
+        """The least-recently-used key (next eviction victim)."""
+        node = self._tail.prev
+        if node is self._head:
+            raise KeyError("empty LinkedLRU")
+        return node.key
+
+    def mru_key(self) -> Any:
+        """The most-recently-used key."""
+        node = self._head.next
+        if node is self._tail:
+            raise KeyError("empty LinkedLRU")
+        return node.key

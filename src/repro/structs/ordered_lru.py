@@ -1,0 +1,95 @@
+"""OrderedDict-backed LRU list, API-compatible with :class:`LinkedLRU`.
+
+This implementation exists for differential testing: property-based
+tests drive identical operation sequences into both structures and
+assert identical observable behaviour.  It is also a perfectly usable
+recency list in its own right (CPython's ``OrderedDict`` is a C-level
+doubly linked list).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Iterator
+
+__all__ = ["OrderedLRU"]
+
+
+class OrderedLRU:
+    """Recency-ordered mapping with MRU-first iteration order.
+
+    Internally the ``OrderedDict`` stores LRU→MRU (so ``popitem(False)``
+    pops the LRU end); the public iteration order matches
+    :class:`LinkedLRU` (MRU first).
+    """
+
+    def __init__(self) -> None:
+        self._od: "OrderedDict[Any, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._od)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._od
+
+    def __bool__(self) -> bool:
+        return bool(self._od)
+
+    def __iter__(self) -> Iterator[Any]:
+        return reversed(self._od)
+
+    def keys_lru_to_mru(self) -> Iterator[Any]:
+        return iter(self._od)
+
+    def insert_mru(self, key: Any, value: Any = None) -> None:
+        if key in self._od:
+            raise KeyError(f"duplicate key {key!r}")
+        self._od[key] = value
+
+    def insert_lru(self, key: Any, value: Any = None) -> None:
+        if key in self._od:
+            raise KeyError(f"duplicate key {key!r}")
+        self._od[key] = value
+        self._od.move_to_end(key, last=False)
+
+    def touch(self, key: Any) -> None:
+        self._od.move_to_end(key, last=True)
+
+    def demote(self, key: Any) -> None:
+        self._od.move_to_end(key, last=False)
+
+    def remove(self, key: Any) -> Any:
+        return self._od.pop(key)
+
+    def pop_lru(self) -> tuple:
+        if not self._od:
+            raise KeyError("pop from empty OrderedLRU")
+        return self._od.popitem(last=False)
+
+    def pop_mru(self) -> tuple:
+        if not self._od:
+            raise KeyError("pop from empty OrderedLRU")
+        return self._od.popitem(last=True)
+
+    def clear(self) -> None:
+        self._od.clear()
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self._od.get(key, default)
+
+    def set_value(self, key: Any, value: Any) -> None:
+        if key not in self._od:
+            raise KeyError(key)
+        # Assignment alone would move nothing; OrderedDict keeps the
+        # position of an existing key on value update.
+        self._od[key] = value
+
+    def lru_key(self) -> Any:
+        if not self._od:
+            raise KeyError("empty OrderedLRU")
+        return next(iter(self._od))
+
+    def mru_key(self) -> Any:
+        if not self._od:
+            raise KeyError("empty OrderedLRU")
+        return next(reversed(self._od))

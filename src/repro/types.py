@@ -1,0 +1,168 @@
+"""Shared value types for the GC caching library.
+
+The simulator models the Granularity-Change Caching Problem
+(Definition 1 of the paper): requests arrive for *items*; items are
+partitioned into *blocks* of at most ``B`` items; on a miss the cache
+may load any subset of the missed item's block (containing the item)
+for a single unit of cost.
+
+Items and blocks are dense non-negative integers throughout the
+library; traces are NumPy ``int64`` arrays.  The dataclasses here are
+small, immutable records exchanged between policies, the engine, and
+the analysis layer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+__all__ = [
+    "ItemId",
+    "BlockId",
+    "HitKind",
+    "AccessOutcome",
+    "SimResult",
+]
+
+#: Type alias for item identifiers (dense, non-negative ints).
+ItemId = int
+#: Type alias for block identifiers (dense, non-negative ints).
+BlockId = int
+
+
+class HitKind(enum.Enum):
+    """Classification of a single access, following §2 of the paper.
+
+    * ``MISS`` — the requested item was not resident; unit cost charged.
+    * ``TEMPORAL_HIT`` — the item was resident because of a previous
+      access *to the item itself* (it was requested before and kept),
+      or it is a repeat hit to an item first served spatially.
+    * ``SPATIAL_HIT`` — the *first* hit to an item whose residency was
+      created as a side effect of a different item's miss in the same
+      block.  Per §2: "Any hits to item I beyond the first are due to
+      temporal locality, since I would have been brought in cache
+      anyway."
+    """
+
+    MISS = "miss"
+    TEMPORAL_HIT = "temporal"
+    SPATIAL_HIT = "spatial"
+
+    @property
+    def is_hit(self) -> bool:
+        """``True`` for either hit kind."""
+        return self is not HitKind.MISS
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """The result of a single ``policy.access(item)`` call.
+
+    Attributes
+    ----------
+    item:
+        The requested item.
+    hit:
+        Whether the item was resident when requested.
+    loaded:
+        Items brought into the cache by this access (empty on a hit).
+        Must be a subset of the requested item's block and contain the
+        item itself; the engine enforces this.
+    evicted:
+        Items removed from the cache by this access.
+    """
+
+    item: ItemId
+    hit: bool
+    loaded: FrozenSet[ItemId] = frozenset()
+    evicted: FrozenSet[ItemId] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.hit and self.loaded:
+            raise ValueError("a hit must not load items")
+        if not self.hit and self.item not in self.loaded:
+            raise ValueError("a miss must load the requested item")
+
+
+@dataclass
+class SimResult:
+    """Aggregate statistics of one simulation run.
+
+    ``misses`` counts unit-cost loads (the objective of Definition 1).
+    ``spatial_hits`` and ``temporal_hits`` decompose the hits per the
+    paper's locality taxonomy.  ``loaded_items`` counts every item
+    brought into cache (≥ ``misses``); ``loaded_items / misses`` is the
+    mean load-set size, i.e. how aggressively the policy exploited the
+    free-subset rule.
+    """
+
+    accesses: int = 0
+    misses: int = 0
+    temporal_hits: int = 0
+    spatial_hits: int = 0
+    loaded_items: int = 0
+    evicted_items: int = 0
+    policy: str = ""
+    capacity: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def hits(self) -> int:
+        """Total hits of either kind."""
+        return self.temporal_hits + self.spatial_hits
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per access (the paper's *fault rate*)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits per access."""
+        return 1.0 - self.miss_ratio if self.accesses else 0.0
+
+    @property
+    def mean_load_size(self) -> float:
+        """Average number of items loaded per miss."""
+        return self.loaded_items / self.misses if self.misses else 0.0
+
+    def as_row(self) -> dict:
+        """Flatten into a plain dict suitable for tables / CSV export."""
+        row = {
+            "policy": self.policy,
+            "capacity": self.capacity,
+            "accesses": self.accesses,
+            "misses": self.misses,
+            "temporal_hits": self.temporal_hits,
+            "spatial_hits": self.spatial_hits,
+            "miss_ratio": self.miss_ratio,
+            "mean_load_size": self.mean_load_size,
+        }
+        row.update(self.metadata)
+        return row
+
+    def merged_with(self, other: "SimResult") -> "SimResult":
+        """Combine two results (e.g. from trace shards) into one."""
+        if self.policy != other.policy or self.capacity != other.capacity:
+            raise ValueError("cannot merge results from different configurations")
+        return SimResult(
+            accesses=self.accesses + other.accesses,
+            misses=self.misses + other.misses,
+            temporal_hits=self.temporal_hits + other.temporal_hits,
+            spatial_hits=self.spatial_hits + other.spatial_hits,
+            loaded_items=self.loaded_items + other.loaded_items,
+            evicted_items=self.evicted_items + other.evicted_items,
+            policy=self.policy,
+            capacity=self.capacity,
+            metadata={**self.metadata, **other.metadata},
+        )
+
+
+#: Convenience tuple describing the three Table 1 comparison settings.
+TABLE1_SETTINGS: Tuple[str, ...] = (
+    "constant_augmentation",
+    "ratio_equals_augmentation",
+    "constant_ratio",
+)

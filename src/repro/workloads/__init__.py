@@ -1,0 +1,49 @@
+"""Workload generators producing :class:`~repro.core.trace.Trace` objects.
+
+All generators are deterministic given a ``seed``, return traces with a
+``FixedBlockMapping`` (unless noted), and record their parameters in
+``trace.metadata``.
+
+* :mod:`repro.workloads.synthetic` — classic single-granularity
+  patterns: uniform, Zipf, sequential/cyclic scans, strides.
+* :mod:`repro.workloads.spatial` — spatially-structured patterns with
+  a tunable ``f/g`` ratio: block runs, Markov within-block walks,
+  block-level Zipf.
+* :mod:`repro.workloads.mixtures` — compositions: hot items over
+  streaming blocks (the IBLP motivation), interleaved phases.
+* :mod:`repro.workloads.scenarios` — system-flavoured workloads: a
+  DRAM cache in front of 4 KB rows, a page cache over files.
+"""
+
+from repro.workloads.synthetic import (
+    cyclic_scan,
+    sequential_scan,
+    strided,
+    uniform_random,
+    zipf_items,
+)
+from repro.workloads.spatial import (
+    block_runs,
+    block_zipf,
+    interleaved_streams,
+    markov_spatial,
+)
+from repro.workloads.mixtures import hot_and_stream, interleave, phase_mixture
+from repro.workloads.scenarios import dram_cache_workload, page_cache_workload
+
+__all__ = [
+    "uniform_random",
+    "zipf_items",
+    "sequential_scan",
+    "cyclic_scan",
+    "strided",
+    "block_runs",
+    "markov_spatial",
+    "block_zipf",
+    "interleaved_streams",
+    "hot_and_stream",
+    "interleave",
+    "phase_mixture",
+    "dram_cache_workload",
+    "page_cache_workload",
+]

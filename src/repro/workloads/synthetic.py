@@ -1,0 +1,123 @@
+"""Classic single-granularity workloads.
+
+These exhibit temporal locality only (any spatial locality is
+accidental), so Item Caches should match or beat Block Caches on all
+of them — the first half of the paper's baseline story.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mapping import FixedBlockMapping
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "uniform_random",
+    "zipf_items",
+    "sequential_scan",
+    "cyclic_scan",
+    "strided",
+]
+
+
+def _mapping(universe: int, block_size: int) -> FixedBlockMapping:
+    rounded = -(-universe // block_size) * block_size
+    return FixedBlockMapping(universe=rounded, block_size=block_size)
+
+
+def uniform_random(
+    length: int, universe: int, block_size: int = 8, seed: int = 0
+) -> Trace:
+    """Independent uniform requests over the universe."""
+    if length < 1 or universe < 1:
+        raise ConfigurationError("length and universe must be >= 1")
+    rng = np.random.default_rng(seed)
+    items = rng.integers(0, universe, size=length, dtype=np.int64)
+    return Trace(
+        items,
+        _mapping(universe, block_size),
+        {"generator": "uniform_random", "universe": universe, "seed": seed},
+    )
+
+
+def zipf_items(
+    length: int,
+    universe: int,
+    alpha: float = 1.0,
+    block_size: int = 8,
+    seed: int = 0,
+    shuffle_ranks: bool = True,
+) -> Trace:
+    """Zipf-popular items (rank-``r`` item has weight ``r^{-alpha}``).
+
+    ``shuffle_ranks`` scatters popular items across blocks (default),
+    which removes incidental spatial locality; disable it to co-locate
+    hot items inside blocks.
+    """
+    if alpha < 0:
+        raise ConfigurationError(f"alpha must be >= 0, got {alpha}")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, universe + 1, dtype=float)
+    weights = ranks**-alpha
+    weights /= weights.sum()
+    ids = np.arange(universe, dtype=np.int64)
+    if shuffle_ranks:
+        rng.shuffle(ids)
+    draws = rng.choice(ids, size=length, p=weights)
+    return Trace(
+        draws.astype(np.int64),
+        _mapping(universe, block_size),
+        {
+            "generator": "zipf_items",
+            "alpha": alpha,
+            "universe": universe,
+            "seed": seed,
+        },
+    )
+
+
+def sequential_scan(
+    universe: int, block_size: int = 8, repeats: int = 1
+) -> Trace:
+    """``repeats`` front-to-back passes over the universe.
+
+    Maximal spatial locality: every block is consumed item by item.
+    """
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    items = np.tile(np.arange(universe, dtype=np.int64), repeats)
+    return Trace(
+        items,
+        _mapping(universe, block_size),
+        {"generator": "sequential_scan", "repeats": repeats},
+    )
+
+
+def cyclic_scan(
+    length: int, working_set: int, block_size: int = 8
+) -> Trace:
+    """Round-robin over ``working_set`` items (LRU's classic nemesis)."""
+    if working_set < 1:
+        raise ConfigurationError("working_set must be >= 1")
+    items = (np.arange(length, dtype=np.int64)) % working_set
+    return Trace(
+        items,
+        _mapping(working_set, block_size),
+        {"generator": "cyclic_scan", "working_set": working_set},
+    )
+
+
+def strided(
+    length: int, universe: int, stride: int, block_size: int = 8
+) -> Trace:
+    """Fixed-stride sweep (``stride >= block_size`` defeats blocks)."""
+    if stride < 1:
+        raise ConfigurationError(f"stride must be >= 1, got {stride}")
+    items = (np.arange(length, dtype=np.int64) * stride) % universe
+    return Trace(
+        items,
+        _mapping(universe, block_size),
+        {"generator": "strided", "stride": stride},
+    )

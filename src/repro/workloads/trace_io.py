@@ -1,0 +1,134 @@
+"""Plain-text trace import/export for external workloads.
+
+Real cache studies consume traces from other tools; this module reads
+and writes a minimal, diff-friendly text format so external traces can
+be replayed through the simulator (and library traces exported for
+other simulators):
+
+* comment/header lines start with ``#``; two directives are honoured:
+  ``# universe: <int>`` and ``# block_size: <int>``;
+* each remaining line is one access: the item id, optionally followed
+  by whitespace and an ``r``/``w`` flag (default read).
+
+Unknown ids are densified optionally (``densify=True``) so sparse
+address traces (e.g. raw memory addresses) map onto the library's
+dense universe while preserving block co-location: addresses are
+grouped by ``address // block_size`` before renaming, so items that
+shared a block still do.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.mapping import FixedBlockMapping
+from repro.core.readwrite import RWTrace
+from repro.core.trace import Trace
+from repro.errors import TraceFormatError
+
+__all__ = ["read_text_trace", "write_text_trace", "densify_addresses"]
+
+
+def densify_addresses(
+    addresses: np.ndarray, block_size: int
+) -> Tuple[np.ndarray, int]:
+    """Rename sparse addresses to a dense universe, preserving blocks.
+
+    Blocks (``address // block_size``) are numbered in first-appearance
+    order; within a block, items keep their intra-block offset.
+    Returns ``(dense_items, universe)``.
+    """
+    if block_size < 1:
+        raise TraceFormatError(f"block_size must be >= 1, got {block_size}")
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if addresses.size and addresses.min() < 0:
+        raise TraceFormatError("addresses must be non-negative")
+    block_rename: Dict[int, int] = {}
+    out = np.empty_like(addresses)
+    for idx, addr in enumerate(addresses.tolist()):
+        blk, off = divmod(addr, block_size)
+        new_blk = block_rename.setdefault(blk, len(block_rename))
+        out[idx] = new_blk * block_size + off
+    universe = max(1, len(block_rename)) * block_size
+    return out, universe
+
+
+def read_text_trace(
+    path: str | Path,
+    block_size: Optional[int] = None,
+    densify: bool = False,
+) -> RWTrace:
+    """Parse a text trace file into an :class:`RWTrace`.
+
+    ``block_size`` overrides the file's ``# block_size:`` directive
+    (default 1 if neither is given — traditional caching).
+    """
+    path = Path(path)
+    items: List[int] = []
+    writes: List[bool] = []
+    header_universe: Optional[int] = None
+    header_block: Optional[int] = None
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip().lower()
+            if body.startswith("universe:"):
+                header_universe = int(body.split(":", 1)[1])
+            elif body.startswith("block_size:"):
+                header_block = int(body.split(":", 1)[1])
+            continue
+        parts = line.split()
+        try:
+            items.append(int(parts[0], 0))
+        except ValueError as exc:
+            raise TraceFormatError(
+                f"{path}:{lineno}: bad item id {parts[0]!r}"
+            ) from exc
+        if len(parts) > 1:
+            flag = parts[1].lower()
+            if flag not in ("r", "w"):
+                raise TraceFormatError(
+                    f"{path}:{lineno}: flag must be r or w, got {parts[1]!r}"
+                )
+            writes.append(flag == "w")
+        else:
+            writes.append(False)
+    if not items:
+        raise TraceFormatError(f"{path}: no accesses found")
+    bsize = block_size or header_block or 1
+    arr = np.asarray(items, dtype=np.int64)
+    if densify:
+        arr, universe = densify_addresses(arr, bsize)
+    else:
+        top = int(arr.max()) + 1
+        universe = header_universe or (-(-top // bsize) * bsize)
+        if universe < top:
+            raise TraceFormatError(
+                f"{path}: universe {universe} smaller than max item {top - 1}"
+            )
+        universe = -(-universe // bsize) * bsize
+    trace = Trace(
+        arr,
+        FixedBlockMapping(universe=universe, block_size=bsize),
+        {"generator": "read_text_trace", "source": str(path)},
+    )
+    return RWTrace(trace=trace, is_write=np.asarray(writes, dtype=bool))
+
+
+def write_text_trace(rw: RWTrace, path: str | Path) -> Path:
+    """Write an :class:`RWTrace` in the text format; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [
+        f"# universe: {rw.trace.universe}",
+        f"# block_size: {rw.trace.block_size}",
+    ]
+    for item, is_write in zip(rw.trace.items.tolist(), rw.is_write.tolist()):
+        lines.append(f"{item} {'w' if is_write else 'r'}")
+    path.write_text("\n".join(lines) + "\n")
+    return path

@@ -1,0 +1,138 @@
+"""AdaptiveIBLP tests: boundary adaptation, safety, and wins."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.mapping import FixedBlockMapping
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError
+from repro.policies import IBLP, AdaptiveIBLP
+from repro.workloads import (
+    hot_and_stream,
+    interleaved_streams,
+    phase_mixture,
+    zipf_items,
+)
+
+
+@pytest.fixture
+def mapping():
+    return FixedBlockMapping(universe=512, block_size=8)
+
+
+def test_validation(mapping):
+    with pytest.raises(ConfigurationError):
+        AdaptiveIBLP(16, mapping, initial_item_fraction=1.5)
+    with pytest.raises(ConfigurationError):
+        AdaptiveIBLP(16, mapping, ghost_factor=0)
+
+
+def test_referee_validates_extensively(mapping):
+    trace = Trace(
+        np.random.default_rng(0).integers(0, 512, 4000, dtype=np.int64),
+        mapping,
+    )
+    res = simulate(AdaptiveIBLP(64, mapping), trace, cross_check_every=97)
+    assert res.accesses == 4000
+
+
+def test_boundary_grows_on_temporal_pressure(mapping):
+    # Cyclic working set slightly above the initial item layer: evicted
+    # items keep returning via the ghost, pushing the boundary up.
+    k = 64
+    w = 48  # > initial i = 32, <= k
+    items = np.array([(i % w) * 8 for i in range(4000)], dtype=np.int64)
+    trace = Trace(items, mapping)
+    policy = AdaptiveIBLP(k, mapping)
+    simulate(policy, trace)
+    assert policy.item_layer_target > k // 2
+
+
+def test_boundary_shrinks_on_spatial_pressure():
+    trace = interleaved_streams(8000, streams=12, blocks_per_stream=16, block_size=8)
+    k = 128
+    policy = AdaptiveIBLP(k, trace.mapping)
+    simulate(policy, trace)
+    assert policy.item_layer_target < k // 2
+
+
+def test_adaptive_tracks_better_fixed_split_each_regime():
+    k, B = 128, 8
+    temporal = hot_and_stream(
+        30_000,
+        hot_items=int(0.8 * k),
+        stream_blocks=4 * k // B,
+        block_size=B,
+        hot_fraction=0.95,
+        seed=5,
+    )
+    spatial = interleaved_streams(
+        30_000, streams=2 * ((k // 4) // B) + 4, blocks_per_stream=64, block_size=B
+    )
+    for trace in (temporal, spatial):
+        adaptive = simulate(AdaptiveIBLP(k, trace.mapping), trace).misses
+        fixed_item = simulate(
+            IBLP(k, trace.mapping, item_layer_size=int(0.9 * k)), trace
+        ).misses
+        fixed_block = simulate(
+            IBLP(k, trace.mapping, item_layer_size=int(0.25 * k)), trace
+        ).misses
+        # Adaptive must stay within 1.6x of the better fixed split and
+        # clearly beat the worse one in the regime where it collapses.
+        assert adaptive <= 1.6 * min(fixed_item, fixed_block)
+        assert adaptive < 0.8 * max(fixed_item, fixed_block)
+
+
+def test_adaptive_beats_bad_fixed_split_on_phase_change():
+    """After a regime shift the fixed split stays wrong; adaptive moves."""
+    k, B = 128, 8
+    temporal = hot_and_stream(
+        15_000,
+        hot_items=int(0.8 * k),
+        stream_blocks=4 * k // B,
+        block_size=B,
+        hot_fraction=0.95,
+        seed=7,
+    )
+    spatial = interleaved_streams(
+        15_000, streams=12, blocks_per_stream=16, block_size=B
+    )
+    # Embed both phases into one universe by concatenation over the
+    # larger mapping (pad the smaller trace's universe).
+    big = max(temporal.universe, spatial.universe)
+    mapping = FixedBlockMapping(universe=big, block_size=B)
+    items = np.concatenate([temporal.items, spatial.items])
+    trace = Trace(items, mapping)
+    adaptive = simulate(AdaptiveIBLP(k, mapping), trace).misses
+    item_heavy = simulate(
+        IBLP(k, mapping, item_layer_size=int(0.9 * k)), trace
+    ).misses
+    assert adaptive < item_heavy
+
+
+def test_zero_extremes_stay_functional(mapping):
+    trace = Trace(np.arange(512), mapping)
+    for frac in (0.0, 1.0):
+        res = simulate(
+            AdaptiveIBLP(32, mapping, initial_item_fraction=frac),
+            trace,
+            cross_check_every=64,
+        )
+        assert res.accesses == 512
+
+
+def test_reset_restores_configuration(mapping):
+    p = AdaptiveIBLP(32, mapping, initial_item_fraction=0.25)
+    p.access(0)
+    p.reset()
+    assert p.item_layer_target == 8
+    assert not p.contains(0)
+
+
+def test_competitive_on_plain_zipf(mapping):
+    trace = zipf_items(20_000, 512, alpha=1.0, block_size=8, seed=9)
+    k = 64
+    adaptive = simulate(AdaptiveIBLP(k, mapping), trace).misses
+    fixed = simulate(IBLP(k, mapping), trace).misses
+    assert adaptive <= 1.3 * fixed

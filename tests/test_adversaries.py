@@ -1,0 +1,227 @@
+"""Adversary tests: each §4 construction realizes its bound."""
+
+import pytest
+
+from repro.adversary import (
+    BlockCacheAdversary,
+    GeneralAdversary,
+    ItemCacheAdversary,
+    SleatorTarjanAdversary,
+)
+from repro.bounds import (
+    block_cache_lower,
+    gc_general_lower,
+    general_a_lower,
+    item_cache_lower,
+    sleator_tarjan_lower,
+)
+from repro.core.engine import simulate
+from repro.errors import ConfigurationError
+from repro.offline.heuristics import gc_opt_upper
+from repro.policies import (
+    GCM,
+    IBLP,
+    AThresholdLRU,
+    BeladyItem,
+    BlockLRU,
+    ItemFIFO,
+    ItemLRU,
+    MarkingLRU,
+)
+
+K, H, B = 128, 32, 8
+
+
+def _attack(adv_cls, policy_factory, cycles=4, **adv_kwargs):
+    adv = adv_cls(**adv_kwargs)
+    mapping = adv.make_mapping(cycles)
+    run = adv.run(policy_factory(mapping), cycles=cycles)
+    return adv, run
+
+
+class TestSleatorTarjan:
+    def test_lru_achieves_classical_bound(self):
+        _, run = _attack(
+            SleatorTarjanAdversary,
+            lambda m: ItemLRU(K, m),
+            k=K,
+            h=H,
+            B=B,
+        )
+        assert run.empirical_ratio == pytest.approx(
+            sleator_tarjan_lower(K, H), rel=0.02
+        )
+
+    def test_claimed_opt_verified_by_belady(self):
+        """Single-item blocks => item Belady is true OPT; it must not
+        beat the prescription (equality certifies the claim)."""
+        adv, run = _attack(
+            SleatorTarjanAdversary, lambda m: ItemLRU(K, m), k=K, h=H, B=B
+        )
+        belady = simulate(
+            BeladyItem(H, run.trace.mapping), run.trace
+        ).misses
+        total_claimed = run.claimed_opt_misses + run.warmup_misses
+        assert belady <= total_claimed
+        # The prescription is near-tight: Belady saves at most one
+        # cycle's worth of slack.
+        assert belady >= run.claimed_opt_misses
+
+    def test_fifo_also_pinned(self):
+        _, run = _attack(
+            SleatorTarjanAdversary, lambda m: ItemFIFO(K, m), k=K, h=H, B=B
+        )
+        assert run.empirical_ratio >= sleator_tarjan_lower(K, H) * 0.95
+
+
+class TestTheorem2:
+    def test_item_lru_hits_bound(self):
+        _, run = _attack(
+            ItemCacheAdversary, lambda m: ItemLRU(K, m), k=K, h=H, B=B
+        )
+        assert run.empirical_ratio == pytest.approx(
+            item_cache_lower(K, H, B), rel=0.05
+        )
+
+    def test_bound_is_policy_independent_for_item_caches(self):
+        for factory in (
+            lambda m: ItemLRU(K, m),
+            lambda m: ItemFIFO(K, m),
+            lambda m: MarkingLRU(K, m),
+        ):
+            _, run = _attack(ItemCacheAdversary, factory, k=K, h=H, B=B)
+            assert run.empirical_ratio >= item_cache_lower(K, H, B) * 0.9
+
+    def test_block_loading_policies_escape(self):
+        """Thm 2's trace is block-friendly: IBLP/BlockLRU evade it."""
+        for factory in (lambda m: IBLP(K, m), lambda m: BlockLRU(K, m)):
+            _, run = _attack(ItemCacheAdversary, factory, k=K, h=H, B=B)
+            assert run.empirical_ratio < item_cache_lower(K, H, B) / 2
+
+    def test_requires_h_greater_than_b(self):
+        with pytest.raises(ConfigurationError):
+            ItemCacheAdversary(K, B, B)
+
+    def test_claimed_opt_achievable_by_clairvoyant_heuristic(self):
+        adv, run = _attack(
+            ItemCacheAdversary, lambda m: ItemLRU(K, m), k=K, h=H, B=B
+        )
+        upper = gc_opt_upper(run.trace, H)
+        assert upper <= run.claimed_opt_misses + run.warmup_misses
+
+
+class TestTheorem3:
+    H3 = 4
+
+    def test_block_lru_hits_bound(self):
+        _, run = _attack(
+            BlockCacheAdversary, lambda m: BlockLRU(K, m), k=K, h=self.H3, B=B
+        )
+        assert run.empirical_ratio == pytest.approx(
+            block_cache_lower(K, self.H3, B), rel=0.05
+        )
+
+    def test_item_cache_escapes(self):
+        """The sparse trace is exactly what item caches are good at."""
+        _, run = _attack(
+            BlockCacheAdversary, lambda m: ItemLRU(K, m), k=K, h=self.H3, B=B
+        )
+        assert run.empirical_ratio < block_cache_lower(K, self.H3, B)
+
+    def test_rejects_infeasible_configuration(self):
+        with pytest.raises(ConfigurationError):
+            BlockCacheAdversary(k=32, h=10, B=8)  # ceil(k/B) < h
+
+
+class TestTheorem4:
+    def test_probes_a_correctly(self):
+        for a in (1, 2, 4, 8):
+            adv, run = _attack(
+                GeneralAdversary,
+                lambda m, a=a: AThresholdLRU(K, m, a=a),
+                k=K,
+                h=H,
+                B=B,
+            )
+            probed = max(max(c) for c in adv.probed_a)
+            assert probed == a
+
+    def test_athreshold_family_matches_formula(self):
+        for a in (1, 2, 4, 8):
+            adv, run = _attack(
+                GeneralAdversary,
+                lambda m, a=a: AThresholdLRU(K, m, a=a),
+                k=K,
+                h=H,
+                B=B,
+            )
+            assert run.empirical_ratio == pytest.approx(
+                general_a_lower(K, H, B, a), rel=0.06
+            )
+
+    def test_every_policy_at_least_general_lower_bound(self):
+        for factory in (
+            lambda m: ItemLRU(K, m),
+            lambda m: BlockLRU(K, m),
+            lambda m: IBLP(K, m),
+            lambda m: MarkingLRU(K, m),
+        ):
+            _, run = _attack(GeneralAdversary, factory, k=K, h=H, B=B)
+            assert run.empirical_ratio >= gc_general_lower(K, H, B) * 0.9
+
+    def test_iblp_lands_near_lower_bound(self):
+        """IBLP loads whole blocks (a=1), the optimal extreme here."""
+        adv, run = _attack(GeneralAdversary, lambda m: IBLP(K, m), k=K, h=H, B=B)
+        probed = max(max(c) for c in adv.probed_a)
+        assert probed == 1
+        assert run.empirical_ratio <= general_a_lower(K, H, B, 1) * 1.05
+
+    def test_gcm_randomization_beats_its_deterministic_a(self):
+        adv, run = _attack(GeneralAdversary, lambda m: GCM(K, m), k=K, h=H, B=B)
+        probed = max(max(c) for c in adv.probed_a)
+        # The adversary cannot pin the randomized policy to the full
+        # deterministic penalty of its probed a.
+        assert run.empirical_ratio <= general_a_lower(K, H, B, probed) * 1.05
+
+
+class TestPlumbing:
+    def test_capacity_mismatch_rejected(self):
+        adv = SleatorTarjanAdversary(K, H, B)
+        mapping = adv.make_mapping(2)
+        with pytest.raises(ConfigurationError):
+            adv.run(ItemLRU(K // 2, mapping), cycles=2)
+
+    def test_block_size_mismatch_rejected(self):
+        from repro.core.mapping import FixedBlockMapping
+
+        adv = SleatorTarjanAdversary(K, H, B)
+        wrong = FixedBlockMapping(universe=1024, block_size=B * 2)
+        with pytest.raises(ConfigurationError):
+            adv.run(ItemLRU(K, wrong), cycles=1)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SleatorTarjanAdversary(10, 20, 4)
+        with pytest.raises(ConfigurationError):
+            SleatorTarjanAdversary(10, 0, 4)
+
+    def test_trace_metadata_recorded(self):
+        _, run = _attack(
+            SleatorTarjanAdversary, lambda m: ItemLRU(K, m), k=K, h=H, B=B
+        )
+        assert run.trace.metadata["adversary"] == "SleatorTarjanAdversary"
+        assert run.trace.metadata["k"] == K
+
+    def test_more_cycles_tighten_nothing_but_stay_consistent(self):
+        ratios = []
+        for cycles in (2, 6):
+            _, run = _attack(
+                ItemCacheAdversary,
+                lambda m: ItemLRU(K, m),
+                cycles=cycles,
+                k=K,
+                h=H,
+                B=B,
+            )
+            ratios.append(run.empirical_ratio)
+        assert ratios[0] == pytest.approx(ratios[1], rel=0.02)

@@ -1,0 +1,114 @@
+"""AThresholdLRU tests: the Theorem 4 ``a``-parameter family."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.mapping import FixedBlockMapping
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError
+from repro.policies import AThresholdLRU, ItemLRU
+
+
+@pytest.fixture
+def mapping():
+    return FixedBlockMapping(universe=64, block_size=4)
+
+
+def test_rejects_invalid_a(mapping):
+    with pytest.raises(ConfigurationError):
+        AThresholdLRU(8, mapping, a=0)
+
+
+def test_a1_loads_block_on_first_miss(mapping):
+    p = AThresholdLRU(16, mapping, a=1)
+    out = p.access(1)
+    assert out.loaded == frozenset([0, 1, 2, 3])
+
+
+def test_a2_loads_single_then_block(mapping):
+    p = AThresholdLRU(16, mapping, a=2)
+    first = p.access(0)
+    assert first.loaded == frozenset([0])
+    second = p.access(1)  # second distinct miss on block 0
+    assert second.loaded == frozenset([1, 2, 3])
+
+
+def test_hits_do_not_count_toward_threshold(mapping):
+    p = AThresholdLRU(16, mapping, a=2)
+    p.access(0)
+    p.access(0)  # hit
+    assert not p.contains(1)
+    out = p.access(1)
+    assert out.loaded == frozenset([1, 2, 3])
+
+
+def test_large_a_degenerates_to_item_lru(mapping):
+    trace = Trace(
+        np.random.default_rng(4).integers(0, 64, 1500, dtype=np.int64), mapping
+    )
+    athr = simulate(AThresholdLRU(8, mapping, a=99), trace)
+    lru = simulate(ItemLRU(8, mapping), trace)
+    assert athr.misses == lru.misses
+
+
+def test_counter_resets_when_block_fully_evicted(mapping):
+    p = AThresholdLRU(2, mapping, a=2)
+    p.access(0)  # block 0 count = 1
+    p.access(4)
+    p.access(8)  # evicts 0 -> block 0 fully absent -> counter reset
+    out = p.access(1)  # first miss of a new episode for block 0
+    assert out.loaded == frozenset([1])
+
+
+def test_evicts_individual_items_lru_order(mapping):
+    p = AThresholdLRU(3, mapping, a=99)  # pure item behaviour
+    p.access(0)
+    p.access(4)
+    p.access(8)
+    out = p.access(12)
+    assert out.evicted == frozenset([0])
+
+
+def test_never_evicts_items_being_loaded(mapping):
+    # Whole-block load into a tight cache must not evict its own items.
+    p = AThresholdLRU(4, mapping, a=1)
+    p.access(0)
+    out = p.access(4)
+    assert out.loaded == frozenset([4, 5, 6, 7])
+    assert out.evicted == frozenset([0, 1, 2, 3])
+
+
+def test_block_larger_than_capacity_is_trimmed(mapping):
+    p = AThresholdLRU(2, mapping, a=1)
+    out = p.access(1)
+    assert 1 in out.loaded
+    assert len(out.loaded) <= 2
+
+
+def test_referee_validates(mapping):
+    trace = Trace(
+        np.random.default_rng(6).integers(0, 64, 2000, dtype=np.int64), mapping
+    )
+    for a in (1, 2, 3, 4):
+        res = simulate(
+            AThresholdLRU(10, mapping, a=a), trace, cross_check_every=83
+        )
+        assert res.accesses == 2000
+
+
+def test_reset_preserves_a(mapping):
+    p = AThresholdLRU(8, mapping, a=3)
+    p.access(0)
+    p.reset()
+    assert p.a == 3
+    assert not p.contains(0)
+
+
+def test_scan_misses_decrease_with_smaller_a(mapping):
+    trace = Trace(np.tile(np.arange(64), 2), mapping)
+    misses = {
+        a: simulate(AThresholdLRU(16, mapping, a=a), trace).misses
+        for a in (1, 2, 4)
+    }
+    assert misses[1] <= misses[2] <= misses[4]

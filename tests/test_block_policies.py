@@ -1,0 +1,97 @@
+"""Block cache tests: whole-block loads, whole-block evictions."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.mapping import FixedBlockMapping
+from repro.core.trace import Trace
+from repro.policies import BlockFIFO, BlockLRU
+
+
+@pytest.fixture
+def mapping():
+    return FixedBlockMapping(universe=64, block_size=4)
+
+
+@pytest.mark.parametrize("cls", [BlockLRU, BlockFIFO])
+def test_loads_whole_block(cls, mapping):
+    p = cls(16, mapping)
+    out = p.access(5)
+    assert out.loaded == frozenset([4, 5, 6, 7])
+    for item in (4, 5, 6, 7):
+        assert p.contains(item)
+
+
+@pytest.mark.parametrize("cls", [BlockLRU, BlockFIFO])
+def test_evicts_whole_block(cls, mapping):
+    p = cls(8, mapping)  # exactly two blocks fit
+    p.access(0)
+    p.access(4)
+    out = p.access(8)  # must evict one whole block
+    assert out.evicted in (frozenset([0, 1, 2, 3]), frozenset([4, 5, 6, 7]))
+
+
+def test_block_lru_touch_on_hit(mapping):
+    p = BlockLRU(8, mapping)
+    p.access(0)
+    p.access(4)
+    p.access(1)  # hit in block 0: refresh it
+    out = p.access(8)
+    assert out.evicted == frozenset([4, 5, 6, 7])
+
+
+def test_block_fifo_ignores_hits(mapping):
+    p = BlockFIFO(8, mapping)
+    p.access(0)
+    p.access(4)
+    p.access(1)  # hit must NOT refresh block 0
+    out = p.access(8)
+    assert out.evicted == frozenset([0, 1, 2, 3])
+
+
+def test_residency_is_union_of_blocks(mapping):
+    p = BlockLRU(12, mapping)
+    p.access(0)
+    p.access(9)
+    assert p.resident_items() == frozenset(range(0, 4)) | frozenset(range(8, 12))
+    assert p.resident_blocks() == frozenset([0, 2])
+
+
+def test_scan_hits_spatially(mapping):
+    trace = Trace(np.arange(64), mapping)
+    res = simulate(BlockLRU(16, mapping), trace)
+    assert res.misses == 16  # one per block
+    assert res.spatial_hits == 48
+
+
+def test_pollution_on_sparse_access(mapping):
+    """One item per block: a block cache is effectively k/B sized."""
+    stride_trace = Trace(np.arange(0, 64, 4), mapping)  # one per block
+    res_block = simulate(BlockLRU(8, mapping), stride_trace.concat(stride_trace))
+    # 16 blocks, only 2 fit: every access misses.
+    assert res_block.hits == 0
+
+
+def test_tiny_capacity_trims_block(mapping):
+    p = BlockLRU(2, mapping)
+    out = p.access(5)
+    assert 5 in out.loaded
+    assert len(out.loaded) == 2
+    assert out.loaded <= frozenset([4, 5, 6, 7])
+
+
+def test_referee_accepts_block_policies(mapping):
+    trace = Trace(
+        np.random.default_rng(0).integers(0, 64, 600, dtype=np.int64), mapping
+    )
+    for cls in (BlockLRU, BlockFIFO):
+        res = simulate(cls(12, mapping), trace, cross_check_every=37)
+        assert res.accesses == 600
+
+
+def test_partial_last_block():
+    mapping = FixedBlockMapping(universe=10, block_size=4)
+    p = BlockLRU(8, mapping)
+    out = p.access(9)  # last block has only items {8, 9}
+    assert out.loaded == frozenset([8, 9])

@@ -1,0 +1,84 @@
+"""Branch-and-bound exact solver tests (differential vs DP + scaling)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import simulate
+from repro.core.mapping import FixedBlockMapping
+from repro.core.trace import Trace
+from repro.errors import SolverError
+from repro.offline import (
+    gc_opt_lower,
+    gc_opt_upper,
+    reduce_vsc_to_gc,
+    solve_gc_bnb,
+    solve_gc_exact,
+    solve_vsc_exact,
+)
+from repro.offline.reduction import figure2_instance
+from repro.policies import make_policy
+
+
+def test_empty_trace():
+    mapping = FixedBlockMapping(universe=4, block_size=2)
+    trace = Trace(np.array([], dtype=np.int64), mapping)
+    assert solve_gc_bnb(trace, 2) == 0
+
+
+def test_known_instances():
+    mapping = FixedBlockMapping(universe=8, block_size=4)
+    assert solve_gc_bnb(Trace(np.array([0, 1, 2, 3]), mapping), 4) == 1
+    assert solve_gc_bnb(Trace(np.array([0, 4, 0, 4]), mapping), 2) == 2
+    assert solve_gc_bnb(Trace(np.array([0, 1, 0]), mapping), 1) == 3
+
+
+def test_figure2_instance():
+    vsc, red = figure2_instance()
+    assert solve_gc_bnb(red.trace, red.capacity) == solve_vsc_exact(vsc) == 4
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    items=st.lists(st.integers(0, 7), min_size=1, max_size=14),
+    k=st.integers(1, 4),
+)
+def test_agrees_with_dp(items, k):
+    mapping = FixedBlockMapping(universe=8, block_size=4)
+    trace = Trace(np.asarray(items, dtype=np.int64), mapping)
+    assert solve_gc_bnb(trace, k) == solve_gc_exact(trace, k)
+
+
+def test_handles_larger_instance_than_dp_budget():
+    mapping = FixedBlockMapping(universe=16, block_size=4)
+    rng = np.random.default_rng(1)
+    trace = Trace(rng.integers(0, 16, 24, dtype=np.int64), mapping)
+    k = 6
+    opt = solve_gc_bnb(trace, k)
+    assert gc_opt_lower(trace, k) <= opt <= gc_opt_upper(trace, k)
+    # And no online policy beats it.
+    for name in ("item-lru", "iblp", "block-lru"):
+        assert simulate(make_policy(name, k, mapping), trace).misses >= opt
+
+
+def test_node_limit_raises():
+    mapping = FixedBlockMapping(universe=16, block_size=4)
+    rng = np.random.default_rng(2)
+    trace = Trace(rng.integers(0, 16, 30, dtype=np.int64), mapping)
+    with pytest.raises(SolverError):
+        solve_gc_bnb(trace, 6, node_limit=3)
+
+
+def test_reduction_equality_via_bnb():
+    from repro.offline import VSCInstance
+
+    rng = np.random.default_rng(3)
+    for _ in range(4):
+        n = int(rng.integers(2, 4))
+        sizes = [int(rng.integers(1, 4)) for _ in range(n)]
+        cap = max(sizes) + int(rng.integers(0, 3))
+        tr = [int(rng.integers(n)) for _ in range(int(rng.integers(4, 8)))]
+        vsc = VSCInstance.build(sizes, cap, tr)
+        red = reduce_vsc_to_gc(vsc)
+        assert solve_gc_bnb(red.trace, red.capacity) == solve_vsc_exact(vsc)

@@ -1,0 +1,171 @@
+"""Closed-form bound tests (Theorems 2-7, Sleator-Tarjan, §5.3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bounds import (
+    block_cache_lower,
+    gc_general_lower,
+    general_a_lower,
+    iblp_block_layer_upper,
+    iblp_item_layer_upper,
+    iblp_optimal_item_layer,
+    iblp_optimal_ratio,
+    iblp_ratio,
+    iblp_small_k_threshold,
+    item_cache_lower,
+    lru_competitive_upper,
+    optimal_a,
+    sleator_tarjan_lower,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSleatorTarjan:
+    def test_k_equals_2h_gives_2(self):
+        assert sleator_tarjan_lower(2000, 1000) == pytest.approx(2.0, rel=1e-3)
+
+    def test_equal_sizes_gives_k(self):
+        assert sleator_tarjan_lower(100, 100) == pytest.approx(100.0)
+
+    def test_upper_matches_lower(self):
+        assert lru_competitive_upper(500, 200) == sleator_tarjan_lower(500, 200)
+
+    def test_rejects_h_greater_than_k(self):
+        with pytest.raises(ConfigurationError):
+            sleator_tarjan_lower(10, 20)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            sleator_tarjan_lower(0, 0)
+
+
+class TestTheorem2:
+    def test_formula(self):
+        # B(k - B + 1)/(k - h + 1)
+        assert item_cache_lower(128, 32, 8) == pytest.approx(
+            8 * (128 - 8 + 1) / (128 - 32 + 1)
+        )
+
+    def test_b1_reduces_to_sleator_tarjan(self):
+        assert item_cache_lower(100, 40, 1) == pytest.approx(
+            sleator_tarjan_lower(100, 40)
+        )
+
+    def test_roughly_b_times_worse_at_k_2h(self):
+        k, h, B = 1_000_000, 500_000, 64
+        assert item_cache_lower(k, h, B) / sleator_tarjan_lower(k, h) == (
+            pytest.approx(B, rel=0.01)
+        )
+
+
+class TestTheorem3:
+    def test_formula(self):
+        assert block_cache_lower(128, 4, 8) == pytest.approx(
+            128 / (128 - 8 * 3)
+        )
+
+    def test_infinite_below_threshold(self):
+        assert math.isinf(block_cache_lower(64, 16, 8))
+        assert math.isinf(block_cache_lower(64, 9, 8))
+
+    def test_approaches_one_for_huge_k(self):
+        assert block_cache_lower(10**9, 4, 8) == pytest.approx(1.0, rel=1e-6)
+
+
+class TestTheorem4:
+    def test_a_extremes_recover_item_and_block_shapes(self):
+        k, h, B = 256, 64, 8
+        # a=B reproduces the Theorem 2 value.
+        assert general_a_lower(k, h, B, B) == pytest.approx(
+            item_cache_lower(k, h, B)
+        )
+        # a=1: 1 + B(h-1)/(k-h+1).
+        assert general_a_lower(k, h, B, 1) == pytest.approx(
+            1 + B * (h - 1) / (k - h + 1)
+        )
+
+    def test_linear_in_a(self):
+        k, h, B = 512, 128, 16
+        vals = [general_a_lower(k, h, B, a) for a in range(1, B + 1)]
+        diffs = np.diff(vals)
+        assert np.allclose(diffs, diffs[0])
+
+    def test_optimal_a_switches_at_threshold(self):
+        B = 16
+        assert optimal_a(1000, 10, B) == 1  # k - h + 1 > B
+        assert optimal_a(20, 18, B) == B  # k - h + 1 = 3 < B
+
+    def test_general_lower_is_min_of_extremes(self):
+        k, h, B = 300, 100, 8
+        assert gc_general_lower(k, h, B) == min(
+            general_a_lower(k, h, B, 1), general_a_lower(k, h, B, B)
+        )
+
+    def test_rejects_bad_a(self):
+        with pytest.raises(ConfigurationError):
+            general_a_lower(100, 10, 8, 0)
+        with pytest.raises(ConfigurationError):
+            general_a_lower(100, 10, 8, 9)
+
+
+class TestTheorem567:
+    def test_item_layer_matches_sleator_tarjan_shape(self):
+        assert iblp_item_layer_upper(200, 50) == pytest.approx(200 / 150)
+
+    def test_item_layer_infinite_at_i_le_h(self):
+        assert math.isinf(iblp_item_layer_upper(50, 50))
+        assert math.isinf(iblp_item_layer_upper(40, 50))
+
+    def test_block_layer_capped_at_b(self):
+        assert iblp_block_layer_upper(10, 10**6, 16) == 16
+
+    def test_block_layer_formula(self):
+        b, h, B = 100, 5, 8
+        assert iblp_block_layer_upper(b, h, B) == pytest.approx(
+            (b + 2 * B * h - B) / (b + B)
+        )
+
+    def test_thm7_infinite_at_i_le_h(self):
+        assert math.isinf(iblp_ratio(50, 100, 60, 8))
+
+    def test_thm7_continuous_at_regime_boundary(self):
+        B, b, h = 8.0, 64.0, 5.0
+        boundary = (2 * B * b - b + 2 * B * B + B) / (2 * B)
+        lo = iblp_ratio(boundary - 1e-6, b, h, B)
+        hi = iblp_ratio(boundary + 1e-6, b, h, B)
+        assert lo == pytest.approx(hi, rel=1e-3)
+
+    def test_optimal_split_minimizes_thm7(self):
+        k, h, B = 50_000, 2_000, 32
+        i_star = iblp_optimal_item_layer(k, h, B)
+        best = iblp_optimal_ratio(k, h, B)
+        scan = min(
+            iblp_ratio(i, k - i, h, B)
+            for i in np.linspace(h + 1, k, 5000)
+        )
+        assert best == pytest.approx(scan, rel=1e-4)
+        assert h < i_star <= k
+
+    def test_small_k_regime_uses_full_item_layer(self):
+        B, h = 64, 1000
+        k = int(iblp_small_k_threshold(h, B)) - 100
+        assert iblp_optimal_item_layer(k, h, B) == float(k)
+        expected = (2 * B * k - B * B - B) / (2 * (k - h))
+        assert iblp_optimal_ratio(k, h, B) == pytest.approx(expected)
+
+    def test_upper_bound_above_general_lower(self):
+        """Sanity: the Thm 7 UB dominates the Thm 4 LB everywhere."""
+        B = 64
+        k = 1_280_000
+        for h in np.logspace(2, math.log10(k * 0.9), 40):
+            assert iblp_optimal_ratio(k, h, B) >= gc_general_lower(k, h, B) * 0.999
+
+    def test_paper_large_cache_approximations(self):
+        """§5.3: ratio ~= k(k+2Bh)/(k-h)^2 when k >= 3h >> B."""
+        k, B = 10**7, 64
+        h = k / 10
+        approx = k * (k + 2 * B * h) / (k - h) ** 2
+        assert iblp_optimal_ratio(k, h, B) == pytest.approx(approx, rel=0.05)

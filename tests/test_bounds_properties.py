@@ -1,0 +1,138 @@
+"""Property-based tests over the closed-form bounds.
+
+These encode the structural relationships the paper's discussion
+relies on — monotonicity in the online size, dominance orderings
+between the bound families, and degeneration to classical caching at
+``B = 1`` — over randomized ``(k, h, B)`` draws *within the model's
+standing assumptions* (§2: ``k ≫ B``; the constructions additionally
+need ``h > B`` and ``a < h``).  Outside that regime the closed forms
+legitimately collapse (e.g. Theorem 2 at ``k ≈ B``), which the unit
+tests cover separately.
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.bounds import (
+    block_cache_lower,
+    gc_general_lower,
+    general_a_lower,
+    iblp_optimal_item_layer,
+    iblp_optimal_ratio,
+    iblp_ratio,
+    item_cache_lower,
+    sleator_tarjan_lower,
+)
+
+_b = st.integers(2, 64)
+_h_mult = st.floats(2.0, 100.0)  # h = B * mult keeps h > B
+_k_mult = st.floats(2.0, 200.0)  # k = h * mult keeps k >> h >= B
+
+
+def _khB(B, h_mult, k_mult):
+    h = B * h_mult
+    k = h * k_mult
+    return k, h, B
+
+
+@settings(max_examples=200, deadline=None)
+@given(B=_b, hm=_h_mult, km=_k_mult)
+def test_gc_lower_dominates_sleator_tarjan(B, hm, km):
+    k, h, B = _khB(B, hm, km)
+    assert gc_general_lower(k, h, B) >= sleator_tarjan_lower(k, h) - 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(B=_b, hm=_h_mult, km=_k_mult)
+def test_general_lower_is_weakest_specialization(B, hm, km):
+    k, h, B = _khB(B, hm, km)
+    assert gc_general_lower(k, h, B) <= item_cache_lower(k, h, B) + 1e-9
+    blk = block_cache_lower(k, h, B)
+    if not math.isinf(blk):
+        assert gc_general_lower(k, h, B) <= blk * (1 + 1e-9) + 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(B=_b, hm=_h_mult, km=_k_mult, a_frac=st.floats(0.0, 1.0))
+def test_theorem4_between_extremes(B, hm, km, a_frac):
+    k, h, B = _khB(B, hm, km)
+    a = 1 + a_frac * (B - 1)
+    assume(a < h)
+    val = general_a_lower(k, h, B, a)
+    extremes = (general_a_lower(k, h, B, 1), general_a_lower(k, h, B, B))
+    assert min(extremes) - 1e-9 <= val <= max(extremes) + 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(B=_b, hm=_h_mult, m1=st.floats(2.0, 50.0), m2=st.floats(2.0, 50.0))
+def test_bounds_decrease_in_k(B, hm, m1, m2):
+    h = B * hm
+    k1, k2 = h * min(m1, m2), h * max(m1, m2)
+    assume(k2 > k1 * 1.01)
+    assert sleator_tarjan_lower(k2, h) <= sleator_tarjan_lower(k1, h) + 1e-9
+    assert gc_general_lower(k2, h, B) <= gc_general_lower(k1, h, B) + 1e-9
+    assert iblp_optimal_ratio(k2, h, B) <= iblp_optimal_ratio(k1, h, B) * (
+        1 + 1e-6
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(hm=st.floats(2.0, 1000.0), km=_k_mult)
+def test_b1_degenerates_to_classical(hm, km):
+    h = 1 + hm
+    k = h * km
+    st_bound = sleator_tarjan_lower(k, h)
+    assert item_cache_lower(k, h, 1) == pytest.approx(st_bound)
+    assert gc_general_lower(k, h, 1) == pytest.approx(st_bound)
+    # §5.3's IBLP bound is derived for large B; at B = 1 it stays
+    # within a small constant of LRU's tight ratio.
+    assert iblp_optimal_ratio(k, h, 1) <= 3 * k / (k - h) + 1e-9
+
+
+@settings(max_examples=150, deadline=None)
+@given(B=_b, hm=_h_mult, km=_k_mult)
+def test_upper_dominates_lower(B, hm, km):
+    k, h, B = _khB(B, hm, km)
+    assert iblp_optimal_ratio(k, h, B) >= gc_general_lower(k, h, B) * (
+        1 - 1e-9
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(B=_b, hm=_h_mult, km=_k_mult)
+def test_optimal_split_is_argmin_locally(B, hm, km):
+    """Perturbing the §5.3 split never improves Theorem 7."""
+    k, h, B = _khB(B, hm, km)
+    i_star = iblp_optimal_item_layer(k, h, B)
+    if i_star >= k:  # small-k regime: pure item cache
+        return
+    best = iblp_ratio(i_star, k - i_star, h, B)
+    for delta in (-0.05, 0.05):
+        i = i_star * (1 + delta)
+        if h < i <= k:
+            assert iblp_ratio(i, k - i, h, B) >= best * (1 - 1e-6)
+
+
+@settings(max_examples=150, deadline=None)
+@given(B=_b, hm=_h_mult, km=_k_mult)
+def test_ratio_at_least_one(B, hm, km):
+    k, h, B = _khB(B, hm, km)
+    assert gc_general_lower(k, h, B) >= 1.0 - 1e-9
+    assert iblp_optimal_ratio(k, h, B) >= 1.0 - 1e-9
+
+
+@settings(max_examples=150, deadline=None)
+@given(B=_b, hm=_h_mult, km=_k_mult)
+def test_gap_tapers_with_augmentation(B, hm, km):
+    """§4.4: the GC/ST gap is ~B at k=2h and ~1 at k=B*h and beyond."""
+    h = B * hm
+    gap_at_2h = gc_general_lower(2 * h, h, B) / sleator_tarjan_lower(2 * h, h)
+    gap_at_bh = gc_general_lower(4 * B * h, h, B) / sleator_tarjan_lower(
+        4 * B * h, h
+    )
+    assert gap_at_2h > gap_at_bh
+    assert gap_at_2h >= B / 4
+    assert gap_at_bh <= 3.0

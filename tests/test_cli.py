@@ -1,0 +1,154 @@
+"""CLI tests: parsing and end-to-end dispatch."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_help_lists_subcommands(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--help"])
+    out = capsys.readouterr().out
+    for cmd in ("table", "figure", "simulate", "adversarial", "profile"):
+        assert cmd in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_table1(capsys):
+    assert main(["table", "1", "--h", "1000", "--B", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "gc_upper" in out
+
+
+def test_table2(capsys):
+    assert main(["table", "2", "--B", "16", "--p", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+
+
+def test_figure2(capsys):
+    assert main(["figure", "2", "--trials", "2"]) == 0
+    assert "ALL EQUAL" in capsys.readouterr().out
+
+
+def test_figure3(capsys):
+    assert main(["figure", "3", "--points", "30"]) == 0
+    assert "Figure 3" in capsys.readouterr().out
+
+
+def test_figure5(capsys):
+    assert main(["figure", "5", "--B", "8"]) == 0
+    assert "LP validation" in capsys.readouterr().out
+
+
+def test_figure6(capsys):
+    assert main(["figure", "6", "--points", "20"]) == 0
+    assert "Figure 6" in capsys.readouterr().out
+
+
+def test_simulate(capsys):
+    code = main(
+        [
+            "simulate",
+            "--policy",
+            "iblp",
+            "--workload",
+            "zipf",
+            "--capacity",
+            "64",
+            "--length",
+            "2000",
+            "--universe",
+            "512",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "misses" in out
+
+
+def test_simulate_rejects_unknown_policy():
+    with pytest.raises(SystemExit):
+        main(["simulate", "--policy", "nope", "--workload", "zipf", "--capacity", "8"])
+
+
+def test_profile(capsys):
+    assert (
+        main(
+            [
+                "profile",
+                "--workload",
+                "markov",
+                "--length",
+                "3000",
+                "--universe",
+                "256",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "polynomial fit" in out
+
+
+def test_adversarial_small(capsys):
+    assert main(["adversarial", "--k", "64", "--h", "24", "--B", "4", "--cycles", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "thm2_item" in out
+
+
+def test_schematics(capsys):
+    assert main(["schematics"]) == 0
+    assert "Figure 4" in capsys.readouterr().out
+
+
+def test_mrc(capsys):
+    assert (
+        main(
+            [
+                "mrc",
+                "--workload",
+                "zipf",
+                "--length",
+                "3000",
+                "--universe",
+                "512",
+                "--capacities",
+                "16,64",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Mattson MRC" in out
+    assert "item_lru_miss_ratio" in out
+
+
+def test_simulate_trace_file(tmp_path, capsys):
+    trace = tmp_path / "t.trace"
+    trace.write_text("\n".join(str(i % 64) for i in range(400)))
+    code = main(
+        [
+            "simulate",
+            "--policy",
+            "iblp",
+            "--trace-file",
+            str(trace),
+            "--capacity",
+            "16",
+            "--block-size",
+            "8",
+        ]
+    )
+    assert code == 0
+    assert "misses" in capsys.readouterr().out
+
+
+def test_simulate_requires_some_source():
+    with pytest.raises(SystemExit):
+        main(["simulate", "--policy", "iblp", "--capacity", "16"])

@@ -1,0 +1,32 @@
+"""§6 randomized-claims experiment tests."""
+
+from repro.experiments import gcm_analysis
+
+
+def test_block_walk_b_factor():
+    rows = gcm_analysis.block_walk(k=128, B=8, blocks=128, seeds=range(3))
+    by = {r["label"]: r for r in rows}
+    # Deterministic on this trace: exactly one miss per block vs one
+    # per item.
+    assert by["marking-lru"]["mean"] == 8 * by["gcm"]["mean"]
+    assert by["gcm"]["std"] == 0.0  # scan leaves no room for randomness
+
+
+def test_pollution_separation_with_confidence():
+    rows = gcm_analysis.pollution(k=128, B=8, length=10_000, seeds=range(4))
+    by = {r["label"]: r for r in rows}
+    assert by["gcm"]["ci_high"] < by["gcm-markall"]["ci_low"]
+    # GCM converges: it pays little more than the cold working set.
+    assert by["gcm"]["mean"] < 0.05 * by["gcm-markall"]["mean"]
+
+
+def test_partial_dial_monotone_on_spatial_mix():
+    rows = gcm_analysis.partial_dial(k=128, B=8, length=10_000, seeds=range(3))
+    means = [r["mean"] for r in rows]  # load_count = 1, 2, 4, 8
+    assert means[0] > means[-1]
+    assert all(a >= b * 0.95 for a, b in zip(means, means[1:]))
+
+
+def test_render_smoke():
+    text = gcm_analysis.render(k=64, B=4)
+    assert "block walk" in text and "pollution" in text

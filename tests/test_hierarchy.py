@@ -1,0 +1,114 @@
+"""Two-level hierarchy simulator tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import FixedBlockMapping
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError
+from repro.hierarchy import TwoLevelSimulator, traffic_cost
+from repro.policies import IBLP, BlockLRU, ItemLRU
+from repro.workloads import dram_cache_workload, sequential_scan
+
+
+@pytest.fixture
+def mapping():
+    return FixedBlockMapping(universe=128, block_size=8)
+
+
+def test_counters_consistent(mapping):
+    trace = Trace(
+        np.random.default_rng(0).integers(0, 128, 2000, dtype=np.int64),
+        mapping,
+    )
+    stats = TwoLevelSimulator(ItemLRU(16, mapping), open_rows=2).run(trace)
+    assert stats.accesses == 2000
+    assert stats.l1_hits + stats.l1_misses == 2000
+    assert stats.row_activations + stats.row_buffer_hits == stats.l1_misses
+    assert stats.items_transferred >= stats.l1_misses
+
+
+def test_scan_one_activation_per_block(mapping):
+    trace = sequential_scan(128, block_size=8)
+    # Item cache misses every item, but consecutive misses stay in the
+    # same open row: one activation per block, seven buffer hits.
+    stats = TwoLevelSimulator(ItemLRU(16, mapping), open_rows=1).run(trace)
+    assert stats.row_activations == 16
+    assert stats.row_buffer_hits == 128 - 16
+
+    # A block cache turns the buffer reads into L1 hits instead.
+    stats_blk = TwoLevelSimulator(BlockLRU(16, mapping), open_rows=1).run(trace)
+    assert stats_blk.row_activations == 16
+    assert stats_blk.row_buffer_hits == 0
+    assert stats_blk.l1_hits == 128 - 16
+
+
+def test_interleaved_misses_thrash_single_row(mapping):
+    # Alternate between two blocks: with one open row every miss
+    # activates; with two rows the second pass hits the buffers.
+    items = np.array([0, 8, 1, 9, 2, 10, 3, 11], dtype=np.int64)
+    trace = Trace(items, mapping)
+    one = TwoLevelSimulator(ItemLRU(4, mapping), open_rows=1).run(trace)
+    two = TwoLevelSimulator(ItemLRU(4, mapping), open_rows=2).run(trace)
+    assert one.row_activations == 8
+    assert two.row_activations == 2
+
+
+def test_subset_loading_amortizes_activations():
+    trace = dram_cache_workload(length=20_000, rows=128, lines_per_row=32, seed=1)
+    k = 512
+    item = TwoLevelSimulator(ItemLRU(k, trace.mapping), open_rows=4).run(trace)
+    iblp = TwoLevelSimulator(IBLP(k, trace.mapping), open_rows=4).run(trace)
+    # IBLP pulls far more items per activation and suffers far fewer
+    # L1 misses.  (On bursty row traffic the open-row buffers already
+    # coalesce the item cache's misses, so raw activation counts are
+    # similar — the buffer is exactly why the GC model charges subset
+    # loads nothing.)
+    assert iblp.mean_items_per_activation > 3 * item.mean_items_per_activation
+    assert iblp.l1_misses < item.l1_misses * 1.1
+
+
+def test_block_policies_cut_activations_on_interleaved_streams():
+    from repro.workloads import interleaved_streams
+
+    trace = interleaved_streams(
+        16_000, streams=8, blocks_per_stream=32, block_size=8
+    )
+    k = 256
+    item = TwoLevelSimulator(ItemLRU(k, trace.mapping), open_rows=1).run(trace)
+    iblp = TwoLevelSimulator(IBLP(k, trace.mapping), open_rows=1).run(trace)
+    # Interleaving defeats the single open row, so the item cache
+    # activates on essentially every access; IBLP activates once per
+    # block and serves the rest from its block layer.
+    assert item.row_activations > 4 * iblp.row_activations
+
+
+def test_traffic_cost_tradeoff(mapping):
+    trace = sequential_scan(128, block_size=8)
+    stats = TwoLevelSimulator(BlockLRU(16, mapping), open_rows=1).run(trace)
+    cheap_transfer = traffic_cost(stats, transfer_cost=0.0)
+    pricey_transfer = traffic_cost(stats, transfer_cost=10.0)
+    assert pricey_transfer > cheap_transfer
+    with pytest.raises(ConfigurationError):
+        traffic_cost(stats, activation_cost=-1)
+
+
+def test_offline_policy_supported(mapping):
+    from repro.policies import BeladyItem
+
+    trace = Trace(np.array([0, 1, 0, 9, 0]), mapping)
+    stats = TwoLevelSimulator(BeladyItem(2, mapping)).run(trace)
+    assert stats.accesses == 5
+
+
+def test_rejects_bad_open_rows(mapping):
+    with pytest.raises(ConfigurationError):
+        TwoLevelSimulator(ItemLRU(4, mapping), open_rows=0)
+
+
+def test_as_row_flattens(mapping):
+    trace = Trace(np.array([0, 1]), mapping)
+    stats = TwoLevelSimulator(ItemLRU(4, mapping)).run(trace)
+    row = stats.as_row()
+    assert row["policy"] == "item-lru"
+    assert row["accesses"] == 2

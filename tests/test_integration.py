@@ -1,0 +1,157 @@
+"""End-to-end integration tests tying policies, workloads, and theory."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import grid, sweep
+from repro.core.engine import simulate
+from repro.core.mapping import FixedBlockMapping
+from repro.core.trace import Trace
+from repro.locality.profile import profile_trace
+from repro.bounds.locality import fault_rate_lower, iblp_fault_rate_upper
+from repro.offline.heuristics import BeladyGC
+from repro.policies import (
+    GCM,
+    IBLP,
+    BlockLRU,
+    ItemLRU,
+    make_policy,
+    policy_names,
+)
+from repro.workloads import (
+    dram_cache_workload,
+    hot_and_stream,
+    markov_spatial,
+    page_cache_workload,
+    sequential_scan,
+    zipf_items,
+)
+
+ONLINE = sorted(n for n in policy_names() if not n.startswith("belady"))
+
+
+def test_every_policy_survives_every_workload():
+    """Full cross-product under referee validation."""
+    workloads = [
+        zipf_items(1500, 256, block_size=8, seed=1),
+        sequential_scan(256, block_size=8, repeats=6),
+        markov_spatial(1500, 256, block_size=8, stay=0.7, seed=2),
+        hot_and_stream(1500, hot_items=16, stream_blocks=24, block_size=8, seed=3),
+    ]
+    for trace in workloads:
+        for name in ONLINE:
+            res = simulate(
+                make_policy(name, 32, trace.mapping),
+                trace,
+                cross_check_every=200,
+            )
+            assert res.accesses == len(trace), (name, trace.metadata)
+
+
+def test_offline_beladygc_dominates_online_policies():
+    """The clairvoyant heuristic should beat every online policy on
+    realistic workloads (it is not OPT, but it sees the future)."""
+    trace = markov_spatial(4000, 512, block_size=8, stay=0.8, seed=4)
+    k = 64
+    offline = simulate(BeladyGC(k, trace.mapping), trace).misses
+    for name in ("item-lru", "block-lru", "iblp", "gcm"):
+        online = simulate(make_policy(name, k, trace.mapping), trace).misses
+        assert offline <= online, name
+
+
+def test_spatial_workload_ranking():
+    """On pure streams: block-loading policies beat item caches by ~B."""
+    trace = sequential_scan(4096, block_size=8, repeats=2)
+    k = 128
+    item = simulate(ItemLRU(k, trace.mapping), trace).misses
+    block = simulate(BlockLRU(k, trace.mapping), trace).misses
+    iblp = simulate(IBLP(k, trace.mapping), trace).misses
+    gcm = simulate(GCM(k, trace.mapping), trace).misses
+    assert item == pytest.approx(8 * block, rel=0.01)
+    assert iblp == block
+    assert gcm == block
+
+
+def test_temporal_workload_ranking():
+    """On scattered hot items, item caches beat block caches."""
+    trace = zipf_items(20_000, 4096, alpha=1.1, block_size=8, seed=5)
+    k = 256
+    item = simulate(ItemLRU(k, trace.mapping), trace).misses
+    block = simulate(BlockLRU(k, trace.mapping), trace).misses
+    assert item < block
+
+
+def test_dram_scenario_iblp_competitive():
+    """On the DRAM-row scenario IBLP tracks the better baseline."""
+    trace = dram_cache_workload(length=30_000, rows=256, lines_per_row=32, seed=6)
+    k = 512
+    misses = {
+        name: simulate(make_policy(name, k, trace.mapping), trace).misses
+        for name in ("item-lru", "block-lru", "iblp")
+    }
+    assert misses["iblp"] <= 1.25 * min(misses.values())
+
+
+def test_page_cache_scenario_runs_all_policies():
+    trace = page_cache_workload(length=10_000, files=32, pages_per_file=16, seed=7)
+    k = 256
+    for name in ("item-lru", "block-lru", "iblp", "gcm"):
+        res = simulate(make_policy(name, k, trace.mapping), trace)
+        assert 0 < res.misses < len(trace)
+
+
+def test_profile_bounds_bracket_measured_fault_rate():
+    """Theorems 8/11 evaluated on the *empirical* profile bracket IBLP."""
+    trace = markov_spatial(20_000, 512, block_size=8, stay=0.85, seed=8)
+    k = 64
+    prof = profile_trace(trace)
+    loc = prof.to_bounds()
+    res = simulate(IBLP(k, trace.mapping), trace)
+    upper = iblp_fault_rate_upper(loc, k // 2, k - k // 2, 8)
+    # The upper bound holds for adversarially-ordered traces with this
+    # profile; a concrete trace must respect it (with slack for the
+    # bound's O(1) terms at small sizes).
+    assert res.miss_ratio <= upper * 1.5 + 0.05
+    # The Theorem 8 lower bound is worst-case over policies, so it may
+    # exceed this particular policy's rate, but it must be a valid rate.
+    assert 0 <= fault_rate_lower(loc, k) <= 1
+
+
+def test_sweep_integrates_with_simulator():
+    def cell(policy, k):
+        trace = zipf_items(1000, 256, block_size=8, seed=9)
+        res = simulate(make_policy(policy, k, trace.mapping), trace)
+        return {"misses": res.misses}
+
+    rows = sweep(cell, grid(policy=["item-lru", "iblp"], k=[16, 64]))
+    assert len(rows) == 4
+    by = {(r["policy"], r["k"]): r["misses"] for r in rows}
+    assert by[("item-lru", 64)] <= by[("item-lru", 16)]
+
+
+def test_trace_roundtrip_preserves_simulation(tmp_path):
+    trace = hot_and_stream(3000, hot_items=16, stream_blocks=32, block_size=8, seed=10)
+    path = tmp_path / "ht.npz"
+    trace.save(path)
+    loaded = Trace.load(path)
+    a = simulate(IBLP(64, trace.mapping), trace).misses
+    b = simulate(IBLP(64, loaded.mapping), loaded).misses
+    assert a == b
+
+
+def test_iblp_even_split_reasonable_everywhere():
+    """Even-split IBLP is never catastrophically worse than the best
+    single-granularity baseline across the workload zoo (§7.3's
+    argument that IBLP 'performs well in practice')."""
+    k = 128
+    workloads = [
+        zipf_items(10_000, 1024, block_size=8, seed=11),
+        sequential_scan(1024, block_size=8, repeats=8),
+        markov_spatial(10_000, 1024, block_size=8, stay=0.8, seed=12),
+        hot_and_stream(10_000, hot_items=32, stream_blocks=96, block_size=8, seed=13),
+    ]
+    for trace in workloads:
+        iblp = simulate(IBLP(k, trace.mapping), trace).misses
+        item = simulate(ItemLRU(k, trace.mapping), trace).misses
+        block = simulate(BlockLRU(k, trace.mapping), trace).misses
+        assert iblp <= 2.2 * min(item, block), trace.metadata

@@ -1,0 +1,165 @@
+"""Item-granularity policy tests (LRU, FIFO, MRU, CLOCK, LFU, Random)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.mapping import FixedBlockMapping
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError
+from repro.policies import (
+    ItemClock,
+    ItemFIFO,
+    ItemLFU,
+    ItemLRU,
+    ItemMRU,
+    ItemRandom,
+)
+
+ALL_ITEM_POLICIES = [ItemLRU, ItemFIFO, ItemMRU, ItemClock, ItemLFU, ItemRandom]
+
+
+@pytest.fixture
+def mapping():
+    return FixedBlockMapping(universe=64, block_size=4)
+
+
+@pytest.mark.parametrize("cls", ALL_ITEM_POLICIES)
+def test_loads_only_requested_item(cls, mapping):
+    policy = cls(8, mapping)
+    out = policy.access(0)
+    assert not out.hit
+    assert out.loaded == frozenset([0])
+    assert policy.contains(0)
+    assert not policy.contains(1)  # same block, not loaded
+
+
+@pytest.mark.parametrize("cls", ALL_ITEM_POLICIES)
+def test_never_exceeds_capacity(cls, mapping):
+    trace = Trace(
+        np.random.default_rng(1).integers(0, 64, 500, dtype=np.int64), mapping
+    )
+    res = simulate(cls(5, mapping), trace, cross_check_every=50)
+    assert res.accesses == 500
+
+
+@pytest.mark.parametrize("cls", ALL_ITEM_POLICIES)
+def test_no_spatial_hits_ever(cls, mapping):
+    """Item caches never side-load, so spatial hits are impossible."""
+    trace = Trace(np.arange(64), mapping)
+    res = simulate(cls(16, mapping), trace)
+    assert res.spatial_hits == 0
+    assert res.misses == 64
+
+
+@pytest.mark.parametrize("cls", ALL_ITEM_POLICIES)
+def test_rejects_nonpositive_capacity(cls, mapping):
+    with pytest.raises(ConfigurationError):
+        cls(0, mapping)
+
+
+def test_lru_eviction_order(mapping):
+    p = ItemLRU(2, mapping)
+    p.access(0)
+    p.access(1)
+    p.access(0)  # 1 is now LRU
+    out = p.access(2)
+    assert out.evicted == frozenset([1])
+
+
+def test_fifo_ignores_hits(mapping):
+    p = ItemFIFO(2, mapping)
+    p.access(0)
+    p.access(1)
+    p.access(0)  # hit: must NOT refresh 0's position
+    out = p.access(2)
+    assert out.evicted == frozenset([0])
+
+
+def test_mru_evicts_most_recent(mapping):
+    p = ItemMRU(3, mapping)
+    for x in (0, 1, 2):
+        p.access(x)
+    out = p.access(3)
+    assert out.evicted == frozenset([2])
+
+
+def test_lru_cyclic_scan_thrashes(mapping):
+    """Classic: LRU gets zero hits on a cycle one larger than cache."""
+    k = 8
+    trace = Trace(
+        np.array([i % (k + 1) for i in range(10 * (k + 1))]), mapping
+    )
+    res = simulate(ItemLRU(k, mapping), trace)
+    assert res.hits == 0
+
+
+def test_mru_cyclic_scan_wins(mapping):
+    """MRU retains most of a cycling working set."""
+    k = 8
+    trace = Trace(
+        np.array([i % (k + 1) for i in range(10 * (k + 1))]), mapping
+    )
+    mru = simulate(ItemMRU(k, mapping), trace)
+    lru = simulate(ItemLRU(k, mapping), trace)
+    assert mru.misses < lru.misses
+
+
+def test_lfu_prefers_frequent_items(mapping):
+    p = ItemLFU(2, mapping)
+    p.access(0)
+    p.access(0)
+    p.access(1)
+    out = p.access(2)  # 1 has frequency 1, 0 has 2
+    assert out.evicted == frozenset([1])
+
+
+def test_lfu_tie_breaks_by_recency(mapping):
+    p = ItemLFU(2, mapping)
+    p.access(0)
+    p.access(1)  # both frequency 1; 0 older
+    out = p.access(2)
+    assert out.evicted == frozenset([0])
+
+
+def test_clock_approximates_lru_on_zipf(mapping):
+    """CLOCK should land in LRU's neighbourhood on skewed traffic."""
+    rng = np.random.default_rng(3)
+    weights = (np.arange(1, 65, dtype=float)) ** -1.2
+    weights /= weights.sum()
+    items = rng.choice(64, size=4000, p=weights)
+    trace = Trace(items.astype(np.int64), mapping)
+    lru = simulate(ItemLRU(16, mapping), trace).misses
+    clock = simulate(ItemClock(16, mapping), trace).misses
+    assert clock <= lru * 1.3
+
+
+def test_random_policy_is_seed_deterministic(mapping):
+    trace = Trace(
+        np.random.default_rng(7).integers(0, 64, 800, dtype=np.int64), mapping
+    )
+    a = simulate(ItemRandom(8, mapping, seed=5), trace).misses
+    b = simulate(ItemRandom(8, mapping, seed=5), trace).misses
+    c = simulate(ItemRandom(8, mapping, seed=6), trace).misses
+    assert a == b
+    # Different seeds will usually differ; only assert both are sane.
+    assert 0 < c <= 800
+
+
+def test_reset_restores_empty_state(mapping):
+    p = ItemLRU(4, mapping)
+    p.access(0)
+    p.reset()
+    assert not p.contains(0)
+    assert p.resident_items() == frozenset()
+
+
+def test_random_reset_restores_seed(mapping):
+    p = ItemRandom(4, mapping, seed=9)
+    trace = Trace(
+        np.random.default_rng(2).integers(0, 64, 300, dtype=np.int64), mapping
+    )
+    first = simulate(p, trace).misses
+    p.reset()
+    second = simulate(p, trace).misses
+    assert first == second

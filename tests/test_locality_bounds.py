@@ -1,0 +1,144 @@
+"""Locality-model bound tests (Theorems 8-11, Table 2)."""
+
+import math
+
+import pytest
+
+from repro.bounds.locality import (
+    LocalityBounds,
+    block_layer_fault_upper,
+    fault_rate_lower,
+    gap_vs_baseline,
+    iblp_fault_rate_upper,
+    item_layer_fault_upper,
+    table2_asymptotics,
+)
+from repro.errors import ConfigurationError
+from repro.locality.functions import PolynomialLocality
+
+
+def _family(p=2.0, gamma=1.0):
+    return PolynomialLocality(p=p, gamma=gamma).to_bounds()
+
+
+class TestTheorem8:
+    def test_formula_sqrt_family(self):
+        loc = _family(p=2.0, gamma=1.0)
+        k = 100.0
+        window = (k + 1) ** 2 - 2
+        assert fault_rate_lower(loc, k) == pytest.approx(
+            math.sqrt(window) / window
+        )
+
+    def test_spatial_locality_lowers_bound(self):
+        k = 64.0
+        no_spatial = fault_rate_lower(_family(gamma=1.0), k)
+        spatial = fault_rate_lower(_family(gamma=8.0), k)
+        assert spatial < no_spatial
+        assert spatial == pytest.approx(no_spatial / 8.0, rel=1e-6)
+
+    def test_clamped_to_one(self):
+        # f(n) = n: no locality at all.
+        loc = LocalityBounds(f=lambda n: n, g=lambda n: n)
+        assert fault_rate_lower(loc, 5) == 1.0
+
+    def test_rejects_bad_cache(self):
+        with pytest.raises(ConfigurationError):
+            fault_rate_lower(_family(), 0)
+
+
+class TestTheorem9And10:
+    def test_item_layer_formula(self):
+        loc = _family(p=2.0)
+        i = 50.0
+        assert item_layer_fault_upper(loc, i) == pytest.approx(
+            (i - 1) / ((i + 1) ** 2 - 2)
+        )
+
+    def test_block_layer_uses_g_inverse(self):
+        B = 4.0
+        loc = _family(p=2.0, gamma=B)  # g(n) = sqrt(n)/B
+        b = 64.0
+        eff = b / B
+        window = ((eff + 1) * B) ** 2 - 2
+        assert block_layer_fault_upper(loc, b, B) == pytest.approx(
+            (eff - 1) / window
+        )
+
+    def test_block_layer_saturates_when_tiny(self):
+        loc = _family()
+        assert block_layer_fault_upper(loc, 4.0, 8.0) == 1.0
+
+    def test_theorem11_is_min(self):
+        loc = _family(p=2.0, gamma=2.0)
+        i, b, B = 128.0, 128.0, 8.0
+        assert iblp_fault_rate_upper(loc, i, b, B) == min(
+            item_layer_fault_upper(loc, i),
+            block_layer_fault_upper(loc, b, B),
+        )
+
+
+class TestTable2:
+    @pytest.mark.parametrize("p", [2.0, 3.0, 4.0])
+    @pytest.mark.parametrize("B", [8.0, 64.0])
+    def test_asymptotic_coefficients(self, p, B):
+        rows = table2_asymptotics(p=p, B=B)
+        by_label = {r["label"]: r for r in rows}
+        # gamma = 1: LB 1/h^{p-1}, block layer B^{p-1}/b^{p-1}.
+        assert by_label["no_spatial"]["lower_bound_coeff"] == pytest.approx(1.0)
+        assert by_label["no_spatial"]["block_layer_coeff"] == pytest.approx(
+            B ** (p - 1)
+        )
+        # gamma = B^{1-1/p}: block layer coefficient becomes 1.
+        assert by_label["high_spatial"]["block_layer_coeff"] == pytest.approx(
+            1.0
+        )
+        # gamma = B: LB 1/(B h^{p-1}), block layer 1/(B b^{p-1}).
+        assert by_label["max_spatial"]["lower_bound_coeff"] == pytest.approx(
+            1.0 / B
+        )
+        assert by_label["max_spatial"]["block_layer_coeff"] == pytest.approx(
+            1.0 / B
+        )
+        # Item layer is always 1/i^{p-1}.
+        for row in rows:
+            assert row["item_layer_coeff"] == pytest.approx(1.0)
+
+    def test_finite_size_bounds_converge_to_coefficients(self):
+        """Exact Thm 8-10 values approach the Table 2 asymptotics."""
+        p, B = 2.0, 16.0
+        i = b = 2.0**16
+        h = i + b
+        for label, gamma in (
+            ("no_spatial", 1.0),
+            ("max_spatial", B),
+        ):
+            loc = PolynomialLocality(p=p, gamma=gamma).to_bounds()
+            lb = fault_rate_lower(loc, h)
+            expected = (1.0 / gamma) / h ** (p - 1)
+            assert lb == pytest.approx(expected, rel=0.05)
+
+    def test_worst_gap_value(self):
+        assert gap_vs_baseline(2.0, 64.0) == pytest.approx(8.0)
+        assert gap_vs_baseline(4.0, 16.0) == pytest.approx(16.0 ** 0.75)
+
+    def test_gap_approaches_b_for_large_p(self):
+        assert gap_vs_baseline(1000.0, 64.0) == pytest.approx(64.0, rel=0.05)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            table2_asymptotics(p=0.5, B=8)
+        with pytest.raises(ConfigurationError):
+            gap_vs_baseline(2.0, 0.5)
+
+
+class TestNumericInverseFallback:
+    def test_fallback_matches_exact(self):
+        fam = PolynomialLocality(p=2.0, gamma=2.0)
+        no_inverse = LocalityBounds(f=fam.f, g=fam.g)
+        assert no_inverse.finv(50.0) == pytest.approx(
+            fam.f_inverse(50.0), rel=1e-6
+        )
+        assert no_inverse.ginv(10.0) == pytest.approx(
+            fam.g_inverse(10.0), rel=1e-6
+        )

@@ -1,0 +1,161 @@
+"""Locality package tests: analytic families, profiling, generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import FixedBlockMapping
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError
+from repro.locality import (
+    LocalityProfile,
+    PolynomialLocality,
+    concavity_violations,
+    phase_trace,
+    profile_trace,
+)
+from repro.locality.profile import default_windows
+from repro.workloads import markov_spatial, sequential_scan
+
+
+class TestPolynomialLocality:
+    def test_f_and_inverse_roundtrip(self):
+        fam = PolynomialLocality(p=3.0, gamma=2.0, c=1.5)
+        for n in (1.0, 10.0, 1234.0):
+            assert fam.f_inverse(fam.f(n)) == pytest.approx(n, rel=1e-9)
+
+    def test_g_and_inverse_roundtrip(self):
+        fam = PolynomialLocality(p=2.0, gamma=4.0)
+        for n in (100.0, 5000.0):
+            assert fam.g_inverse(fam.g(n)) == pytest.approx(n, rel=1e-9)
+
+    def test_g_floor_at_one(self):
+        fam = PolynomialLocality(p=2.0, gamma=100.0)
+        assert fam.g(4.0) == 1.0  # sqrt(4)/100 < 1 clamps
+
+    def test_spatial_ratio(self):
+        fam = PolynomialLocality(p=2.0, gamma=8.0)
+        assert fam.spatial_ratio(10_000.0) == pytest.approx(8.0)
+
+    def test_worst_gap_constructor(self):
+        fam = PolynomialLocality.worst_gap(p=2.0, B=64.0)
+        assert fam.gamma == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PolynomialLocality(p=0.5)
+        with pytest.raises(ConfigurationError):
+            PolynomialLocality(gamma=0.5)
+        with pytest.raises(ConfigurationError):
+            PolynomialLocality(c=0.0)
+
+    def test_to_bounds_uses_exact_inverses(self):
+        fam = PolynomialLocality(p=2.0, gamma=2.0)
+        loc = fam.to_bounds()
+        assert loc.finv(50.0) == pytest.approx(2500.0)
+        assert loc.ginv(50.0) == pytest.approx(10_000.0)
+
+
+class TestConcavity:
+    def test_concave_sequence_clean(self):
+        assert concavity_violations([1, 10, 15, 18, 20]) == []
+
+    def test_detects_convex_jump(self):
+        # Increment 3->10 exceeds 2->3; flagged at the middle index.
+        assert concavity_violations([1, 2, 3, 10]) == [2]
+
+    def test_detects_decrease(self):
+        assert concavity_violations([5, 3, 2]) != []
+
+
+class TestProfile:
+    def test_scan_profile_shapes(self):
+        trace = sequential_scan(universe=256, block_size=8)
+        prof = profile_trace(trace, windows=[1, 8, 64, 256])
+        assert prof.f_values.tolist() == [1, 8, 64, 256]
+        # A window of n consecutive addresses straddles ceil(n/B)+1
+        # blocks at most.
+        assert prof.g_values[1] <= 2
+        assert prof.g_values[2] <= 9
+
+    def test_spatial_ratio_reflects_block_runs(self):
+        trace = sequential_scan(universe=512, block_size=8)
+        prof = profile_trace(trace, windows=[64])
+        assert prof.spatial_ratio()[0] >= 6.0  # near B
+
+    def test_f_inverse_interpolation(self):
+        prof = LocalityProfile(
+            windows=np.array([1, 10, 100]),
+            f_values=np.array([1, 5, 20]),
+            g_values=np.array([1, 3, 10]),
+            block_size=4,
+        )
+        assert prof.f_inverse(5.0) == pytest.approx(10.0)
+        assert 10.0 < prof.f_inverse(6.0) < 100.0
+        assert prof.f_inverse(0.5) == 1.0
+        # Beyond the samples: linear extrapolation with final slope.
+        assert prof.f_inverse(30.0) > 100.0
+
+    def test_to_bounds_integration(self):
+        trace = markov_spatial(5000, universe=256, block_size=8, stay=0.9, seed=1)
+        prof = profile_trace(trace)
+        loc = prof.to_bounds()
+        assert loc.f(10.0) <= 10.0
+        assert loc.g(10.0) <= loc.f(10.0)
+
+    def test_fit_polynomial_recovers_order(self):
+        # A trace with strong reuse should fit p noticeably above 1.
+        trace = markov_spatial(20_000, universe=128, block_size=8, stay=0.9, seed=2)
+        c, p, gamma = profile_trace(trace).fit_polynomial()
+        assert p > 1.1
+        assert gamma >= 1.0
+
+    def test_empty_trace_rejected(self):
+        mapping = FixedBlockMapping(universe=8, block_size=2)
+        trace = Trace(np.array([], dtype=np.int64), mapping)
+        with pytest.raises(ConfigurationError):
+            profile_trace(trace)
+
+    def test_default_windows_cover_range(self):
+        ws = default_windows(10_000)
+        assert ws[0] == 1
+        assert ws[-1] == 10_000
+        assert all(a < b for a, b in zip(ws, ws[1:]))
+
+
+class TestPhaseTrace:
+    def test_respects_f_budget(self):
+        fam = PolynomialLocality(p=2.0)
+        trace = phase_trace(
+            fam.f_inverse, fam.g, universe_items=33, block_size=4, phases=3
+        )
+        prof = profile_trace(trace)
+        for n, f_val in zip(prof.windows, prof.f_values):
+            assert f_val <= fam.f(float(n)) + 1
+
+    def test_respects_g_budget(self):
+        # +2 tolerance: windows that straddle a block transition (and
+        # the pool's remainder block, k+1 not divisible by B) can hold
+        # one or two extra blocks — the same O(1) slop the proof's
+        # "at most g(...) blocks" partition absorbs.
+        fam = PolynomialLocality(p=2.0, gamma=4.0)
+        trace = phase_trace(
+            fam.f_inverse, fam.g, universe_items=33, block_size=4, phases=3
+        )
+        prof = profile_trace(trace)
+        for n, g_val in zip(prof.windows, prof.g_values):
+            assert g_val <= fam.g(float(n)) + 2
+
+    def test_deterministic_given_seed(self):
+        fam = PolynomialLocality(p=2.0)
+        a = phase_trace(fam.f_inverse, fam.g, 17, 4, phases=2, seed=5)
+        b = phase_trace(fam.f_inverse, fam.g, 17, 4, phases=2, seed=5)
+        assert a.items.tolist() == b.items.tolist()
+
+    def test_rejects_insufficient_locality(self):
+        with pytest.raises(ConfigurationError):
+            phase_trace(lambda y: y - 8, lambda n: n, 33, 4)
+
+    def test_rejects_tiny_universe(self):
+        fam = PolynomialLocality(p=2.0)
+        with pytest.raises(ConfigurationError):
+            phase_trace(fam.f_inverse, fam.g, 1, 4)

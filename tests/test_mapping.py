@@ -1,0 +1,116 @@
+"""Block mapping tests: fixed and explicit partitions."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import ExplicitBlockMapping, FixedBlockMapping
+from repro.errors import ConfigurationError
+
+
+class TestFixedBlockMapping:
+    def test_basic_partition(self):
+        m = FixedBlockMapping(universe=12, block_size=4)
+        assert m.num_blocks == 3
+        assert m.block_of(0) == 0
+        assert m.block_of(5) == 1
+        assert m.items_in(2) == (8, 9, 10, 11)
+
+    def test_partial_last_block(self):
+        m = FixedBlockMapping(universe=10, block_size=4)
+        assert m.num_blocks == 3
+        assert m.items_in(2) == (8, 9)
+        assert m.block_size(2) == 2
+
+    def test_unit_blocks_degenerate_to_traditional(self):
+        m = FixedBlockMapping(universe=5, block_size=1)
+        assert m.num_blocks == 5
+        for i in range(5):
+            assert m.items_in(i) == (i,)
+
+    def test_out_of_range_item(self):
+        m = FixedBlockMapping(universe=8, block_size=4)
+        with pytest.raises(ConfigurationError):
+            m.block_of(8)
+        with pytest.raises(ConfigurationError):
+            m.block_of(-1)
+        with pytest.raises(ConfigurationError):
+            m.items_in(2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            FixedBlockMapping(universe=0, block_size=4)
+        with pytest.raises(ConfigurationError):
+            FixedBlockMapping(universe=4, block_size=0)
+
+    def test_vectorized_blocks_of(self):
+        m = FixedBlockMapping(universe=16, block_size=4)
+        items = np.array([0, 3, 4, 15])
+        assert m.blocks_of(items).tolist() == [0, 0, 1, 3]
+
+    def test_vectorized_range_check(self):
+        m = FixedBlockMapping(universe=8, block_size=4)
+        with pytest.raises(ConfigurationError):
+            m.blocks_of(np.array([0, 99]))
+
+
+class TestExplicitBlockMapping:
+    def test_ragged_blocks(self):
+        # Blocks: {0,1}, {2}, {3,4,5}
+        m = ExplicitBlockMapping([0, 0, 1, 2, 2, 2])
+        assert m.num_blocks == 3
+        assert m.max_block_size == 3
+        assert m.items_in(0) == (0, 1)
+        assert m.items_in(2) == (3, 4, 5)
+        assert m.block_of(2) == 1
+
+    def test_from_groups(self):
+        m = ExplicitBlockMapping.from_groups([[0, 2], [1, 3]])
+        assert m.block_of(0) == m.block_of(2) == 0
+        assert m.block_of(1) == m.block_of(3) == 1
+        assert m.items_in(0) == (0, 2)
+
+    def test_from_groups_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitBlockMapping.from_groups([[0, 1], [1, 2]])
+
+    def test_from_groups_rejects_sparse_items(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitBlockMapping.from_groups([[0, 2]])  # item 1 missing
+
+    def test_rejects_sparse_block_ids(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitBlockMapping([0, 2])  # block 1 empty
+
+    def test_rejects_oversized_block(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitBlockMapping([0, 0, 0], max_block_size=2)
+
+    def test_explicit_max_block_size(self):
+        m = ExplicitBlockMapping([0, 0, 1], max_block_size=5)
+        assert m.max_block_size == 5
+
+    def test_vectorized_blocks_of(self):
+        m = ExplicitBlockMapping([0, 1, 1, 0])
+        assert m.blocks_of(np.array([0, 1, 2, 3])).tolist() == [0, 1, 1, 0]
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitBlockMapping([])
+        with pytest.raises(ConfigurationError):
+            ExplicitBlockMapping([-1, 0])
+
+
+def test_every_item_in_exactly_one_block():
+    """Partition invariant across mapping kinds."""
+    for m in (
+        FixedBlockMapping(universe=20, block_size=6),
+        ExplicitBlockMapping([0, 1, 0, 2, 2, 1, 3, 3, 3, 0]),
+    ):
+        seen = {}
+        for blk in range(m.num_blocks):
+            for item in m.items_in(blk):
+                assert item not in seen
+                seen[item] = blk
+        assert sorted(seen) == list(range(m.universe))
+        for item, blk in seen.items():
+            assert m.block_of(item) == blk

@@ -1,0 +1,130 @@
+"""Marking, GCM and MarkAllGCM tests (§6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.mapping import FixedBlockMapping
+from repro.core.trace import Trace
+from repro.policies import GCM, MarkAllGCM, MarkingLRU
+
+
+@pytest.fixture
+def mapping():
+    return FixedBlockMapping(universe=64, block_size=4)
+
+
+class TestMarkingLRU:
+    def test_loads_single_item(self, mapping):
+        p = MarkingLRU(8, mapping)
+        out = p.access(0)
+        assert out.loaded == frozenset([0])
+
+    def test_marks_on_request(self, mapping):
+        p = MarkingLRU(8, mapping)
+        p.access(0)
+        assert 0 in p.marked_items()
+
+    def test_evicts_unmarked_first(self, mapping):
+        p = MarkingLRU(2, mapping)
+        p.access(0)
+        p.access(4)
+        # New phase triggers when all are marked; before that, both are
+        # marked so phase clears, then LRU-unmarked (0) goes.
+        out = p.access(8)
+        assert out.evicted == frozenset([0])
+
+    def test_phase_reset_when_all_marked(self, mapping):
+        p = MarkingLRU(2, mapping)
+        p.access(0)
+        p.access(4)
+        assert p.marked_items() == frozenset([0, 4])
+        p.access(8)  # forces phase clear + eviction
+        assert 8 in p.marked_items()
+
+    def test_referee_validates(self, mapping):
+        trace = Trace(
+            np.random.default_rng(0).integers(0, 64, 1500, dtype=np.int64),
+            mapping,
+        )
+        res = simulate(MarkingLRU(9, mapping), trace, cross_check_every=97)
+        assert res.accesses == 1500
+
+
+class TestGCM:
+    def test_loads_block_marks_only_requested(self, mapping):
+        p = GCM(16, mapping, seed=0)
+        out = p.access(1)
+        assert out.loaded == frozenset([0, 1, 2, 3])
+        assert p.marked_items() == frozenset([1])
+
+    def test_side_loads_are_eviction_candidates(self, mapping):
+        p = GCM(4, mapping, seed=0)
+        p.access(0)  # loads block 0 (4 items), marks 0
+        out = p.access(4)  # must displace unmarked side-loads, never 0
+        assert 0 not in out.evicted
+        assert p.contains(0)
+        assert p.contains(4)
+
+    def test_markall_variant_marks_side_loads(self, mapping):
+        p = MarkAllGCM(16, mapping, seed=0)
+        p.access(1)
+        assert p.marked_items() == frozenset([0, 1, 2, 3])
+
+    def test_seed_determinism(self, mapping):
+        trace = Trace(
+            np.random.default_rng(2).integers(0, 64, 800, dtype=np.int64),
+            mapping,
+        )
+        a = simulate(GCM(12, mapping, seed=42), trace).misses
+        b = simulate(GCM(12, mapping, seed=42), trace).misses
+        assert a == b
+
+    def test_spatial_hits_on_scan(self, mapping):
+        trace = Trace(np.arange(64), mapping)
+        res = simulate(GCM(16, mapping, seed=1), trace)
+        assert res.misses == 16
+        assert res.spatial_hits == 48
+
+    def test_capacity_one_degenerates(self, mapping):
+        trace = Trace(np.array([0, 1, 0, 1]), mapping)
+        res = simulate(GCM(1, mapping, seed=0), trace)
+        assert res.misses == 4  # no room for any side load
+
+    def test_block_oblivious_marking_pays_b_per_block(self, mapping):
+        """§6: plain marking misses B times where GCM misses once."""
+        trace = Trace(np.arange(64), mapping)  # whole-block walk
+        marking = simulate(MarkingLRU(16, mapping), trace).misses
+        gcm = simulate(GCM(16, mapping, seed=0), trace).misses
+        assert marking == 64
+        assert gcm == 16
+        assert marking == mapping.max_block_size * gcm
+
+    def test_markall_pollutes_on_sparse_traffic(self, mapping):
+        """Marking side loads shrinks the effective phase (§6)."""
+        # One item per block: side loads are pure pollution.
+        items = np.arange(0, 64, 4)
+        trace = Trace(np.tile(items, 30), mapping)
+        k = 8
+        gcm = simulate(GCM(k, mapping, seed=3), trace).misses
+        markall = simulate(MarkAllGCM(k, mapping, seed=3), trace).misses
+        assert gcm <= markall
+
+    def test_referee_validates(self, mapping):
+        trace = Trace(
+            np.random.default_rng(8).integers(0, 64, 1500, dtype=np.int64),
+            mapping,
+        )
+        for cls in (GCM, MarkAllGCM):
+            res = simulate(cls(10, mapping, seed=5), trace, cross_check_every=71)
+            assert res.accesses == 1500
+
+    def test_reset_restores_seed(self, mapping):
+        p = GCM(8, mapping, seed=13)
+        trace = Trace(
+            np.random.default_rng(1).integers(0, 64, 500, dtype=np.int64),
+            mapping,
+        )
+        first = simulate(p, trace).misses
+        p.reset()
+        assert simulate(p, trace).misses == first

@@ -1,0 +1,80 @@
+"""Coverage for small helpers and cross-extension interplay."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import miss_counts, simulate
+from repro.core.mapping import FixedBlockMapping
+from repro.core.readwrite import WritebackSimulator, make_rw_trace
+from repro.core.trace import Trace
+from repro.hierarchy import TwoLevelSimulator
+from repro.policies import GCM, AdaptiveIBLP, BlockLRU, ItemLRU
+from repro.workloads import markov_spatial, zipf_items
+
+
+def test_miss_counts_helper():
+    mapping = FixedBlockMapping(universe=64, block_size=4)
+    trace = Trace(np.arange(64), mapping)
+    counts = miss_counts(
+        {"item": ItemLRU(16, mapping), "block": BlockLRU(16, mapping)}, trace
+    )
+    assert counts == {"item": 64, "block": 16}
+
+
+def test_hierarchy_with_adaptive_policy():
+    trace = markov_spatial(8000, 512, block_size=8, stay=0.8, seed=1)
+    stats = TwoLevelSimulator(
+        AdaptiveIBLP(64, trace.mapping), open_rows=2
+    ).run(trace)
+    assert stats.accesses == 8000
+    assert stats.row_activations + stats.row_buffer_hits == stats.l1_misses
+
+
+def test_hierarchy_with_randomized_policy():
+    trace = zipf_items(4000, 512, alpha=1.0, block_size=8, seed=2)
+    stats = TwoLevelSimulator(GCM(64, trace.mapping, seed=3)).run(trace)
+    assert stats.l1_hits + stats.l1_misses == 4000
+
+
+def test_writeback_with_adaptive_policy():
+    trace = zipf_items(4000, 512, alpha=1.0, block_size=8, seed=4)
+    rw = make_rw_trace(trace, 0.4, seed=5)
+    stats = WritebackSimulator(AdaptiveIBLP(64, trace.mapping)).run(rw)
+    assert stats.writes == int(rw.is_write.sum())
+    assert stats.dirty_items_flushed <= stats.writes
+
+
+def test_simulate_validate_false_matches_validated():
+    trace = zipf_items(3000, 256, alpha=0.9, block_size=8, seed=6)
+    a = simulate(ItemLRU(32, trace.mapping), trace, validate=True)
+    b = simulate(ItemLRU(32, trace.mapping), trace, validate=False)
+    assert a.misses == b.misses
+    assert a.spatial_hits == b.spatial_hits
+
+
+def test_sim_result_metadata_copied_from_trace():
+    trace = zipf_items(100, 64, block_size=4, seed=7)
+    res = simulate(ItemLRU(8, trace.mapping), trace)
+    assert res.metadata.get("generator") == "zipf_items"
+
+
+def test_adaptive_ghosts_bounded():
+    mapping = FixedBlockMapping(universe=4096, block_size=8)
+    trace = Trace(
+        np.random.default_rng(8).integers(0, 4096, 6000, dtype=np.int64),
+        mapping,
+    )
+    policy = AdaptiveIBLP(32, mapping, ghost_factor=0.5)
+    simulate(policy, trace)
+    assert len(policy._ghost_items) <= policy._ghost_item_cap
+    assert len(policy._ghost_blocks) <= policy._ghost_block_cap
+
+
+@pytest.mark.parametrize("open_rows", [1, 2, 8])
+def test_more_open_rows_never_increase_activations(open_rows):
+    trace = markov_spatial(5000, 512, block_size=8, stay=0.7, seed=9)
+    base = TwoLevelSimulator(ItemLRU(64, trace.mapping), open_rows=1).run(trace)
+    more = TwoLevelSimulator(
+        ItemLRU(64, trace.mapping), open_rows=open_rows
+    ).run(trace)
+    assert more.row_activations <= base.row_activations

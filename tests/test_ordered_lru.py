@@ -1,0 +1,80 @@
+"""OrderedLRU unit tests plus differential testing against LinkedLRU."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structs.linked_lru import LinkedLRU
+from repro.structs.ordered_lru import OrderedLRU
+
+
+def test_basic_order():
+    lru = OrderedLRU()
+    for x in (1, 2, 3):
+        lru.insert_mru(x)
+    assert list(lru) == [3, 2, 1]
+    assert list(lru.keys_lru_to_mru()) == [1, 2, 3]
+
+
+def test_duplicate_raises():
+    lru = OrderedLRU()
+    lru.insert_mru(1)
+    with pytest.raises(KeyError):
+        lru.insert_mru(1)
+
+
+def test_pop_empty_raises():
+    lru = OrderedLRU()
+    with pytest.raises(KeyError):
+        lru.pop_lru()
+    with pytest.raises(KeyError):
+        lru.mru_key()
+
+
+def test_set_value_requires_presence():
+    lru = OrderedLRU()
+    with pytest.raises(KeyError):
+        lru.set_value(9, 1)
+
+
+# -- differential property test ------------------------------------------------
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 9)),
+        st.tuples(st.just("touch"), st.integers(0, 9)),
+        st.tuples(st.just("demote"), st.integers(0, 9)),
+        st.tuples(st.just("remove"), st.integers(0, 9)),
+        st.tuples(st.just("pop_lru"), st.just(0)),
+        st.tuples(st.just("pop_mru"), st.just(0)),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_ops)
+def test_linked_and_ordered_agree(ops):
+    """Any operation sequence yields identical observable state."""
+    a, b = LinkedLRU(), OrderedLRU()
+    for op, key in ops:
+        if op == "insert":
+            if key in a:
+                continue
+            a.insert_mru(key, key * 2)
+            b.insert_mru(key, key * 2)
+        elif op in ("touch", "demote", "remove"):
+            if key not in a:
+                continue
+            getattr(a, op)(key)
+            getattr(b, op)(key)
+        elif op in ("pop_lru", "pop_mru"):
+            if not a:
+                continue
+            assert getattr(a, op)() == getattr(b, op)()
+        assert len(a) == len(b)
+        assert list(a) == list(b)
+        assert list(a.keys_lru_to_mru()) == list(b.keys_lru_to_mru())
+        if a:
+            assert a.lru_key() == b.lru_key()
+            assert a.mru_key() == b.mru_key()

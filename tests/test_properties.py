@@ -1,0 +1,129 @@
+"""Property-based tests over the simulator's core invariants.
+
+These drive every online policy with hypothesis-generated traces under
+full referee validation + residency cross-checks, and assert the model
+invariants the theory relies on:
+
+* occupancy never exceeds k (referee-enforced);
+* misses are bounded below by cold misses at block granularity and
+  above by the trace length;
+* determinism: identical runs produce identical statistics;
+* the exact offline solver is never beaten by any online policy;
+* hit taxonomy accounting is consistent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import simulate
+from repro.core.mapping import FixedBlockMapping
+from repro.core.trace import Trace
+from repro.offline.exact import solve_gc_exact
+from repro.offline.lower_bounds import gc_opt_lower
+from repro.offline.heuristics import gc_opt_upper
+from repro.policies import make_policy, policy_names
+
+ONLINE_POLICIES = sorted(
+    name for name in policy_names() if not name.startswith("belady")
+)
+
+_trace_strategy = st.lists(st.integers(0, 31), min_size=1, max_size=120)
+_capacity_strategy = st.integers(1, 24)
+
+
+def _make_trace(items):
+    mapping = FixedBlockMapping(universe=32, block_size=4)
+    return Trace(np.asarray(items, dtype=np.int64), mapping)
+
+
+@pytest.mark.parametrize("name", ONLINE_POLICIES)
+@settings(max_examples=25, deadline=None)
+@given(items=_trace_strategy, k=_capacity_strategy)
+def test_policy_respects_model_invariants(name, items, k):
+    trace = _make_trace(items)
+    policy = make_policy(name, k, trace.mapping)
+    res = simulate(policy, trace, cross_check_every=7)
+    assert res.accesses == len(items)
+    assert res.misses + res.hits == res.accesses
+    assert res.misses >= trace.distinct_blocks() if k >= 4 else True
+    assert res.loaded_items >= res.misses
+    assert res.evicted_items <= res.loaded_items
+
+
+@pytest.mark.parametrize("name", ONLINE_POLICIES)
+@settings(max_examples=10, deadline=None)
+@given(items=_trace_strategy, k=_capacity_strategy)
+def test_policy_is_deterministic(name, items, k):
+    trace = _make_trace(items)
+    first = simulate(make_policy(name, k, trace.mapping), trace)
+    second = simulate(make_policy(name, k, trace.mapping), trace)
+    assert first.misses == second.misses
+    assert first.spatial_hits == second.spatial_hits
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    items=st.lists(st.integers(0, 7), min_size=1, max_size=14),
+    k=st.integers(1, 4),
+)
+def test_exact_opt_bracket(items, k):
+    """lower <= exact <= heuristic upper, and no online policy beats exact."""
+    mapping = FixedBlockMapping(universe=8, block_size=4)
+    trace = Trace(np.asarray(items, dtype=np.int64), mapping)
+    exact = solve_gc_exact(trace, k)
+    assert gc_opt_lower(trace, k) <= exact <= gc_opt_upper(trace, k)
+    for name in ("item-lru", "block-lru", "iblp", "gcm"):
+        online = simulate(
+            make_policy(name, k, mapping), trace
+        ).misses
+        assert online >= exact
+
+
+@settings(max_examples=20, deadline=None)
+@given(items=st.lists(st.integers(0, 31), min_size=1, max_size=100))
+def test_bigger_caches_do_not_hurt_lru(items):
+    """LRU has the inclusion property: misses decrease with capacity."""
+    trace = _make_trace(items)
+    misses = [
+        simulate(make_policy("item-lru", k, trace.mapping), trace).misses
+        for k in (2, 4, 8, 16)
+    ]
+    assert all(a >= b for a, b in zip(misses, misses[1:]))
+
+
+@settings(max_examples=20, deadline=None)
+@given(items=st.lists(st.integers(0, 31), min_size=1, max_size=100))
+def test_spatial_hits_only_from_side_loads(items):
+    """Item caches never record spatial hits; block loaders may."""
+    trace = _make_trace(items)
+    res_item = simulate(make_policy("item-lru", 8, trace.mapping), trace)
+    assert res_item.spatial_hits == 0
+    res_blk = simulate(make_policy("block-lru", 8, trace.mapping), trace)
+    assert res_blk.spatial_hits >= 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    items=st.lists(st.integers(0, 31), min_size=1, max_size=80),
+    split=st.integers(0, 12),
+)
+def test_iblp_split_stays_within_capacity(items, split):
+    trace = _make_trace(items)
+    policy = make_policy("iblp", 12, trace.mapping, item_layer_size=split)
+    res = simulate(policy, trace, cross_check_every=5)
+    assert res.accesses == len(items)
+
+
+@settings(max_examples=15, deadline=None)
+@given(items=st.lists(st.integers(0, 31), min_size=2, max_size=80))
+def test_trace_save_load_roundtrip(tmp_path_factory, items):
+    trace = _make_trace(items)
+    path = tmp_path_factory.mktemp("traces") / "t.npz"
+    trace.save(path)
+    loaded = Trace.load(path)
+    assert loaded.items.tolist() == trace.items.tolist()
+    res_a = simulate(make_policy("iblp", 8, trace.mapping), trace)
+    res_b = simulate(make_policy("iblp", 8, loaded.mapping), loaded)
+    assert res_a.misses == res_b.misses

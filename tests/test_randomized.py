@@ -1,0 +1,104 @@
+"""Multi-seed statistics tests and §6 randomized comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.randomized import (
+    SeedSummary,
+    compare_randomized,
+    seed_sweep,
+)
+from repro.core.mapping import FixedBlockMapping
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError
+from repro.policies import GCM, ItemLRU, MarkAllGCM, PartialGCM
+from repro.workloads import hot_and_stream, sequential_scan
+
+
+@pytest.fixture
+def mapping():
+    return FixedBlockMapping(universe=256, block_size=8)
+
+
+def test_deterministic_policy_zero_variance(mapping):
+    trace = Trace(
+        np.random.default_rng(0).integers(0, 256, 1500, dtype=np.int64),
+        mapping,
+    )
+    summary = seed_sweep(
+        lambda seed: ItemLRU(32, mapping), trace, seeds=range(5)
+    )
+    assert summary.std == 0.0
+    assert summary.ci_low == summary.mean == summary.ci_high
+
+
+def test_randomized_policy_summary_sane(mapping):
+    trace = Trace(
+        np.random.default_rng(1).integers(0, 256, 1500, dtype=np.int64),
+        mapping,
+    )
+    summary = seed_sweep(
+        lambda seed: GCM(32, mapping, seed=seed), trace, seeds=range(8)
+    )
+    assert summary.n == 8
+    assert summary.ci_low <= summary.mean <= summary.ci_high
+    assert 0 < summary.mean <= 1500
+
+
+def test_single_seed_has_no_interval(mapping):
+    trace = Trace(np.array([0, 1, 2]), mapping)
+    summary = seed_sweep(lambda s: GCM(8, mapping, seed=s), trace, seeds=[3])
+    assert summary.ci_half_width == 0.0
+
+
+def test_requires_seeds(mapping):
+    trace = Trace(np.array([0]), mapping)
+    with pytest.raises(ConfigurationError):
+        seed_sweep(lambda s: GCM(8, mapping, seed=s), trace, seeds=[])
+
+
+def test_metric_selection(mapping):
+    trace = sequential_scan(256, block_size=8)
+    summary = seed_sweep(
+        lambda s: GCM(64, mapping, seed=s),
+        trace,
+        seeds=range(3),
+        metric="spatial_hits",
+    )
+    assert summary.mean > 0
+
+
+def test_gcm_beats_markall_with_confidence():
+    """§6: on scattered-hot + stream traffic GCM's CI sits below
+    MarkAllGCM's across seeds."""
+    trace = hot_and_stream(
+        20_000, hot_items=64, stream_blocks=128, block_size=8,
+        hot_fraction=0.5, seed=4,
+    )
+    k = 128
+    rows = compare_randomized(
+        {
+            "gcm": lambda s: GCM(k, trace.mapping, seed=s),
+            "gcm-markall": lambda s: MarkAllGCM(k, trace.mapping, seed=s),
+        },
+        trace,
+        seeds=range(6),
+    )
+    by = {r["label"]: r for r in rows}
+    assert by["gcm"]["ci_high"] < by["gcm-markall"]["ci_low"]
+
+
+def test_partial_gcm_interpolates_on_scan():
+    """load_count dial: spatial hits grow monotonically in expectation."""
+    trace = sequential_scan(512, block_size=8, repeats=2)
+    k = 64
+    means = []
+    for lc in (1, 4, 8):
+        s = seed_sweep(
+            lambda seed, lc=lc: PartialGCM(k, trace.mapping, load_count=lc, seed=seed),
+            trace,
+            seeds=range(4),
+            metric="misses",
+        )
+        means.append(s.mean)
+    assert means[0] > means[1] > means[2]

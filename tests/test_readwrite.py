@@ -1,0 +1,126 @@
+"""Read/write extension tests: dirty tracking and write amplification."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import FixedBlockMapping
+from repro.core.readwrite import (
+    RWTrace,
+    WritebackSimulator,
+    make_rw_trace,
+)
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.policies import BlockLRU, IBLP, ItemLRU
+from repro.workloads import sequential_scan, zipf_items
+
+
+@pytest.fixture
+def mapping():
+    return FixedBlockMapping(universe=64, block_size=4)
+
+
+def _rw(items, writes, mapping):
+    trace = Trace(np.asarray(items, dtype=np.int64), mapping)
+    return RWTrace(trace=trace, is_write=np.asarray(writes, dtype=bool))
+
+
+class TestRWTrace:
+    def test_alignment_enforced(self, mapping):
+        trace = Trace(np.array([0, 1]), mapping)
+        with pytest.raises(TraceFormatError):
+            RWTrace(trace=trace, is_write=np.array([True]))
+
+    def test_write_fraction(self, mapping):
+        rw = _rw([0, 1, 2, 3], [1, 0, 1, 0], mapping)
+        assert rw.write_fraction == 0.5
+
+    def test_make_rw_trace_seeded(self, mapping):
+        trace = Trace(np.arange(64), mapping)
+        a = make_rw_trace(trace, 0.3, seed=1)
+        b = make_rw_trace(trace, 0.3, seed=1)
+        assert (a.is_write == b.is_write).all()
+        assert 0.1 < a.write_fraction < 0.5
+
+    def test_make_rw_trace_validates(self, mapping):
+        trace = Trace(np.array([0]), mapping)
+        with pytest.raises(ConfigurationError):
+            make_rw_trace(trace, 1.5)
+
+
+class TestWritebackAccounting:
+    def test_read_only_trace_never_writes_back(self, mapping):
+        rw = _rw([0, 1, 2, 3, 8], [0] * 5, mapping)
+        stats = WritebackSimulator(ItemLRU(4, mapping)).run(rw)
+        assert stats.writebacks == 0
+        assert stats.write_amplification == 0.0
+
+    def test_final_flush_counts(self, mapping):
+        # One write; item never evicted; flushed at end of trace.
+        rw = _rw([0], [1], mapping)
+        stats = WritebackSimulator(ItemLRU(4, mapping)).run(rw)
+        assert stats.writebacks == 1
+        assert stats.rmw_writebacks == 1  # 1 of 4 items dirty
+        assert stats.device_items_written == 4
+        assert stats.write_amplification == 4.0
+
+    def test_fully_dirty_block_needs_no_rmw(self, mapping):
+        rw = _rw([0, 1, 2, 3], [1, 1, 1, 1], mapping)
+        stats = WritebackSimulator(BlockLRU(8, mapping)).run(rw)
+        assert stats.writebacks == 1
+        assert stats.rmw_writebacks == 0
+        assert stats.write_amplification == 1.0
+
+    def test_eviction_triggers_writeback(self, mapping):
+        # Write item 0, then force its eviction with a capacity-1 cache.
+        rw = _rw([0, 5], [1, 0], mapping)
+        stats = WritebackSimulator(ItemLRU(1, mapping)).run(rw)
+        assert stats.writebacks == 1
+        assert stats.dirty_items_flushed == 1
+
+    def test_coalescing_within_one_eviction(self, mapping):
+        # Block cache evicts blocks whole: 4 dirty items, one writeback.
+        rw = _rw([0, 1, 2, 3, 8], [1, 1, 1, 1, 0], mapping)
+        stats = WritebackSimulator(BlockLRU(4, mapping)).run(rw)
+        assert stats.writebacks == 1
+        assert stats.dirty_items_flushed == 4
+
+    def test_rewrite_before_eviction_coalesces(self, mapping):
+        # Writing the same item repeatedly is one flush, not many.
+        rw = _rw([0, 0, 0], [1, 1, 1], mapping)
+        stats = WritebackSimulator(ItemLRU(2, mapping)).run(rw)
+        assert stats.writes == 3
+        assert stats.dirty_items_flushed == 1
+        assert stats.writebacks == 1
+
+
+class TestWriteAmplificationTradeoff:
+    def test_sequential_writes_favor_block_granularity(self):
+        trace = sequential_scan(512, block_size=8, repeats=1)
+        rw = make_rw_trace(trace, 1.0, seed=0)  # all writes
+        k = 64
+        blk = WritebackSimulator(BlockLRU(k, trace.mapping)).run(rw)
+        itm = WritebackSimulator(ItemLRU(k, trace.mapping)).run(rw)
+        # Both coalesce sequential dirty data well, but the block cache
+        # always retires fully-dirty blocks (no RMW).
+        assert blk.rmw_fraction == 0.0
+        assert blk.write_amplification == pytest.approx(1.0)
+        assert itm.write_amplification >= 1.0
+
+    def test_scattered_writes_punish_block_granularity(self):
+        # One dirty item per block: every writeback is a whole-block RMW.
+        mapping = FixedBlockMapping(universe=512, block_size=8)
+        items = np.arange(0, 512, 8, dtype=np.int64)
+        rw = _rw(items, [1] * len(items), mapping)
+        stats = WritebackSimulator(ItemLRU(16, mapping)).run(rw)
+        assert stats.rmw_fraction == 1.0
+        assert stats.write_amplification == pytest.approx(8.0)
+
+    def test_iblp_runs_cleanly_with_writes(self):
+        trace = zipf_items(4000, 512, alpha=0.9, block_size=8, seed=2)
+        rw = make_rw_trace(trace, 0.3, seed=3)
+        stats = WritebackSimulator(IBLP(64, trace.mapping)).run(rw)
+        assert stats.accesses == 4000
+        assert stats.writes == int(rw.is_write.sum())
+        assert stats.dirty_items_flushed <= stats.writes
+        assert stats.write_amplification >= 1.0

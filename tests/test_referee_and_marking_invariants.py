@@ -1,0 +1,96 @@
+"""Deeper referee coverage and marking-policy invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import Engine, simulate
+from repro.core.mapping import FixedBlockMapping
+from repro.core.trace import Trace
+from repro.errors import ProtocolViolation
+from repro.policies import GCM, ItemLRU, MarkAllGCM, MarkingLRU
+from repro.policies.base import Policy
+from repro.types import AccessOutcome
+
+
+class _LyingPolicy(Policy):
+    """Honest actions, dishonest resident_items() — for cross_check."""
+
+    name = "liar"
+
+    def __init__(self, capacity, mapping):
+        super().__init__(capacity, mapping)
+        self._inner = ItemLRU(capacity, mapping)
+
+    def access(self, item):
+        return self._inner.access(item)
+
+    def contains(self, item):
+        return self._inner.contains(item)
+
+    def resident_items(self):
+        return frozenset([999_999])  # a lie
+
+
+def test_cross_check_catches_lying_residency():
+    mapping = FixedBlockMapping(universe=1_000_000, block_size=4)
+    policy = _LyingPolicy(4, mapping)
+    engine = Engine(policy, mapping)
+    engine.access(0)
+    with pytest.raises(ProtocolViolation, match="residency mismatch"):
+        engine.cross_check()
+
+
+def test_cross_check_in_simulate_catches_liar():
+    mapping = FixedBlockMapping(universe=1_000_000, block_size=4)
+    trace = Trace(np.array([0, 1, 2]), mapping)
+    with pytest.raises(ProtocolViolation):
+        simulate(_LyingPolicy(4, mapping), trace, cross_check_every=1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    items=st.lists(st.integers(0, 31), min_size=1, max_size=80),
+    k=st.integers(2, 16),
+)
+def test_marking_invariants(items, k):
+    """Marked items are always a subset of residents, never exceed k."""
+    mapping = FixedBlockMapping(universe=32, block_size=4)
+    policy = MarkingLRU(k, mapping)
+    engine = Engine(policy, mapping)
+    for item in items:
+        engine.access(item)
+        marked = policy.marked_items()
+        assert marked <= policy.resident_items()
+        assert len(marked) <= k
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    items=st.lists(st.integers(0, 31), min_size=1, max_size=80),
+    k=st.integers(2, 16),
+    seed=st.integers(0, 3),
+)
+@pytest.mark.parametrize("cls", [GCM, MarkAllGCM])
+def test_gcm_marking_invariants(cls, items, k, seed):
+    mapping = FixedBlockMapping(universe=32, block_size=4)
+    policy = cls(k, mapping, seed=seed)
+    engine = Engine(policy, mapping)
+    for item in items:
+        engine.access(item)
+        assert policy.marked_items() <= policy.resident_items()
+        # The item just requested must be resident and marked.
+        assert policy.contains(item)
+        assert item in policy.marked_items()
+
+
+def test_gcm_requested_item_never_displaced_within_access():
+    """The §6 rule: side loads must not evict the requested item."""
+    mapping = FixedBlockMapping(universe=64, block_size=8)
+    rng = np.random.default_rng(0)
+    policy = GCM(8, mapping, seed=1)  # capacity == block size: tight
+    engine = Engine(policy, mapping)
+    for item in rng.integers(0, 64, 500).tolist():
+        engine.access(int(item))
+        assert policy.contains(int(item))

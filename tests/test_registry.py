@@ -1,0 +1,89 @@
+"""Policy registry tests."""
+
+import pytest
+
+from repro.core.mapping import FixedBlockMapping
+from repro.errors import ConfigurationError
+from repro.policies import Policy, make_policy, policy_names
+from repro.policies.base import register_policy
+
+
+def test_all_expected_policies_registered():
+    names = set(policy_names())
+    expected = {
+        "item-lru",
+        "item-fifo",
+        "item-mru",
+        "item-clock",
+        "item-lfu",
+        "item-random",
+        "block-lru",
+        "block-fifo",
+        "iblp",
+        "iblp-blockfirst",
+        "athreshold-lru",
+        "marking-lru",
+        "gcm",
+        "gcm-markall",
+        "belady-item",
+        "belady-block",
+        "belady-gc",
+    }
+    assert expected <= names
+
+
+def test_make_policy_constructs(small_mapping):
+    p = make_policy("item-lru", 8, small_mapping)
+    assert p.capacity == 8
+    assert p.name == "item-lru"
+
+
+def test_make_policy_kwargs(small_mapping):
+    p = make_policy("athreshold-lru", 8, small_mapping, a=3)
+    assert p.a == 3
+
+
+def test_make_policy_unknown_name(small_mapping):
+    with pytest.raises(ConfigurationError, match="unknown policy"):
+        make_policy("nope", 8, small_mapping)
+
+
+def test_register_rejects_unnamed():
+    class Nameless(Policy):
+        name = "abstract"
+
+        def access(self, item):  # pragma: no cover
+            raise NotImplementedError
+
+        def contains(self, item):  # pragma: no cover
+            return False
+
+        def resident_items(self):  # pragma: no cover
+            return frozenset()
+
+    with pytest.raises(ConfigurationError):
+        register_policy(Nameless)
+
+
+def test_register_rejects_duplicates():
+    class Duplicate(Policy):
+        name = "item-lru"
+
+        def access(self, item):  # pragma: no cover
+            raise NotImplementedError
+
+        def contains(self, item):  # pragma: no cover
+            return False
+
+        def resident_items(self):  # pragma: no cover
+            return frozenset()
+
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        register_policy(Duplicate)
+
+
+def test_offline_flag():
+    from repro.policies import BeladyItem, ItemLRU
+
+    assert BeladyItem.is_offline
+    assert not ItemLRU.is_offline

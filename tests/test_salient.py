@@ -1,0 +1,92 @@
+"""Table 1 salient-point tests."""
+
+import math
+
+import pytest
+
+from repro.bounds.salient import (
+    BOUND_FAMILIES,
+    k_for_ratio,
+    meeting_point,
+    paper_predictions,
+    table1_rows,
+)
+from repro.errors import ConfigurationError, SolverError
+
+
+def test_meeting_point_sleator_tarjan():
+    """ST: ratio == augmentation exactly at k = 2h (both equal 2)."""
+    h = 1000.0
+    k = meeting_point(BOUND_FAMILIES["sleator_tarjan"], h, 64.0)
+    assert k / h == pytest.approx(2.0, rel=1e-2)
+
+
+def test_meeting_point_gc_lower_near_sqrt_b():
+    h, B = 10_000.0, 64.0
+    k = meeting_point(BOUND_FAMILIES["gc_lower"], h, B)
+    assert k / h == pytest.approx(math.sqrt(B), rel=0.2)
+
+
+def test_meeting_point_gc_upper_near_sqrt_2b():
+    h, B = 10_000.0, 64.0
+    k = meeting_point(BOUND_FAMILIES["gc_upper"], h, B)
+    assert k / h == pytest.approx(math.sqrt(2 * B), rel=0.2)
+
+
+def test_k_for_ratio_gc_lower_reaches_2_near_bh():
+    h, B = 10_000.0, 64.0
+    k = k_for_ratio(BOUND_FAMILIES["gc_lower"], h, B, target=2.02)
+    assert k / h == pytest.approx(B, rel=0.05)
+
+
+def test_k_for_ratio_gc_upper_reaches_3_near_bh():
+    h, B = 10_000.0, 64.0
+    k = k_for_ratio(BOUND_FAMILIES["gc_upper"], h, B, target=3.1)
+    assert k / h == pytest.approx(B, rel=0.15)
+
+
+def test_k_for_ratio_rejects_target_below_one():
+    with pytest.raises(ConfigurationError):
+        k_for_ratio(BOUND_FAMILIES["gc_lower"], 100.0, 8.0, target=0.5)
+
+
+def test_k_for_ratio_unreachable_raises():
+    with pytest.raises(SolverError):
+        # GC lower bound can't reach 1.01 within the default k range.
+        k_for_ratio(BOUND_FAMILIES["gc_lower"], 10_000.0, 64.0, target=1.01)
+
+
+def test_table1_matches_paper_within_tolerance():
+    """All nine cells land near the paper's approximate values."""
+    B = 64.0
+    rows = {r["setting"]: r for r in table1_rows(h=10_000.0, B=B)}
+    paper = paper_predictions(B)
+    # Constant augmentation: ratios ~ {2, B, 2B}.
+    row = rows["constant_augmentation"]
+    for fam in ("sleator_tarjan", "gc_lower", "gc_upper"):
+        assert row[f"{fam}_ratio"] == pytest.approx(
+            paper["constant_augmentation"][fam], rel=0.05
+        )
+    # Meeting point: augmentation ~ {2, sqrt(B), sqrt(2B)}.
+    row = rows["ratio_equals_augmentation"]
+    for fam in ("sleator_tarjan", "gc_lower", "gc_upper"):
+        assert row[f"{fam}_augmentation"] == pytest.approx(
+            paper["ratio_equals_augmentation"][fam], rel=0.2
+        )
+        # By definition ratio == augmentation at the meeting point.
+        assert row[f"{fam}_ratio"] == pytest.approx(
+            row[f"{fam}_augmentation"], rel=1e-3
+        )
+    # Constant ratio at k = Bh: ratios ~ {2, 2, 3}.
+    row = rows["constant_ratio"]
+    assert row["gc_lower_ratio"] == pytest.approx(2.0, rel=0.05)
+    assert row["gc_upper_ratio"] == pytest.approx(3.0, rel=0.05)
+
+
+def test_table1_b_penalty_structure():
+    """Table 1's headline: GC multiplies ratio x augmentation by ~B."""
+    B, h = 64.0, 10_000.0
+    rows = {r["setting"]: r for r in table1_rows(h=h, B=B)}
+    st = rows["constant_augmentation"]["sleator_tarjan_ratio"] * 2
+    gc = rows["constant_augmentation"]["gc_lower_ratio"] * 2
+    assert gc / st == pytest.approx(B / 2, rel=0.05)

@@ -1,0 +1,37 @@
+"""Scale-stability experiment tests (DESIGN's substitution claim)."""
+
+import pytest
+
+from repro.experiments import scale_check
+
+
+def test_single_cell_fidelity():
+    row = scale_check.scale_cell(k=128, h_frac=0.25, B=8, cycles=2)
+    assert 0.85 <= row["thm2_fidelity"] <= 1.02
+    assert 0.85 <= row["thm4_fidelity"] <= 1.02
+
+
+def test_fidelity_stable_across_scales():
+    rows = scale_check.run(parallel=False, cycles=2)
+    assert len(rows) == 16
+    for row in rows:
+        assert 0.85 <= row["thm2_fidelity"] <= 1.02, row
+        assert 0.85 <= row["thm4_fidelity"] <= 1.02, row
+
+
+def test_fidelity_improves_with_scale():
+    """The ceil-slop shrinks as (k-h+1)/B grows."""
+    small = scale_check.scale_cell(k=64, h_frac=0.25, B=8, cycles=2)
+    large = scale_check.scale_cell(k=512, h_frac=0.25, B=8, cycles=2)
+    assert large["thm2_fidelity"] >= small["thm2_fidelity"] - 0.02
+
+
+def test_parallel_matches_serial():
+    serial = scale_check.run(parallel=False, cycles=2)
+    parallel = scale_check.run(parallel=True, cycles=2)
+    assert serial == parallel
+
+
+def test_render_reports_worst(capsys=None):
+    text = scale_check.render()
+    assert "worst fidelity" in text

@@ -1,0 +1,85 @@
+"""Trace container tests: validation, projections, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import ExplicitBlockMapping, FixedBlockMapping
+from repro.core.trace import Trace
+from repro.errors import TraceFormatError
+
+
+def test_basic_properties(small_mapping):
+    t = Trace(np.array([0, 1, 4, 4]), small_mapping)
+    assert len(t) == 4
+    assert list(t) == [0, 1, 4, 4]
+    assert t.universe == 64
+    assert t.block_size == 4
+    assert t.distinct_items() == 3
+    assert t.distinct_blocks() == 2
+    assert t.block_trace().tolist() == [0, 0, 1, 1]
+
+
+def test_rejects_out_of_universe(small_mapping):
+    with pytest.raises(TraceFormatError):
+        Trace(np.array([0, 999]), small_mapping)
+    with pytest.raises(TraceFormatError):
+        Trace(np.array([-1]), small_mapping)
+
+
+def test_rejects_2d(small_mapping):
+    with pytest.raises(TraceFormatError):
+        Trace(np.zeros((2, 2), dtype=np.int64), small_mapping)
+
+
+def test_empty_trace_ok(small_mapping):
+    t = Trace(np.array([], dtype=np.int64), small_mapping)
+    assert len(t) == 0
+    assert t.distinct_items() == 0
+    assert t.distinct_blocks() == 0
+
+
+def test_concat(small_mapping):
+    a = Trace(np.array([0, 1]), small_mapping)
+    b = Trace(np.array([2]), small_mapping)
+    c = a.concat(b)
+    assert list(c) == [0, 1, 2]
+
+
+def test_concat_rejects_mismatched_mapping(small_mapping):
+    other = FixedBlockMapping(universe=64, block_size=8)
+    a = Trace(np.array([0]), small_mapping)
+    b = Trace(np.array([0]), other)
+    with pytest.raises(TraceFormatError):
+        a.concat(b)
+
+
+def test_from_list_rounds_universe():
+    t = Trace.from_list([0, 9], block_size=4)
+    assert t.universe == 12  # 10 rounded up to whole blocks
+    assert t.block_size == 4
+
+
+def test_save_load_fixed(tmp_path, small_mapping):
+    t = Trace(
+        np.array([0, 5, 5, 9]), small_mapping, {"generator": "unit", "seed": 3}
+    )
+    path = tmp_path / "trace.npz"
+    t.save(path)
+    loaded = Trace.load(path)
+    assert loaded.items.tolist() == t.items.tolist()
+    assert loaded.universe == t.universe
+    assert loaded.block_size == t.block_size
+    assert loaded.metadata["generator"] == "unit"
+    assert loaded.metadata["seed"] == 3
+
+
+def test_save_load_explicit(tmp_path):
+    mapping = ExplicitBlockMapping([0, 0, 1, 2, 2], max_block_size=4)
+    t = Trace(np.array([0, 2, 4]), mapping)
+    path = tmp_path / "explicit.npz"
+    t.save(path)
+    loaded = Trace.load(path)
+    assert loaded.items.tolist() == [0, 2, 4]
+    assert loaded.mapping.num_blocks == 3
+    assert loaded.mapping.max_block_size == 4
+    assert loaded.mapping.items_in(2) == (3, 4)

@@ -1,0 +1,122 @@
+"""Text trace import/export tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import FixedBlockMapping
+from repro.core.readwrite import RWTrace
+from repro.core.trace import Trace
+from repro.errors import TraceFormatError
+from repro.workloads.trace_io import (
+    densify_addresses,
+    read_text_trace,
+    write_text_trace,
+)
+
+
+def test_roundtrip(tmp_path):
+    mapping = FixedBlockMapping(universe=16, block_size=4)
+    rw = RWTrace(
+        trace=Trace(np.array([0, 5, 5, 9]), mapping),
+        is_write=np.array([False, True, False, True]),
+    )
+    path = write_text_trace(rw, tmp_path / "t.trace")
+    back = read_text_trace(path)
+    assert back.trace.items.tolist() == [0, 5, 5, 9]
+    assert back.is_write.tolist() == [False, True, False, True]
+    assert back.trace.block_size == 4
+    assert back.trace.universe == 16
+
+
+def test_read_minimal_format(tmp_path):
+    p = tmp_path / "min.trace"
+    p.write_text("# a comment\n3\n1 w\n\n2 r\n")
+    rw = read_text_trace(p, block_size=2)
+    assert rw.trace.items.tolist() == [3, 1, 2]
+    assert rw.is_write.tolist() == [False, True, False]
+    assert rw.trace.universe == 4  # rounded to whole blocks
+
+
+def test_hex_ids_supported(tmp_path):
+    p = tmp_path / "hex.trace"
+    p.write_text("0x10\n0x11\n")
+    rw = read_text_trace(p, block_size=4)
+    assert rw.trace.items.tolist() == [16, 17]
+
+
+def test_bad_flag_rejected(tmp_path):
+    p = tmp_path / "bad.trace"
+    p.write_text("1 x\n")
+    with pytest.raises(TraceFormatError, match="flag"):
+        read_text_trace(p)
+
+
+def test_bad_id_rejected(tmp_path):
+    p = tmp_path / "bad2.trace"
+    p.write_text("banana\n")
+    with pytest.raises(TraceFormatError, match="bad item id"):
+        read_text_trace(p)
+
+
+def test_empty_rejected(tmp_path):
+    p = tmp_path / "empty.trace"
+    p.write_text("# nothing\n")
+    with pytest.raises(TraceFormatError, match="no accesses"):
+        read_text_trace(p)
+
+
+def test_header_universe_respected(tmp_path):
+    p = tmp_path / "u.trace"
+    p.write_text("# universe: 100\n# block_size: 10\n5\n")
+    rw = read_text_trace(p)
+    assert rw.trace.universe == 100
+    assert rw.trace.block_size == 10
+
+
+def test_header_universe_too_small(tmp_path):
+    p = tmp_path / "small.trace"
+    p.write_text("# universe: 4\n9\n")
+    with pytest.raises(TraceFormatError, match="universe"):
+        read_text_trace(p, block_size=2)
+
+
+class TestDensify:
+    def test_preserves_block_colocation(self):
+        # Addresses 1000,1001 share a block; 5000 does not.
+        dense, universe = densify_addresses(
+            np.array([1000, 1001, 5000, 1000]), block_size=4
+        )
+        assert universe == 8
+        assert dense[0] // 4 == dense[1] // 4
+        assert dense[0] // 4 != dense[2] // 4
+        assert dense[0] == dense[3]
+
+    def test_offsets_preserved(self):
+        dense, _ = densify_addresses(np.array([1002, 1000]), block_size=4)
+        assert dense[0] % 4 == 2
+        assert dense[1] % 4 == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(TraceFormatError):
+            densify_addresses(np.array([-1]), 4)
+
+    def test_densify_through_reader(self, tmp_path):
+        p = tmp_path / "sparse.trace"
+        p.write_text("0xdeadbeef\n0xdeadbee0\n0x10\n")
+        rw = read_text_trace(p, block_size=16, densify=True)
+        # Two distinct blocks -> universe of 2 * 16.
+        assert rw.trace.universe == 32
+        # 0xdeadbeef and 0xdeadbee0 share a 16-aligned block.
+        blocks = rw.trace.block_trace()
+        assert blocks[0] == blocks[1] != blocks[2]
+
+
+def test_imported_trace_simulates(tmp_path):
+    from repro.core.engine import simulate
+    from repro.policies import IBLP
+
+    p = tmp_path / "sim.trace"
+    p.write_text("\n".join(str(i % 32) for i in range(200)))
+    rw = read_text_trace(p, block_size=8)
+    res = simulate(IBLP(16, rw.trace.mapping), rw.trace)
+    assert res.accesses == 200

@@ -1,0 +1,99 @@
+"""2Q item policy tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.mapping import FixedBlockMapping
+from repro.core.trace import Trace
+from repro.policies import ItemLRU, ItemTwoQ
+from repro.workloads import hot_and_stream
+
+
+@pytest.fixture
+def mapping():
+    return FixedBlockMapping(universe=512, block_size=8)
+
+
+def test_new_items_enter_probation(mapping):
+    p = ItemTwoQ(8, mapping)
+    p.access(0)
+    assert 0 in p.probation_items()
+    assert 0 not in p.protected_items()
+
+
+def test_ghost_readmission_promotes(mapping):
+    p = ItemTwoQ(4, mapping)  # probation cap 1
+    p.access(0)
+    p.access(8)
+    p.access(16)
+    p.access(24)
+    p.access(32)  # forces evictions from probation into ghosts
+    evicted_ghosts = [0, 8, 16, 24, 32]
+    # Re-access something that left probation recently.
+    target = next(g for g in evicted_ghosts if not p.contains(g))
+    p.access(target)
+    assert target in p.protected_items()
+
+
+def test_scan_resistance():
+    """Repeated one-touch scans must not wipe the protected hot set.
+
+    LRU re-pays the hot set after every scan; 2Q pays a one-off
+    promotion cost (each hot item misses twice: admission + ghost
+    readmission) and then rides out every scan in Am.
+    """
+    mapping = FixedBlockMapping(universe=4096, block_size=8)
+    k = 64
+    rng = np.random.default_rng(0)
+    hot = [i * 8 for i in range(16)]
+    accesses = []
+    # Build-up with background churn so probation cycles and promotes.
+    for _ in range(40):
+        for h in hot:
+            accesses.append(h)
+            accesses.append(int(rng.integers(2048, 4096)))
+    for _ in range(5):  # scan/hot cycles: LRU re-pays, 2Q does not
+        accesses.extend(range(1024, 1024 + 256))
+        for _ in range(4):
+            accesses.extend(hot)
+    trace = Trace(np.asarray(accesses, dtype=np.int64), mapping)
+    twoq = simulate(ItemTwoQ(k, mapping), trace).misses
+    lru = simulate(ItemLRU(k, mapping), trace).misses
+    assert twoq <= lru - 4 * 16  # saves the hot refill on later cycles
+
+
+def test_referee_validated(mapping):
+    trace = Trace(
+        np.random.default_rng(1).integers(0, 512, 3000, dtype=np.int64),
+        mapping,
+    )
+    res = simulate(ItemTwoQ(32, mapping), trace, cross_check_every=101)
+    assert res.accesses == 3000
+
+
+def test_no_spatial_hits(mapping):
+    trace = Trace(np.arange(512), mapping)
+    res = simulate(ItemTwoQ(64, mapping), trace)
+    assert res.spatial_hits == 0
+    assert res.misses == 512
+
+
+def test_theorem2_applies():
+    """2Q is an Item Cache: the Theorem 2 adversary pins it too."""
+    from repro.adversary import ItemCacheAdversary
+    from repro.bounds import item_cache_lower
+
+    k, h, B = 128, 32, 8
+    adv = ItemCacheAdversary(k, h, B)
+    mapping = adv.make_mapping(3)
+    run = adv.run(ItemTwoQ(k, mapping), cycles=3)
+    assert run.empirical_ratio >= item_cache_lower(k, h, B) * 0.9
+
+
+def test_reset(mapping):
+    p = ItemTwoQ(8, mapping, probation_fraction=0.5)
+    p.access(0)
+    p.reset()
+    assert not p.contains(0)
+    assert p.probation_fraction == 0.5

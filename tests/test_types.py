@@ -1,0 +1,115 @@
+"""Tests for the shared value types and the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CapacityExceeded,
+    ConfigurationError,
+    GCCachingError,
+    IllegalLoadSet,
+    ProtocolViolation,
+    SolverError,
+    TraceFormatError,
+)
+from repro.types import AccessOutcome, HitKind, SimResult
+
+
+class TestHitKind:
+    def test_is_hit(self):
+        assert not HitKind.MISS.is_hit
+        assert HitKind.TEMPORAL_HIT.is_hit
+        assert HitKind.SPATIAL_HIT.is_hit
+
+    def test_values_stable(self):
+        # Serialized in CSVs; changing them breaks artifacts.
+        assert HitKind.MISS.value == "miss"
+        assert HitKind.TEMPORAL_HIT.value == "temporal"
+        assert HitKind.SPATIAL_HIT.value == "spatial"
+
+
+class TestAccessOutcome:
+    def test_hit_with_loads_rejected(self):
+        with pytest.raises(ValueError):
+            AccessOutcome(item=1, hit=True, loaded=frozenset([1]))
+
+    def test_miss_must_load_item(self):
+        with pytest.raises(ValueError):
+            AccessOutcome(item=1, hit=False, loaded=frozenset([2]))
+
+    def test_frozen(self):
+        out = AccessOutcome(item=1, hit=True)
+        with pytest.raises(AttributeError):
+            out.hit = False  # type: ignore[misc]
+
+    def test_defaults_empty(self):
+        out = AccessOutcome(item=1, hit=True)
+        assert out.loaded == frozenset()
+        assert out.evicted == frozenset()
+
+
+class TestSimResult:
+    def test_ratios(self):
+        r = SimResult(accesses=10, misses=4, temporal_hits=3, spatial_hits=3)
+        assert r.hits == 6
+        assert r.miss_ratio == pytest.approx(0.4)
+        assert r.hit_ratio == pytest.approx(0.6)
+
+    def test_empty_result(self):
+        r = SimResult()
+        assert r.miss_ratio == 0.0
+        assert r.hit_ratio == 0.0
+        assert r.mean_load_size == 0.0
+
+    def test_mean_load_size(self):
+        r = SimResult(accesses=8, misses=2, loaded_items=10)
+        assert r.mean_load_size == 5.0
+
+    def test_as_row_includes_metadata(self):
+        r = SimResult(
+            accesses=1, misses=1, policy="p", capacity=4, metadata={"x": 9}
+        )
+        row = r.as_row()
+        assert row["policy"] == "p"
+        assert row["x"] == 9
+        assert row["miss_ratio"] == 1.0
+
+    def test_merge_adds_counters(self):
+        a = SimResult(accesses=5, misses=2, policy="p", capacity=4)
+        b = SimResult(accesses=3, misses=1, policy="p", capacity=4)
+        m = a.merged_with(b)
+        assert (m.accesses, m.misses) == (8, 3)
+
+    def test_merge_requires_same_config(self):
+        a = SimResult(policy="p", capacity=4)
+        b = SimResult(policy="q", capacity=4)
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_base(self):
+        for exc in (
+            ConfigurationError,
+            ProtocolViolation,
+            CapacityExceeded,
+            IllegalLoadSet,
+            TraceFormatError,
+            SolverError,
+        ):
+            assert issubclass(exc, GCCachingError)
+
+    def test_protocol_specializations(self):
+        assert issubclass(CapacityExceeded, ProtocolViolation)
+        assert issubclass(IllegalLoadSet, ProtocolViolation)
+
+    def test_configuration_is_value_error(self):
+        # Callers may catch ValueError for bad parameters.
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(TraceFormatError, ValueError)
+
+    def test_solver_is_runtime_error(self):
+        assert issubclass(SolverError, RuntimeError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(GCCachingError):
+            raise IllegalLoadSet("nope")

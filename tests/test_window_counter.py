@@ -1,0 +1,91 @@
+"""Sliding-window distinct counter: unit + property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.structs.window_counter import (
+    SlidingWindowDistinct,
+    max_distinct_per_window,
+)
+
+
+def naive_max_distinct(trace, n):
+    if not len(trace):
+        return 0
+    if n >= len(trace):
+        return len(set(trace))
+    return max(
+        len(set(trace[i : i + n])) for i in range(len(trace) - n + 1)
+    )
+
+
+def test_push_sequence_counts():
+    w = SlidingWindowDistinct(3)
+    assert [w.push(x) for x in [7, 7, 8, 9, 7]] == [1, 1, 2, 3, 3]
+
+
+def test_window_retires_old_values():
+    w = SlidingWindowDistinct(2)
+    w.push(1)
+    w.push(2)
+    assert w.distinct == 2
+    w.push(3)  # retires 1
+    assert w.distinct == 2
+
+
+def test_full_flag():
+    w = SlidingWindowDistinct(3)
+    w.push(1)
+    assert not w.full
+    w.push(1)
+    w.push(1)
+    assert w.full
+
+
+def test_invalid_window_raises():
+    with pytest.raises(ConfigurationError):
+        SlidingWindowDistinct(0)
+    with pytest.raises(ConfigurationError):
+        max_distinct_per_window([1, 2], [0])
+
+
+def test_max_distinct_known_trace():
+    trace = [0, 1, 0, 2, 3, 3, 1]
+    got = max_distinct_per_window(trace, [1, 2, 3, 4, 100])
+    assert got[1] == 1
+    assert got[2] == 2
+    assert got[3] == 3
+    assert got[4] == naive_max_distinct(trace, 4)
+    assert got[100] == 4  # whole-trace distinct count
+
+
+def test_empty_trace():
+    assert max_distinct_per_window([], [1, 5]) == {1: 0, 5: 0}
+
+
+def test_rejects_2d_input():
+    with pytest.raises(ConfigurationError):
+        max_distinct_per_window(np.zeros((2, 2), dtype=int), [1])
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(st.integers(0, 6), min_size=1, max_size=40),
+    st.integers(1, 45),
+)
+def test_matches_naive(trace, n):
+    got = max_distinct_per_window(trace, [n])[n]
+    assert got == naive_max_distinct(trace, n)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 9), min_size=2, max_size=50))
+def test_monotone_in_window_size(trace):
+    """f(n) is non-decreasing in n (working-set functions grow)."""
+    sizes = list(range(1, len(trace) + 1))
+    got = max_distinct_per_window(trace, sizes)
+    values = [got[n] for n in sizes]
+    assert all(a <= b for a, b in zip(values, values[1:]))

@@ -1,0 +1,179 @@
+"""Workload generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import simulate
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.locality.profile import profile_trace
+from repro.policies import BlockLRU, ItemLRU
+from repro.workloads import (
+    block_runs,
+    block_zipf,
+    cyclic_scan,
+    dram_cache_workload,
+    hot_and_stream,
+    interleave,
+    markov_spatial,
+    page_cache_workload,
+    phase_mixture,
+    sequential_scan,
+    strided,
+    uniform_random,
+    zipf_items,
+)
+
+
+class TestSynthetic:
+    def test_uniform_shape_and_range(self):
+        t = uniform_random(1000, universe=100, block_size=4, seed=1)
+        assert len(t) == 1000
+        assert t.items.min() >= 0 and t.items.max() < 100
+
+    def test_uniform_seed_determinism(self):
+        a = uniform_random(100, 50, seed=7)
+        b = uniform_random(100, 50, seed=7)
+        assert a.items.tolist() == b.items.tolist()
+
+    def test_zipf_skews_popularity(self):
+        t = zipf_items(20_000, universe=1000, alpha=1.2, seed=2)
+        counts = np.bincount(t.items, minlength=1000)
+        top = np.sort(counts)[-10:].sum()
+        assert top > 0.25 * len(t)  # head dominates
+
+    def test_zipf_alpha_zero_is_uniform_like(self):
+        t = zipf_items(10_000, universe=100, alpha=0.0, seed=3)
+        counts = np.bincount(t.items, minlength=100)
+        assert counts.max() < 3 * counts[counts > 0].mean()
+
+    def test_sequential_scan(self):
+        t = sequential_scan(universe=32, block_size=8, repeats=2)
+        assert len(t) == 64
+        assert t.items[:32].tolist() == list(range(32))
+
+    def test_cyclic_scan(self):
+        t = cyclic_scan(10, working_set=3)
+        assert t.items.tolist() == [0, 1, 2, 0, 1, 2, 0, 1, 2, 0]
+
+    def test_strided(self):
+        t = strided(5, universe=100, stride=10)
+        assert t.items.tolist() == [0, 10, 20, 30, 40]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            uniform_random(0, 10)
+        with pytest.raises(ConfigurationError):
+            zipf_items(10, 10, alpha=-1)
+        with pytest.raises(ConfigurationError):
+            strided(5, 100, stride=0)
+        with pytest.raises(ConfigurationError):
+            sequential_scan(10, repeats=0)
+
+
+class TestSpatial:
+    def test_block_runs_full_blocks_have_high_ratio(self):
+        t = block_runs(5000, universe=512, block_size=8, seed=4)
+        prof = profile_trace(t, windows=[64])
+        assert prof.spatial_ratio()[0] > 4.0
+
+    def test_block_runs_single_item_has_low_ratio(self):
+        t = block_runs(5000, universe=512, block_size=8, run_length=1, seed=4)
+        prof = profile_trace(t, windows=[64])
+        assert prof.spatial_ratio()[0] < 1.5
+
+    def test_markov_stay_dial(self):
+        sticky = markov_spatial(5000, 512, 8, stay=0.95, seed=5)
+        jumpy = markov_spatial(5000, 512, 8, stay=0.05, seed=5)
+        r_sticky = profile_trace(sticky, windows=[64]).spatial_ratio()[0]
+        r_jumpy = profile_trace(jumpy, windows=[64]).spatial_ratio()[0]
+        assert r_sticky > r_jumpy
+
+    def test_block_zipf_hot_blocks(self):
+        t = block_zipf(10_000, universe=1024, block_size=8, alpha=1.2, seed=6)
+        blocks = t.block_trace()
+        counts = np.bincount(blocks, minlength=128)
+        assert np.sort(counts)[-5:].sum() > 0.2 * len(t)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            block_runs(10, 64, 8, run_length=9)
+        with pytest.raises(ConfigurationError):
+            markov_spatial(10, 64, 8, stay=1.0)
+        with pytest.raises(ConfigurationError):
+            block_zipf(10, 64, 8, within_run=0)
+
+
+class TestMixtures:
+    def test_hot_and_stream_scattered_defeats_block_cache(self):
+        t = hot_and_stream(20_000, hot_items=32, stream_blocks=128, seed=7)
+        k = 128
+        item = simulate(ItemLRU(k, t.mapping), t).misses
+        block = simulate(BlockLRU(k, t.mapping), t).misses
+        # Scattered hot items pollute the block cache badly.
+        assert block > 0.3 * item
+
+    def test_hot_and_stream_packed_favours_block_cache(self):
+        t = hot_and_stream(
+            20_000, hot_items=32, stream_blocks=128, scatter_hot=False, seed=7
+        )
+        k = 128
+        item = simulate(ItemLRU(k, t.mapping), t).misses
+        block = simulate(BlockLRU(k, t.mapping), t).misses
+        assert block < item
+
+    def test_interleave_pattern(self):
+        a = uniform_random(10, 64, block_size=4, seed=1)
+        b = uniform_random(10, 64, block_size=4, seed=2)
+        t = interleave([a, b], pattern=[0, 0, 1])
+        assert t.items[0] == a.items[0]
+        assert t.items[1] == a.items[1]
+        assert t.items[2] == b.items[0]
+
+    def test_interleave_rejects_mixed_mappings(self):
+        a = uniform_random(10, 64, block_size=4)
+        b = uniform_random(10, 64, block_size=8)
+        with pytest.raises(TraceFormatError):
+            interleave([a, b], pattern=[0, 1])
+
+    def test_interleave_rejects_bad_pattern(self):
+        a = uniform_random(10, 64, block_size=4)
+        with pytest.raises(ConfigurationError):
+            interleave([a], pattern=[1])
+
+    def test_phase_mixture_concatenates(self):
+        a = uniform_random(10, 64, block_size=4, seed=1)
+        b = uniform_random(5, 64, block_size=4, seed=2)
+        t = phase_mixture([a, b], repeats=2)
+        assert len(t) == 30
+        assert t.items[:10].tolist() == a.items.tolist()
+
+
+class TestScenarios:
+    def test_dram_workload_block_structure(self):
+        t = dram_cache_workload(length=5000, rows=64, lines_per_row=16, seed=8)
+        assert t.block_size == 16
+        assert len(t) == 5000
+
+    def test_dram_bursts_create_spatial_locality(self):
+        t = dram_cache_workload(length=20_000, seed=9, noise_fraction=0.0)
+        prof = profile_trace(t, windows=[32])
+        assert prof.spatial_ratio()[0] > 2.0
+
+    def test_page_cache_scans_whole_files(self):
+        t = page_cache_workload(
+            length=5000, files=16, pages_per_file=8, scan_fraction=1.0, seed=10
+        )
+        # Pure scans: every file read is sequential within a block.
+        prof = profile_trace(t, windows=[8])
+        assert prof.spatial_ratio()[0] > 3.0
+
+    def test_scenarios_seeded(self):
+        a = dram_cache_workload(length=1000, seed=3)
+        b = dram_cache_workload(length=1000, seed=3)
+        assert a.items.tolist() == b.items.tolist()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            dram_cache_workload(rows=1)
+        with pytest.raises(ConfigurationError):
+            page_cache_workload(scan_fraction=2.0)
