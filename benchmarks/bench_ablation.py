@@ -72,3 +72,4 @@ def test_gcm_variants(benchmark, out_dir):
     # GCM exploits spatial locality that block-oblivious marking wastes.
     assert by["gcm"]["misses"] <= by["marking-lru"]["misses"]
     assert by["gcm"]["spatial_hits"] > by["marking-lru"]["spatial_hits"]
+    assert by["gcm"]["spatial_fraction"] > by["marking-lru"]["spatial_fraction"]

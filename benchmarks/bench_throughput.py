@@ -1,19 +1,28 @@
 """E-PERF: simulator throughput (accesses per second).
 
 Timing benches proper: policy hot loops on realistic workloads, the
-referee's overhead, and the LinkedLRU vs OrderedLRU substrate choice.
-Run with ``pytest benchmarks/ --benchmark-only`` to get ops/sec.
+referee's overhead, the LinkedLRU vs OrderedLRU substrate choice, and
+the telemetry instrumentation audit.  Run with
+``pytest benchmarks/ --benchmark-only`` to get ops/sec; the
+instrumentation matrix also writes
+``benchmarks/out/throughput_overhead.csv`` and enforces the telemetry
+overhead budget (full per-access tracing ≤ 2× the uninstrumented
+path).
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
+from repro.analysis.tables import format_table, write_csv
 from repro.core.engine import simulate
 from repro.policies import make_policy
 from repro.structs.linked_lru import LinkedLRU
 from repro.structs.ordered_lru import OrderedLRU
+from repro.telemetry import Recorder, RingBufferSink
 from repro.workloads import markov_spatial, zipf_items
 
 TRACE_LEN = 50_000
@@ -93,6 +102,64 @@ def test_linked_lru_throughput(benchmark, lru_keys):
 
 def test_ordered_lru_throughput(benchmark, lru_keys):
     assert benchmark(_lru_workout, OrderedLRU, lru_keys) == 512
+
+
+def _telemetry_recorder(mode: str):
+    """Recorder for one matrix cell: off / aggregate / full-trace."""
+    if mode == "off":
+        return None
+    if mode == "aggregate":
+        return Recorder(window=1000)
+    # Full per-access tracing into memory (a disk sink would measure
+    # the filesystem, not the instrumentation).
+    return Recorder(
+        window=1000, sinks=[RingBufferSink(maxlen=2 * TRACE_LEN)], sample_rate=1.0
+    )
+
+
+def test_instrumentation_overhead_matrix(zipf_trace, out_dir):
+    """Audit: validate on/off × telemetry off/aggregate/full-trace.
+
+    Emits the matrix to ``benchmarks/out/throughput_overhead.csv`` and
+    asserts the budget the telemetry layer is designed to: full
+    per-access tracing costs at most 2× the matching uninstrumented
+    run (best-of-3 wall times to shed scheduler noise).
+    """
+    reps = 3
+    rows = []
+    best: dict = {}
+    for validate in (False, True):
+        for mode in ("off", "aggregate", "full"):
+            times = []
+            for _ in range(reps):
+                policy = make_policy("iblp", K, zipf_trace.mapping)
+                recorder = _telemetry_recorder(mode)
+                t0 = time.perf_counter()
+                res = simulate(
+                    policy, zipf_trace, validate=validate, recorder=recorder
+                )
+                times.append(time.perf_counter() - t0)
+            assert 0 < res.misses <= TRACE_LEN
+            seconds = min(times)
+            best[(validate, mode)] = seconds
+            rows.append(
+                {
+                    "validate": validate,
+                    "telemetry": mode,
+                    "seconds": seconds,
+                    "accesses_per_s": TRACE_LEN / seconds,
+                }
+            )
+    for row in rows:
+        baseline = best[(row["validate"], "off")]
+        row["overhead_x"] = row["seconds"] / baseline
+    write_csv(rows, out_dir / "throughput_overhead.csv")
+    print()
+    print(format_table(rows, title="telemetry instrumentation overhead"))
+    assert best[(False, "full")] <= 2.0 * best[(False, "off")]
+    assert best[(True, "full")] <= 2.0 * best[(True, "off")]
+    # Aggregate-only telemetry must be strictly cheaper than full trace.
+    assert best[(False, "aggregate")] <= best[(False, "full")] * 1.25
 
 
 def test_belady_preparation_throughput(benchmark, zipf_trace):

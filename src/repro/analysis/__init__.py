@@ -24,7 +24,7 @@ from repro.analysis.competitive import (
     ratio_on_trace,
 )
 from repro.analysis.sweep import sweep, grid
-from repro.analysis.tables import format_table, write_csv
+from repro.analysis.tables import format_histogram, format_table, write_csv
 from repro.analysis.ascii_plot import line_plot
 from repro.analysis.mrc import (
     block_lru_stack_distances,
@@ -44,6 +44,7 @@ __all__ = [
     "sweep",
     "grid",
     "format_table",
+    "format_histogram",
     "write_csv",
     "line_plot",
     "lru_stack_distances",

@@ -7,12 +7,21 @@ parallel.  ``parallel=True`` fans cells out over a
 and its arguments must be picklable (module-level functions, plain
 data).  Results always come back in grid order regardless of
 completion order, so parallel and serial runs are bit-identical.
+
+Telemetry integration: with ``timing=True`` every row gains a
+``cell_seconds`` wall-clock column (measured inside the worker, so it
+is the cell's own cost, not queueing time).  A worker may also leave a
+:class:`repro.telemetry.Recorder` as a row value; it is flattened
+in-worker into ``<key>_*`` scalar summary columns (and stays
+picklable), so per-cell windowed/timing telemetry rides along grid
+rows without every experiment hand-rolling the plumbing.
 """
 
 from __future__ import annotations
 
 import itertools
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
 
@@ -34,8 +43,29 @@ def grid(**axes: Sequence[Any]) -> List[Dict[str, Any]]:
     return [dict(zip(names, combo)) for combo in combos]
 
 
-def _call(fn: Callable[..., Mapping[str, Any]], kwargs: Dict[str, Any]):
+def _flatten_recorders(row: Dict[str, Any]) -> Dict[str, Any]:
+    # Imported lazily: telemetry is optional on this path and
+    # analysis <-> telemetry must not import each other at module level.
+    from repro.telemetry.recorder import Recorder
+
+    for key in [k for k, v in row.items() if isinstance(v, Recorder)]:
+        recorder: Recorder = row.pop(key)
+        recorder.finalize()
+        row.update(recorder.summary(prefix=f"{key}_"))
+    return row
+
+
+def _call(
+    fn: Callable[..., Mapping[str, Any]],
+    kwargs: Dict[str, Any],
+    timing: bool = False,
+):
+    t0 = time.perf_counter()
     out = dict(fn(**kwargs))
+    elapsed = time.perf_counter() - t0
+    _flatten_recorders(out)
+    if timing:
+        out.setdefault("cell_seconds", elapsed)
     # Echo the cell's parameters so rows are self-describing.
     for key, value in kwargs.items():
         out.setdefault(key, value)
@@ -47,6 +77,7 @@ def sweep(
     cells: Iterable[Dict[str, Any]],
     parallel: bool = False,
     max_workers: int | None = None,
+    timing: bool = False,
 ) -> List[Dict[str, Any]]:
     """Evaluate ``fn(**cell)`` for every cell; return rows in order.
 
@@ -54,22 +85,27 @@ def sweep(
     ----------
     fn:
         Worker returning a mapping of result fields; cell parameters
-        are merged into the row (worker values win on collision).
+        are merged into the row (worker values win on collision).  A
+        :class:`repro.telemetry.Recorder` row value is flattened into
+        ``<key>_*`` summary columns.
     cells:
         Typically the output of :func:`grid`.
     parallel:
         Use processes.  Keep workers pure: no shared mutable state.
     max_workers:
         Defaults to ``os.cpu_count() - 1`` (min 1).
+    timing:
+        Attach each cell's in-worker wall-clock seconds as a
+        ``cell_seconds`` column (worker-provided values win).
     """
     cell_list = list(cells)
     if not cell_list:
         return []
     if not parallel:
-        return [_call(fn, c) for c in cell_list]
+        return [_call(fn, c, timing) for c in cell_list]
     workers = max_workers or max(1, (os.cpu_count() or 2) - 1)
     if workers < 1:
         raise ConfigurationError(f"max_workers must be >= 1, got {workers}")
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(_call, fn, c) for c in cell_list]
+        futures = [pool.submit(_call, fn, c, timing) for c in cell_list]
         return [f.result() for f in futures]

@@ -12,7 +12,7 @@ import math
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
-__all__ = ["format_table", "write_csv"]
+__all__ = ["format_table", "format_histogram", "write_csv"]
 
 
 def _fmt(value: Any, floatfmt: str) -> str:
@@ -58,6 +58,39 @@ def format_table(
     lines.append("  ".join("-" * w for w in widths))
     for r in body:
         lines.append("  ".join(cell.rjust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_histogram(
+    edges: Sequence[float],
+    counts: Sequence[int],
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Render bucket counts as a horizontal ASCII bar chart.
+
+    ``edges`` are upper inclusive bounds; ``counts`` must have one
+    extra overflow bucket (the convention of
+    :class:`repro.telemetry.metrics.Histogram`).
+    """
+    if len(counts) != len(edges) + 1:
+        raise ValueError(
+            f"expected {len(edges) + 1} buckets for {len(edges)} edges, "
+            f"got {len(counts)}"
+        )
+    labels = []
+    lo: float = 0
+    for edge in edges:
+        labels.append(f"[{_fmt(lo, '.4g')}, {_fmt(edge, '.4g')}]")
+        lo = edge
+    labels.append(f"({_fmt(lo, '.4g')}, inf)")
+    peak = max(counts) if counts else 0
+    label_w = max(len(lb) for lb in labels)
+    count_w = max(len(str(c)) for c in counts)
+    lines = [title] if title else []
+    for label, count in zip(labels, counts):
+        bar = "#" * (round(count / peak * width) if peak else 0)
+        lines.append(f"{label.rjust(label_w)}  {str(count).rjust(count_w)}  {bar}")
     return "\n".join(lines)
 
 

@@ -10,6 +10,9 @@ Examples
     gc-caching figure 2 --trials 6
     gc-caching simulate --policy iblp --workload hot_and_stream \\
         --capacity 256 --block-size 8 --length 50000
+    gc-caching simulate --policy iblp --workload markov --capacity 256 \\
+        --telemetry out.jsonl --window 1000 --sample-rate 0.01
+    gc-caching report out.jsonl --metric spatial_fraction
     gc-caching adversarial --k 256 --h 48 --B 8
     gc-caching profile --workload dram --length 50000
 """
@@ -18,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from typing import Callable, Dict, List, Optional
 
 from repro.analysis.tables import format_table
@@ -109,6 +113,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--alpha", type=float, default=1.0)
     p_sim.add_argument("--stay", type=float, default=0.8)
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument(
+        "--telemetry",
+        metavar="OUT",
+        help="write windowed telemetry to this file "
+        "(JSONL; a .csv suffix selects CSV)",
+    )
+    p_sim.add_argument(
+        "--window",
+        type=int,
+        default=1000,
+        help="accesses per telemetry window (with --telemetry)",
+    )
+    p_sim.add_argument(
+        "--sample-rate",
+        type=float,
+        default=0.0,
+        help="per-access event sampling probability in [0, 1] "
+        "(with --telemetry; 1.0 = full trace)",
+    )
+
+    p_rep = sub.add_parser(
+        "report", help="render a telemetry file written by simulate --telemetry"
+    )
+    p_rep.add_argument("telemetry_file", help="JSONL file from simulate --telemetry")
+    p_rep.add_argument(
+        "--metric",
+        default="miss_ratio",
+        choices=("miss_ratio", "spatial_fraction", "mean_load_set_size", "occupancy"),
+        help="window metric to plot over time",
+    )
+    p_rep.add_argument(
+        "--no-plot",
+        action="store_true",
+        help="table and summary only, skip the ASCII time series",
+    )
 
     p_adv = sub.add_parser(
         "adversarial", help="empirical competitive-ratio experiment"
@@ -160,6 +199,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def _make_recorder(ns: argparse.Namespace):
+    """Build the simulate subcommand's Recorder (None without --telemetry)."""
+    if not getattr(ns, "telemetry", None):
+        return None
+    from repro.telemetry import CSVSink, JSONLSink, Recorder
+
+    sink_cls = CSVSink if ns.telemetry.endswith(".csv") else JSONLSink
+    return Recorder(
+        window=ns.window,
+        sinks=[sink_cls(ns.telemetry)],
+        sample_rate=ns.sample_rate,
+        sample_seed=ns.seed,
+    )
+
+
 def _dispatch(ns: argparse.Namespace) -> str:
     # Imports are local so `--help` stays fast.
     from repro.experiments import (
@@ -187,19 +241,42 @@ def _dispatch(ns: argparse.Namespace) -> str:
             return figure5.render(B=min(ns.B, 32))
         return figure6.render(k=ns.k, B=ns.B, points=ns.points)
     if ns.command == "simulate":
-        if ns.trace_file:
-            from repro.workloads.trace_io import read_text_trace
+        recorder = _make_recorder(ns)
+        workload_phase = (
+            recorder.phase("workload") if recorder is not None else nullcontext()
+        )
+        with workload_phase:
+            if ns.trace_file:
+                from repro.workloads.trace_io import read_text_trace
 
-            trace = read_text_trace(
-                ns.trace_file,
-                block_size=ns.block_size,
-                densify=ns.densify,
-            ).trace
-        else:
-            trace = _WORKLOADS[ns.workload](ns)
+                trace = read_text_trace(
+                    ns.trace_file,
+                    block_size=ns.block_size,
+                    densify=ns.densify,
+                ).trace
+            else:
+                trace = _WORKLOADS[ns.workload](ns)
         policy = make_policy(ns.policy, ns.capacity, trace.mapping)
-        result = run_simulation(policy, trace)
-        return format_table([result.as_row()], title="simulation result")
+        result = run_simulation(policy, trace, recorder=recorder)
+        out = format_table([result.as_row()], title="simulation result")
+        if recorder is not None:
+            # `report` reads the JSONL interchange format only, so don't
+            # suggest it for CSV telemetry files.
+            hint = (
+                ""
+                if ns.telemetry.endswith(".csv")
+                else f"; run `gc-caching report {ns.telemetry}`"
+            )
+            out += (
+                f"\ntelemetry: {ns.telemetry} "
+                f"({len(recorder.window_rows)} windows of {ns.window}{hint})"
+            )
+        return out
+    if ns.command == "report":
+        from repro.telemetry.report import load_telemetry, render_report
+
+        log = load_telemetry(ns.telemetry_file)
+        return render_report(log, metric=ns.metric, plot=not ns.no_plot)
     if ns.command == "adversarial":
         return adversarial.render(k=ns.k, h=ns.h, B=ns.B, cycles=ns.cycles)
     if ns.command == "ablation":

@@ -18,10 +18,34 @@ cheat, which keeps the empirical competitive-ratio results honest.
 The engine also classifies hits into *temporal* and *spatial* per §2:
 the first hit to an item whose residency was created by a different
 item's miss is spatial; every other hit is temporal.
+
+Observability
+-------------
+Two opt-in observation channels exist; both are strictly read-only and
+cost a single ``is not None`` branch per access when unused:
+
+* ``on_access(pos, item, kind)`` — a lightweight per-access callback.
+  **Contract:** it is invoked *after* the engine's shadow state and
+  statistics are updated for that access, in trace order, and receives
+  only immutable values (two ``int``\\ s and a :class:`HitKind`), so an
+  observer cannot corrupt engine state through its arguments.
+  Observers must not mutate the policy or the engine; they run before
+  any ``cross_check_every`` reconciliation scheduled for the same
+  position, and exceptions they raise propagate to the caller.
+* ``recorder`` — a :class:`repro.telemetry.Recorder` receiving the
+  full referee-classified outcome (item, block, kind, load/evict set
+  sizes, occupancy) for windowed metrics, event tracing, and sink
+  fan-out.  The engine hands it frozen sets and ints only; see
+  :mod:`repro.telemetry`.
+
+With neither channel configured, ``simulate`` behaves byte-identically
+to the uninstrumented engine — validation semantics and results are
+unchanged.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Callable, Dict, Optional, Set
 
 from repro.core.trace import Trace
@@ -38,10 +62,15 @@ class Engine:
     simulation; for plain trace replay use :func:`simulate`.
     """
 
-    def __init__(self, policy, mapping=None, validate: bool = True) -> None:
+    def __init__(
+        self, policy, mapping=None, validate: bool = True, recorder=None
+    ) -> None:
         self.policy = policy
         self.mapping = mapping if mapping is not None else policy.mapping
         self.validate = validate
+        #: Optional :class:`repro.telemetry.Recorder`; ``None`` keeps
+        #: the access path uninstrumented (one branch per access).
+        self.recorder = recorder
         self.resident: Set[int] = set()
         #: items currently resident that were loaded as a side effect of
         #: another item's miss and have not been hit since.
@@ -69,6 +98,16 @@ class Engine:
         else:
             res.temporal_hits += 1
         res.evicted_items += len(outcome.evicted)
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.on_access(
+                item,
+                self.mapping.block_of(item),
+                kind,
+                outcome.loaded,
+                outcome.evicted,
+                len(self.resident),
+            )
         return kind
 
     # -- internals ---------------------------------------------------------
@@ -147,6 +186,7 @@ def simulate(
     validate: bool = True,
     cross_check_every: int = 0,
     on_access: Optional[Callable[[int, int, HitKind], None]] = None,
+    recorder=None,
 ) -> SimResult:
     """Run ``policy`` over ``trace`` and return aggregate statistics.
 
@@ -164,7 +204,15 @@ def simulate(
         If > 0, additionally reconcile the policy's full residency set
         with the shadow state every N accesses (O(k) each time).
     on_access:
-        Optional observer ``(position, item, kind)`` called per access.
+        Optional observer ``(position, item, kind)`` called per access,
+        after engine state is updated and before any cross-check at the
+        same position; receives immutable values only and must not
+        mutate the policy or engine (see the module docstring).
+    recorder:
+        Optional :class:`repro.telemetry.Recorder`.  The run is timed
+        as a ``"simulate"`` phase and the recorder is finalized (its
+        sinks flushed and closed) before returning.  Telemetry never
+        alters the returned :class:`SimResult`.
 
     Returns
     -------
@@ -177,19 +225,22 @@ def simulate(
         raise ProtocolViolation("trace and policy use different block mappings")
     if policy.is_offline:
         policy.prepare(trace)
-    engine = Engine(policy, trace.mapping, validate=validate)
+    engine = Engine(policy, trace.mapping, validate=validate, recorder=recorder)
     engine.result.metadata.update(
         {k: v for k, v in trace.metadata.items() if isinstance(v, (str, int, float))}
     )
     items = trace.items.tolist()
-    for pos, item in enumerate(items):
-        kind = engine.access(item)
-        if on_access is not None:
-            on_access(pos, item, kind)
-        if cross_check_every and (pos + 1) % cross_check_every == 0:
+    with nullcontext() if recorder is None else recorder.phase("simulate"):
+        for pos, item in enumerate(items):
+            kind = engine.access(item)
+            if on_access is not None:
+                on_access(pos, item, kind)
+            if cross_check_every and (pos + 1) % cross_check_every == 0:
+                engine.cross_check()
+        if cross_check_every:
             engine.cross_check()
-    if cross_check_every:
-        engine.cross_check()
+    if recorder is not None:
+        recorder.finalize(engine.result)
     return engine.result
 
 

@@ -101,6 +101,8 @@ def layer_order(
                 "misses": res.misses,
                 "miss_ratio": res.miss_ratio,
                 "spatial_hits": res.spatial_hits,
+                "spatial_fraction": res.spatial_fraction,
+                "mean_load_set_size": res.mean_load_set_size,
             }
         )
     return rows
@@ -191,6 +193,8 @@ def gcm_variants(
                 "misses": res.misses,
                 "miss_ratio": res.miss_ratio,
                 "spatial_hits": res.spatial_hits,
+                "spatial_fraction": res.spatial_fraction,
+                "mean_load_set_size": res.mean_load_set_size,
             }
         )
     return rows

@@ -1,0 +1,62 @@
+"""Telemetry: windowed metrics, structured event tracing, phase timers.
+
+The simulator's end-of-run :class:`~repro.types.SimResult` answers
+"how many misses"; this package answers "when, and at what cost".
+Layers, from the hot path outward:
+
+* :mod:`repro.telemetry.metrics` — counters, gauges, fixed-bucket
+  histograms in a :class:`MetricsRegistry`.
+* :mod:`repro.telemetry.windows` — :class:`WindowedSeries` folds
+  per-access outcomes into per-window rows (miss ratio, spatial
+  fraction, load-set size, occupancy, eviction-age buckets).
+* :mod:`repro.telemetry.events` — typed :class:`AccessEvent` /
+  :class:`PhaseEvent` records with seeded probabilistic sampling.
+* :mod:`repro.telemetry.sinks` — ring buffer, JSONL, CSV destinations.
+* :mod:`repro.telemetry.recorder` — the :class:`Recorder` facade the
+  engine consults via a single ``is not None`` branch per access.
+* :mod:`repro.telemetry.report` — render a telemetry file back into
+  the windowed summary table and ASCII time-series plots.
+
+Telemetry is strictly opt-in: ``simulate(...)`` without a recorder is
+byte-identical to the uninstrumented engine, and a recorder never
+feeds randomness or mutation back into the policy or referee.
+``benchmarks/bench_throughput.py`` audits the overhead of each
+configuration and writes ``benchmarks/out/throughput_overhead.csv``.
+"""
+
+from repro.telemetry.events import AccessEvent, EventSampler, PhaseEvent
+from repro.telemetry.metrics import (
+    DEFAULT_AGE_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.recorder import Recorder
+from repro.telemetry.sinks import (
+    CSVSink,
+    JSONLSink,
+    RingBufferSink,
+    Sink,
+    read_jsonl,
+)
+from repro.telemetry.windows import WindowedSeries, WindowRow
+
+__all__ = [
+    "AccessEvent",
+    "PhaseEvent",
+    "EventSampler",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_AGE_EDGES",
+    "Recorder",
+    "Sink",
+    "RingBufferSink",
+    "JSONLSink",
+    "CSVSink",
+    "read_jsonl",
+    "WindowedSeries",
+    "WindowRow",
+]

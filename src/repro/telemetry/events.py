@@ -1,0 +1,115 @@
+"""Structured trace events and probabilistic sampling.
+
+Two typed records flow to sinks:
+
+* :class:`AccessEvent` — one (optionally sampled) record per access:
+  position, item, block, hit kind, load/evict set sizes, occupancy.
+* :class:`PhaseEvent` — a named span (workload generation, simulation,
+  reporting) with wall-clock duration and the access positions it
+  covered.
+
+Sampling uses a dedicated :class:`random.Random` stream seeded
+independently of any policy RNG, so turning tracing on or changing the
+sample rate can never perturb simulation results — the determinism
+test in ``tests/test_telemetry.py`` pins this down.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.types import HitKind
+
+__all__ = ["AccessEvent", "PhaseEvent", "EventSampler"]
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One access, as observed by the referee after state update."""
+
+    pos: int
+    item: int
+    block: int
+    kind: HitKind
+    loaded: int
+    evicted: int
+    occupancy: int
+
+    def as_record(self) -> Dict:
+        return {
+            "type": "access",
+            "pos": self.pos,
+            "item": self.item,
+            "block": self.block,
+            "kind": self.kind.value,
+            "loaded": self.loaded,
+            "evicted": self.evicted,
+            "occupancy": self.occupancy,
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict) -> "AccessEvent":
+        return cls(
+            pos=int(record["pos"]),
+            item=int(record["item"]),
+            block=int(record["block"]),
+            kind=HitKind(record["kind"]),
+            loaded=int(record["loaded"]),
+            evicted=int(record["evicted"]),
+            occupancy=int(record["occupancy"]),
+        )
+
+
+@dataclass(frozen=True)
+class PhaseEvent:
+    """A named wall-clock span over a range of access positions."""
+
+    name: str
+    start_pos: int
+    end_pos: int
+    seconds: float
+
+    def as_record(self) -> Dict:
+        return {
+            "type": "phase",
+            "name": self.name,
+            "start_pos": self.start_pos,
+            "end_pos": self.end_pos,
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict) -> "PhaseEvent":
+        return cls(
+            name=str(record["name"]),
+            start_pos=int(record["start_pos"]),
+            end_pos=int(record["end_pos"]),
+            seconds=float(record["seconds"]),
+        )
+
+
+class EventSampler:
+    """Bernoulli sampler with a private, seeded RNG.
+
+    ``rate=0`` and ``rate=1`` short-circuit without consuming
+    randomness, so "trace everything" is deterministic regardless of
+    seed and "trace nothing" costs one comparison.
+    """
+
+    __slots__ = ("rate", "_rng")
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"sample rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self._rng = random.Random(seed)
+
+    def sample(self) -> bool:
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return False
+        return self._rng.random() < self.rate

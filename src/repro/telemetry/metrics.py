@@ -1,0 +1,236 @@
+"""Metrics core: counters, gauges, fixed-bucket histograms, registry.
+
+The simulator's hot loop must stay cheap, so every instrument here is
+a plain-Python object with O(1) updates and no locking (the engine is
+single-threaded per process; sweeps parallelize across processes, each
+with its own registry).  Histograms use *fixed* bucket edges chosen at
+construction — recording is a bisect plus an increment, and two
+histograms with the same edges merge bucket-wise, which is what the
+windowed series and the sweep integration rely on.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_AGE_EDGES",
+]
+
+#: Default bucket edges for eviction-age histograms (accesses between
+#: an item's load and its eviction).  Roughly geometric: ages in cache
+#: simulations span many orders of magnitude.
+DEFAULT_AGE_EDGES: Tuple[int, ...] = (1, 4, 16, 64, 256, 1024, 4096, 16384)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be non-negative) to the counter."""
+        if n < 0:
+            raise ConfigurationError(f"counter {self.name!r} cannot decrease")
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (occupancy, layer boundary, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram over non-negative values.
+
+    ``edges`` are the *upper inclusive* bounds of the first
+    ``len(edges)`` buckets; one overflow bucket catches everything
+    larger, so ``counts`` always has ``len(edges) + 1`` entries.
+
+    >>> h = Histogram("age", edges=(1, 4, 16))
+    >>> for v in (0, 1, 3, 100):
+    ...     h.observe(v)
+    >>> h.counts
+    [2, 1, 0, 1]
+    """
+
+    __slots__ = ("name", "edges", "counts", "total", "_sum")
+
+    def __init__(self, name: str, edges: Sequence[float] = DEFAULT_AGE_EDGES) -> None:
+        if not edges:
+            raise ConfigurationError(f"histogram {name!r} needs bucket edges")
+        if list(edges) != sorted(edges) or len(set(edges)) != len(edges):
+            raise ConfigurationError(
+                f"histogram {name!r} edges must be strictly increasing"
+            )
+        self.name = name
+        self.edges: Tuple[float, ...] = tuple(edges)
+        self.counts: List[int] = [0] * (len(edges) + 1)
+        self.total = 0
+        self._sum = 0.0
+
+    def observe(self, value: float, n: int = 1) -> None:
+        """Record ``value`` ``n`` times."""
+        self.counts[bisect.bisect_left(self.edges, value)] += n
+        self.total += n
+        self._sum += value * n
+
+    @property
+    def mean(self) -> float:
+        """Mean of observed values (0.0 when empty)."""
+        return self._sum / self.total if self.total else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile: the upper edge of the bucket
+        containing the ``q``-th observation (the last finite edge for
+        the overflow bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if not self.total:
+            return 0.0
+        rank = q * self.total
+        running = 0
+        for i, c in enumerate(self.counts):
+            running += c
+            if running >= rank:
+                return float(self.edges[min(i, len(self.edges) - 1)])
+        return float(self.edges[-1])  # pragma: no cover - defensive
+
+    def merge(self, other: "Histogram") -> None:
+        """Accumulate another histogram with identical edges."""
+        if other.edges != self.edges:
+            raise ConfigurationError(
+                f"cannot merge histograms with different edges "
+                f"({self.name!r} vs {other.name!r})"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.total += other.total
+        self._sum += other._sum
+
+    def snapshot(self) -> Dict:
+        """JSON-friendly view (used by sinks and summaries)."""
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "total": self.total,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Histogram({self.name!r}, total={self.total})"
+
+
+class MetricsRegistry:
+    """Named home for instruments.
+
+    Asking twice for the same name returns the same instrument; asking
+    for an existing name with a different kind is a configuration
+    error — a registry maps each name to exactly one time series.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, kind, factory):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {kind.__name__}"
+                )
+            return existing
+        instrument = factory()
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, edges: Sequence[float] = DEFAULT_AGE_EDGES
+    ) -> Histogram:
+        hist = self._get(name, Histogram, lambda: Histogram(name, edges))
+        if hist.edges != tuple(edges):
+            raise ConfigurationError(
+                f"histogram {name!r} already registered with edges "
+                f"{hist.edges}, asked for {tuple(edges)}"
+            )
+        return hist
+
+    def names(self) -> List[str]:
+        """Registered metric names in registration order."""
+        return list(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten to plain values: counters/gauges to numbers,
+        histograms to snapshot dicts."""
+        out: Dict[str, object] = {}
+        for name, inst in self._instruments.items():
+            if isinstance(inst, (Counter, Gauge)):
+                out[name] = inst.value
+            else:
+                out[name] = inst.snapshot()  # type: ignore[union-attr]
+        return out
+
+    def flat(self, prefix: str = "") -> Dict[str, float]:
+        """Scalar-only view for table rows: histograms contribute
+        ``<name>_mean`` and ``<name>_total``."""
+        out: Dict[str, float] = {}
+        for name, inst in self._instruments.items():
+            if isinstance(inst, (Counter, Gauge)):
+                out[prefix + name] = inst.value
+            else:
+                hist: Histogram = inst  # type: ignore[assignment]
+                out[prefix + name + "_mean"] = hist.mean
+                out[prefix + name + "_total"] = hist.total
+        return out
+
+
+def merge_bucket_lists(counts: Iterable[Sequence[int]]) -> List[int]:
+    """Element-wise sum of equal-length bucket-count lists."""
+    merged: List[int] = []
+    for row in counts:
+        if not merged:
+            merged = list(row)
+        else:
+            if len(row) != len(merged):
+                raise ConfigurationError("bucket lists have different lengths")
+            for i, c in enumerate(row):
+                merged[i] += c
+    return merged

@@ -1,0 +1,300 @@
+"""The engine-facing telemetry facade.
+
+Instrumentation philosophy: the engine never knows what telemetry is
+configured.  It holds an ``Optional[Recorder]`` and pays **one branch
+per access** when telemetry is off (``recorder is None``); everything
+else — windowed folding, eviction-age tracking, event sampling, sink
+fan-out — lives behind :meth:`Recorder.on_access`.
+
+The hot path keeps plain-int attributes and syncs them into the
+:class:`~repro.telemetry.metrics.MetricsRegistry` at :meth:`finalize`;
+the registry is the queryable face, not the accumulation mechanism.
+
+A :class:`Recorder` must never perturb the simulation: it draws
+randomness only from its own seeded sampler and receives only
+immutable values (ints, :class:`~repro.types.HitKind`, frozensets) —
+``tests/test_telemetry.py`` asserts telemetry-on and telemetry-off
+runs produce identical :class:`~repro.types.SimResult`\\ s.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from repro.telemetry.events import EventSampler, PhaseEvent
+from repro.telemetry.metrics import DEFAULT_AGE_EDGES, Histogram, MetricsRegistry
+from repro.telemetry.sinks import RingBufferSink, Sink
+from repro.telemetry.windows import WindowedSeries, WindowRow
+from repro.types import HitKind, SimResult
+
+__all__ = ["Recorder"]
+
+_EMPTY_AGES: tuple = ()
+
+#: Precomputed enum -> wire string map; ``kind.value`` per access costs
+#: an enum descriptor lookup the hot path can skip.
+_KIND_STR = {
+    HitKind.MISS: "miss",
+    HitKind.TEMPORAL_HIT: "temporal",
+    HitKind.SPATIAL_HIT: "spatial",
+}
+
+
+class Recorder:
+    """Collects per-access telemetry for one simulation run.
+
+    Parameters
+    ----------
+    window:
+        If > 0, fold accesses into per-window rows of this many
+        accesses (emitted to sinks as ``{"type": "window"}`` records
+        as each window completes).
+    sinks:
+        Destinations for window/access/phase/summary records.  The
+        recorder closes them in :meth:`finalize`.
+    sample_rate:
+        Probability of emitting an ``{"type": "access"}`` record per
+        access (1.0 = full trace, 0.0 = aggregates only).  Sampling
+        randomness is private to the recorder.
+    sample_seed:
+        Seed for the sampling RNG (irrelevant at rates 0 and 1).
+    registry:
+        Optional shared :class:`MetricsRegistry`; one is created if
+        omitted.  Totals are synced into it on :meth:`finalize`.
+    age_edges:
+        Bucket edges for the eviction-age histogram (accesses resident
+        before eviction).
+    """
+
+    def __init__(
+        self,
+        window: int = 0,
+        sinks: Sequence[Sink] = (),
+        sample_rate: float = 0.0,
+        sample_seed: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+        age_edges: Sequence[float] = DEFAULT_AGE_EDGES,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.sinks: List[Sink] = list(sinks)
+        self.sampler = EventSampler(sample_rate, sample_seed)
+        self.windows: Optional[WindowedSeries] = (
+            WindowedSeries(window, age_edges) if window > 0 else None
+        )
+        # Eviction-age accumulators; materialized as a Histogram by the
+        # `age_hist` property.  Validate the edges eagerly via a probe
+        # Histogram so a bad configuration fails at construction time.
+        self._age_edges = tuple(Histogram("evict_age", age_edges).edges)
+        self._age_counts: List[int] = [0] * (len(self._age_edges) + 1)
+        self._age_sum = 0
+        self._age_n = 0
+        self.phase_events: List[PhaseEvent] = []
+        # Hot-path accumulators (synced to the registry in finalize()).
+        self._pos = 0
+        self._misses = 0
+        self._temporal = 0
+        self._spatial = 0
+        self._loaded = 0
+        self._evicted = 0
+        self._occupancy = 0
+        self._sampled = 0
+        self._load_pos: Dict[int, int] = {}
+        self._finalized = False
+
+    # -- hot path ----------------------------------------------------------
+    def on_access(
+        self,
+        item: int,
+        block: int,
+        kind: HitKind,
+        loaded: FrozenSet[int],
+        evicted: FrozenSet[int],
+        occupancy: int,
+    ) -> None:
+        """Fold one referee-classified access.  Called by the engine
+        after its shadow state is updated, with immutable values only.
+
+        This is the innermost instrumented loop — it builds access
+        records as plain dict literals (the :class:`AccessEvent` shape,
+        without per-access dataclass construction) and avoids attribute
+        lookups the overhead bench showed to matter.
+        """
+        pos = self._pos
+        self._pos = pos + 1
+        if kind is HitKind.MISS:
+            self._misses += 1
+        elif kind is HitKind.SPATIAL_HIT:
+            self._spatial += 1
+        else:
+            self._temporal += 1
+        n_loaded = len(loaded)
+        n_evicted = len(evicted)
+        self._loaded += n_loaded
+        self._evicted += n_evicted
+        self._occupancy = occupancy
+        age_buckets = _EMPTY_AGES
+        load_pos = self._load_pos
+        if n_evicted:
+            # Items side-loaded by one miss share a load position, so
+            # group by it and bucket each distinct age once instead of
+            # once per evicted item (the dominant hot-path cost on
+            # block-heavy traces).
+            pop = load_pos.pop
+            groups: Dict[int, int] = {}
+            get = groups.get
+            for it in evicted:
+                lp = pop(it, pos)
+                groups[lp] = get(lp, 0) + 1
+            edges = self._age_edges
+            counts = self._age_counts
+            age_buckets = []
+            for lp, n in groups.items():
+                age = pos - lp
+                i = bisect_left(edges, age)
+                counts[i] += n
+                age_buckets.append((i, n))
+                self._age_sum += age * n
+            self._age_n += n_evicted
+        if n_loaded:
+            for it in loaded:
+                load_pos[it] = pos
+        windows = self.windows
+        sinks = self.sinks
+        if windows is not None:
+            done = windows.observe(
+                kind, n_loaded, n_evicted, occupancy, age_buckets=age_buckets
+            )
+            if done is not None and sinks:
+                self._emit(done.as_record())
+        if sinks and self.sampler.sample():
+            self._sampled += 1
+            record = {
+                "type": "access",
+                "pos": pos,
+                "item": item,
+                "block": block,
+                "kind": _KIND_STR[kind],
+                "loaded": n_loaded,
+                "evicted": n_evicted,
+                "occupancy": occupancy,
+            }
+            for sink in sinks:
+                sink.emit(record)
+
+    # -- phases ------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str):
+        """Wall-clock a named span; emits a ``{"type": "phase"}`` record."""
+        start_pos = self._pos
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            event = PhaseEvent(
+                name=name,
+                start_pos=start_pos,
+                end_pos=self._pos,
+                seconds=time.perf_counter() - t0,
+            )
+            self.phase_events.append(event)
+            if self.sinks:
+                self._emit(event.as_record())
+
+    @property
+    def phase_seconds(self) -> Dict[str, float]:
+        """Total wall seconds per phase name."""
+        out: Dict[str, float] = {}
+        for event in self.phase_events:
+            out[event.name] = out.get(event.name, 0.0) + event.seconds
+        return out
+
+    # -- lifecycle ---------------------------------------------------------
+    def _emit(self, record: Dict) -> None:
+        for sink in self.sinks:
+            sink.emit(record)
+
+    @property
+    def age_hist(self) -> Histogram:
+        """Eviction-age histogram materialized from the accumulators."""
+        hist = Histogram("evict_age", self._age_edges)
+        hist.counts = list(self._age_counts)
+        hist.total = self._age_n
+        hist._sum = float(self._age_sum)
+        return hist
+
+    def _sync_registry(self) -> None:
+        reg = self.registry
+        reg.counter("accesses").value = self._pos
+        reg.counter("misses").value = self._misses
+        reg.counter("temporal_hits").value = self._temporal
+        reg.counter("spatial_hits").value = self._spatial
+        reg.counter("loaded_items").value = self._loaded
+        reg.counter("evicted_items").value = self._evicted
+        reg.counter("sampled_events").value = self._sampled
+        reg.gauge("occupancy").set(self._occupancy)
+        age = reg.histogram("evict_age", self._age_edges)
+        age.counts = list(self._age_counts)
+        age.total = self._age_n
+        age._sum = float(self._age_sum)
+
+    def summary(self, prefix: str = "") -> Dict[str, float]:
+        """Flat scalar summary, suitable for merging into sweep rows."""
+        hits = self._temporal + self._spatial
+        out: Dict[str, float] = {
+            prefix + "accesses": self._pos,
+            prefix + "misses": self._misses,
+            prefix + "miss_ratio": self._misses / self._pos if self._pos else 0.0,
+            prefix + "spatial_fraction": self._spatial / hits if hits else 0.0,
+            prefix + "mean_load_set_size": (
+                self._loaded / self._misses if self._misses else 0.0
+            ),
+            prefix + "occupancy": self._occupancy,
+            prefix + "evict_age_mean": self.age_hist.mean,
+            prefix + "windows": len(self.windows.rows) if self.windows else 0,
+            prefix + "sampled_events": self._sampled,
+        }
+        for name, seconds in self.phase_seconds.items():
+            out[f"{prefix}phase_{name}_s"] = seconds
+        return out
+
+    def finalize(self, result: Optional[SimResult] = None) -> Dict:
+        """Flush the partial window, emit the summary record, close sinks.
+
+        Idempotent; returns the summary record.  ``result`` (when
+        given) is cross-embedded so a telemetry file is self-contained.
+        """
+        summary: Dict = {"type": "summary"}
+        if self._finalized:
+            return summary
+        self._finalized = True
+        if self.windows is not None:
+            tail = self.windows.finalize()
+            if tail is not None and self.sinks:
+                self._emit(tail.as_record())
+            summary["window"] = self.windows.window
+            summary["age_edges"] = list(self.windows.age_edges)
+        self._sync_registry()
+        summary.update(self.summary())
+        summary["evict_age"] = self.age_hist.snapshot()
+        if result is not None:
+            summary["result"] = result.as_row()
+        if self.sinks:
+            self._emit(summary)
+        for sink in self.sinks:
+            sink.close()
+        return summary
+
+    # -- conveniences ------------------------------------------------------
+    @property
+    def window_rows(self) -> List[WindowRow]:
+        return self.windows.rows if self.windows is not None else []
+
+    def ring(self) -> Optional[RingBufferSink]:
+        """First attached ring-buffer sink, if any (test/REPL helper)."""
+        for sink in self.sinks:
+            if isinstance(sink, RingBufferSink):
+                return sink
+        return None

@@ -1,0 +1,167 @@
+"""Render a telemetry file into the windowed summary report.
+
+``repro report OUT.jsonl`` lands here: parse the JSONL stream written
+by a :class:`~repro.telemetry.recorder.Recorder`, rebuild the window
+rows, and render an aligned table plus (optionally) an ASCII time
+series of a chosen metric over windows, reusing
+:mod:`repro.analysis.tables` and :mod:`repro.analysis.ascii_plot` so
+the report matches the look of every other artifact in the repo.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.ascii_plot import line_plot
+from repro.analysis.tables import format_histogram, format_table
+from repro.errors import TraceFormatError
+from repro.telemetry.metrics import merge_bucket_lists
+from repro.telemetry.sinks import read_jsonl
+from repro.telemetry.windows import WindowRow
+
+__all__ = ["TelemetryLog", "load_telemetry", "render_report"]
+
+#: Columns of the windowed summary table, in display order.
+WINDOW_COLUMNS = (
+    "index",
+    "start",
+    "end",
+    "accesses",
+    "misses",
+    "miss_ratio",
+    "spatial_fraction",
+    "mean_load_set_size",
+    "occupancy",
+)
+
+#: Window metrics that may be plotted over time.
+PLOTTABLE = ("miss_ratio", "spatial_fraction", "mean_load_set_size", "occupancy")
+
+
+@dataclass
+class TelemetryLog:
+    """Parsed contents of one telemetry JSONL file."""
+
+    path: Path
+    windows: List[WindowRow] = field(default_factory=list)
+    access_events: List[Dict] = field(default_factory=list)
+    phase_events: List[Dict] = field(default_factory=list)
+    summary: Optional[Dict] = None
+
+    @property
+    def total_misses(self) -> int:
+        return sum(r.misses for r in self.windows)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(r.accesses for r in self.windows)
+
+
+def load_telemetry(path: str | Path) -> TelemetryLog:
+    """Parse a recorder-written JSONL file into a :class:`TelemetryLog`."""
+    path = Path(path)
+    log = TelemetryLog(path=path)
+    try:
+        records = list(read_jsonl(path))
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(
+            f"{path} is not a telemetry JSONL file (CSV telemetry "
+            f"files cannot be rendered by `report`): {exc}"
+        ) from exc
+    for record in records:
+        kind = record.get("type")
+        if kind == "window":
+            log.windows.append(WindowRow.from_record(record))
+        elif kind == "access":
+            log.access_events.append(record)
+        elif kind == "phase":
+            log.phase_events.append(record)
+        elif kind == "summary":
+            log.summary = record
+        else:
+            raise TraceFormatError(
+                f"unknown telemetry record type {kind!r} in {path}"
+            )
+    return log
+
+
+def _window_table(rows: Sequence[WindowRow]) -> str:
+    table_rows = []
+    for r in rows:
+        rec = r.as_record()
+        table_rows.append({c: rec[c] for c in WINDOW_COLUMNS})
+    return format_table(table_rows, columns=WINDOW_COLUMNS, title="windowed telemetry")
+
+
+def render_report(
+    log: TelemetryLog,
+    metric: str = "miss_ratio",
+    plot: bool = True,
+    plot_width: int = 70,
+    plot_height: int = 12,
+) -> str:
+    """Render the full report: window table, metric plot, phases, summary."""
+    if metric not in PLOTTABLE:
+        raise TraceFormatError(
+            f"cannot plot {metric!r}; choose one of {', '.join(PLOTTABLE)}"
+        )
+    parts: List[str] = []
+    if not log.windows:
+        parts.append(f"(no window records in {log.path} — was --window set?)")
+    else:
+        parts.append(_window_table(log.windows))
+        ages = merge_bucket_lists(
+            r.evict_age_counts for r in log.windows if r.evict_age_counts
+        )
+        edges = (log.summary or {}).get("age_edges")
+        if ages and edges and sum(ages):
+            parts.append("")
+            parts.append(
+                format_histogram(edges, ages, title="eviction age (accesses resident)")
+            )
+        if plot and len(log.windows) > 1:
+            xs = [float(r.index) for r in log.windows]
+            ys = [float(getattr(r, metric)) for r in log.windows]
+            parts.append("")
+            parts.append(
+                line_plot(
+                    {metric: (xs, ys)},
+                    width=plot_width,
+                    height=plot_height,
+                    logx=False,
+                    logy=False,
+                    xlabel="window",
+                    ylabel=metric,
+                )
+            )
+    if log.phase_events:
+        parts.append("")
+        parts.append(
+            format_table(
+                [
+                    {
+                        "phase": p["name"],
+                        "accesses": p["end_pos"] - p["start_pos"],
+                        "seconds": p["seconds"],
+                    }
+                    for p in log.phase_events
+                ],
+                title="phases",
+            )
+        )
+    if log.summary is not None:
+        result = log.summary.get("result") or {}
+        line = (
+            f"summary: policy={result.get('policy', '?')} "
+            f"accesses={log.summary.get('accesses')} "
+            f"misses={log.summary.get('misses')} "
+            f"miss_ratio={log.summary.get('miss_ratio', 0.0):.4g} "
+            f"spatial_fraction={log.summary.get('spatial_fraction', 0.0):.4g} "
+            f"mean_load_set_size={log.summary.get('mean_load_set_size', 0.0):.4g}"
+        )
+        parts.append("")
+        parts.append(line)
+    return "\n".join(parts)

@@ -1,0 +1,136 @@
+"""Pluggable destinations for telemetry records.
+
+Every sink consumes plain JSON-friendly dicts carrying a ``"type"``
+tag (``"window"``, ``"access"``, ``"phase"``, ``"summary"``) so one
+stream can mix record kinds and consumers can filter.  Three
+implementations:
+
+* :class:`RingBufferSink` — bounded in-memory buffer, for tests and
+  interactive inspection; never touches disk.
+* :class:`JSONLSink` — one JSON object per line.  The canonical
+  interchange format: ``repro report`` and :func:`read_jsonl` consume
+  it back losslessly.
+* :class:`CSVSink` — buffers records and writes a CSV per the union of
+  keys on close (via :func:`repro.analysis.tables.write_csv` wire
+  format rules); nested lists are JSON-encoded into their cell.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, IO, Iterable, List, Optional
+
+__all__ = ["Sink", "RingBufferSink", "JSONLSink", "CSVSink", "read_jsonl"]
+
+
+class Sink:
+    """Interface: ``emit`` one record; ``close`` flushes resources.
+
+    Subclasses must implement :meth:`emit`; :meth:`close` defaults to a
+    no-op so in-memory sinks need not override it.
+    """
+
+    def emit(self, record: Dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class RingBufferSink(Sink):
+    """Keep the last ``maxlen`` records in memory."""
+
+    def __init__(self, maxlen: int = 65536) -> None:
+        self._buffer: Deque[Dict] = deque(maxlen=maxlen)
+
+    def emit(self, record: Dict) -> None:
+        self._buffer.append(record)
+
+    @property
+    def records(self) -> List[Dict]:
+        return list(self._buffer)
+
+    def of_type(self, kind: str) -> List[Dict]:
+        """Records with ``type == kind``, in emission order."""
+        return [r for r in self._buffer if r.get("type") == kind]
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class JSONLSink(Sink):
+    """Append one compact JSON object per line to ``path``."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: Optional[IO[str]] = self.path.open("w")
+
+    def emit(self, record: Dict) -> None:
+        if self._fh is None:
+            raise ValueError(f"JSONL sink {self.path} already closed")
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class CSVSink(Sink):
+    """Buffer records; write one CSV with the union of keys on close.
+
+    List/dict values (histogram buckets) are JSON-encoded so the CSV
+    stays one row per record.  Use JSONL when lossless round-tripping
+    matters; CSV is for spreadsheet-style consumers.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._records: List[Dict] = []
+        self._closed = False
+
+    def emit(self, record: Dict) -> None:
+        if self._closed:
+            raise ValueError(f"CSV sink {self.path} already closed")
+        flat = {
+            k: json.dumps(v) if isinstance(v, (list, dict)) else v
+            for k, v in record.items()
+        }
+        self._records.append(flat)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        from repro.analysis.tables import write_csv
+
+        write_csv(self._records, self.path)
+
+
+def read_jsonl(path: str | Path, kinds: Optional[Iterable[str]] = None) -> List[Dict]:
+    """Parse a JSONL telemetry file back into records.
+
+    ``kinds`` optionally filters by the ``type`` tag.  Blank lines are
+    skipped; malformed lines raise ``json.JSONDecodeError`` (telemetry
+    files are machine-written, silence would hide truncation bugs).
+    """
+    wanted = set(kinds) if kinds is not None else None
+    out: List[Dict] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if wanted is None or record.get("type") in wanted:
+                out.append(record)
+    return out

@@ -1,0 +1,210 @@
+"""Per-window folding of access outcomes.
+
+The paper's phenomena are *phase* phenomena — the spatial-hit fraction
+collapses when a scan ends, IBLP's layer boundary drifts as the block
+mass changes — so end-of-run aggregates hide exactly what matters.
+:class:`WindowedSeries` folds the per-access stream into one row per
+``window`` consecutive accesses: miss ratio, the temporal/spatial hit
+split, mean load-set size, end-of-window occupancy, and an
+eviction-age histogram.
+
+Invariant relied on by tests and the CLI acceptance check: the window
+rows partition the trace exactly — ``sum(row.misses) == result.misses``
+and ``sum(row.accesses) == result.accesses`` — including a final
+partial window when the trace length is not a multiple of ``window``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.telemetry.metrics import DEFAULT_AGE_EDGES
+from repro.types import HitKind
+
+__all__ = ["WindowRow", "WindowedSeries"]
+
+
+@dataclass
+class WindowRow:
+    """Aggregates for one window of consecutive accesses.
+
+    ``start`` is the position of the first access in the window,
+    ``end`` one past the last; ``end - start == accesses``.
+    ``evict_age_counts`` uses the series' shared ``age_edges`` (upper
+    inclusive bounds, plus one overflow bucket).
+    """
+
+    index: int
+    start: int
+    end: int
+    accesses: int = 0
+    misses: int = 0
+    temporal_hits: int = 0
+    spatial_hits: int = 0
+    loaded_items: int = 0
+    evicted_items: int = 0
+    occupancy: int = 0
+    evict_age_counts: List[int] = field(default_factory=list)
+
+    @property
+    def hits(self) -> int:
+        return self.temporal_hits + self.spatial_hits
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def spatial_fraction(self) -> float:
+        """Fraction of this window's hits that are spatial."""
+        return self.spatial_hits / self.hits if self.hits else 0.0
+
+    @property
+    def mean_load_set_size(self) -> float:
+        return self.loaded_items / self.misses if self.misses else 0.0
+
+    def as_record(self) -> Dict:
+        """JSON-friendly dict (``type`` tag lets sinks mix record kinds)."""
+        return {
+            "type": "window",
+            "index": self.index,
+            "start": self.start,
+            "end": self.end,
+            "accesses": self.accesses,
+            "misses": self.misses,
+            "temporal_hits": self.temporal_hits,
+            "spatial_hits": self.spatial_hits,
+            "loaded_items": self.loaded_items,
+            "evicted_items": self.evicted_items,
+            "miss_ratio": self.miss_ratio,
+            "spatial_fraction": self.spatial_fraction,
+            "mean_load_set_size": self.mean_load_set_size,
+            "occupancy": self.occupancy,
+            "evict_age_counts": list(self.evict_age_counts),
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict) -> "WindowRow":
+        """Inverse of :meth:`as_record` (derived ratios recomputed)."""
+        return cls(
+            index=int(record["index"]),
+            start=int(record["start"]),
+            end=int(record["end"]),
+            accesses=int(record["accesses"]),
+            misses=int(record["misses"]),
+            temporal_hits=int(record["temporal_hits"]),
+            spatial_hits=int(record["spatial_hits"]),
+            loaded_items=int(record["loaded_items"]),
+            evicted_items=int(record["evicted_items"]),
+            occupancy=int(record["occupancy"]),
+            evict_age_counts=[int(c) for c in record.get("evict_age_counts", [])],
+        )
+
+
+class WindowedSeries:
+    """Fold per-access outcomes into :class:`WindowRow` rows.
+
+    Feed it with :meth:`observe` once per access in trace order, then
+    call :meth:`finalize` to flush the trailing partial window.  The
+    caller (normally the :class:`~repro.telemetry.recorder.Recorder`)
+    computes eviction ages; this class only buckets them.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        age_edges: Sequence[float] = DEFAULT_AGE_EDGES,
+    ) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        self.window = window
+        self.age_edges: Tuple[float, ...] = tuple(age_edges)
+        self.rows: List[WindowRow] = []
+        self._current: Optional[WindowRow] = None
+        self._pos = 0
+
+    def _open(self) -> WindowRow:
+        row = WindowRow(
+            index=len(self.rows),
+            start=self._pos,
+            end=self._pos,
+            evict_age_counts=[0] * (len(self.age_edges) + 1),
+        )
+        self._current = row
+        return row
+
+    def observe(
+        self,
+        kind: HitKind,
+        loaded: int,
+        evicted: int,
+        occupancy: int,
+        eviction_ages: Iterable[int] = (),
+        age_buckets: Iterable[Tuple[int, int]] = (),
+    ) -> Optional[WindowRow]:
+        """Fold one access; return the completed row on a boundary.
+
+        Eviction ages come in one of two forms: ``eviction_ages`` are
+        raw ages bucketed here against ``age_edges``; ``age_buckets``
+        are pre-bucketed ``(bucket_index, count)`` pairs — the
+        :class:`~repro.telemetry.recorder.Recorder` hot path buckets
+        each eviction group once and shares the index with its global
+        histogram rather than bucketing twice.
+        """
+        row = self._current if self._current is not None else self._open()
+        row.accesses += 1
+        if kind is HitKind.MISS:
+            row.misses += 1
+        elif kind is HitKind.SPATIAL_HIT:
+            row.spatial_hits += 1
+        else:
+            row.temporal_hits += 1
+        row.loaded_items += loaded
+        row.evicted_items += evicted
+        row.occupancy = occupancy
+        counts = row.evict_age_counts
+        if eviction_ages:
+            edges = self.age_edges
+            for age in eviction_ages:
+                # Linear bucket search: len(edges) is small (~8) and
+                # this path serves at most a few ages per access.
+                for i, edge in enumerate(edges):
+                    if age <= edge:
+                        counts[i] += 1
+                        break
+                else:
+                    counts[-1] += 1
+        if age_buckets:
+            for i, n in age_buckets:
+                counts[i] += n
+        self._pos += 1
+        row.end = self._pos
+        if row.accesses >= self.window:
+            self.rows.append(row)
+            self._current = None
+            return row
+        return None
+
+    def finalize(self) -> Optional[WindowRow]:
+        """Flush the trailing partial window (if any) and return it."""
+        row = self._current
+        if row is not None and row.accesses:
+            self.rows.append(row)
+            self._current = None
+            return row
+        self._current = None
+        return None
+
+    # -- aggregate views --------------------------------------------------
+    @property
+    def total_misses(self) -> int:
+        return sum(r.misses for r in self.rows)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(r.accesses for r in self.rows)
+
+    def as_records(self) -> List[Dict]:
+        return [r.as_record() for r in self.rows]

@@ -124,9 +124,21 @@ class SimResult:
         return 1.0 - self.miss_ratio if self.accesses else 0.0
 
     @property
-    def mean_load_size(self) -> float:
-        """Average number of items loaded per miss."""
+    def spatial_fraction(self) -> float:
+        """Fraction of hits that are spatial (0.0 when there are no
+        hits) — the paper's headline per-trace locality signal."""
+        return self.spatial_hits / self.hits if self.hits else 0.0
+
+    @property
+    def mean_load_set_size(self) -> float:
+        """Average number of items loaded per miss, i.e. how
+        aggressively the policy exploited the free-subset rule."""
         return self.loaded_items / self.misses if self.misses else 0.0
+
+    @property
+    def mean_load_size(self) -> float:
+        """Deprecated alias of :attr:`mean_load_set_size`."""
+        return self.mean_load_set_size
 
     def as_row(self) -> dict:
         """Flatten into a plain dict suitable for tables / CSV export."""
@@ -138,6 +150,7 @@ class SimResult:
             "temporal_hits": self.temporal_hits,
             "spatial_hits": self.spatial_hits,
             "miss_ratio": self.miss_ratio,
+            "spatial_fraction": self.spatial_fraction,
             "mean_load_size": self.mean_load_size,
         }
         row.update(self.metadata)

@@ -72,6 +72,79 @@ def test_simulate(capsys):
     assert "misses" in out
 
 
+def test_simulate_telemetry_and_report(tmp_path, capsys):
+    """End-to-end: --telemetry writes a parseable JSONL whose window
+    misses sum to the reported total, and `report` renders it."""
+    import json
+
+    out_file = tmp_path / "tele.jsonl"
+    code = main(
+        [
+            "simulate",
+            "--policy",
+            "iblp",
+            "--workload",
+            "markov",
+            "--capacity",
+            "64",
+            "--length",
+            "2500",
+            "--universe",
+            "512",
+            "--telemetry",
+            str(out_file),
+            "--window",
+            "1000",
+            "--sample-rate",
+            "0.1",
+        ]
+    )
+    assert code == 0
+    sim_out = capsys.readouterr().out
+    assert "telemetry:" in sim_out
+
+    records = [json.loads(line) for line in out_file.read_text().splitlines()]
+    windows = [r for r in records if r["type"] == "window"]
+    (summary,) = [r for r in records if r["type"] == "summary"]
+    assert [w["accesses"] for w in windows] == [1000, 1000, 500]
+    assert sum(w["misses"] for w in windows) == summary["misses"]
+    assert summary["result"]["misses"] == summary["misses"]
+
+    assert main(["report", str(out_file), "--metric", "miss_ratio"]) == 0
+    report_out = capsys.readouterr().out
+    assert "windowed telemetry" in report_out
+    assert "miss_ratio vs window" in report_out
+    assert main(["report", str(out_file), "--no-plot"]) == 0
+    assert "vs window" not in capsys.readouterr().out
+
+
+def test_simulate_telemetry_csv(tmp_path, capsys):
+    out_file = tmp_path / "tele.csv"
+    code = main(
+        [
+            "simulate",
+            "--policy",
+            "item-lru",
+            "--workload",
+            "zipf",
+            "--capacity",
+            "64",
+            "--length",
+            "1200",
+            "--universe",
+            "512",
+            "--telemetry",
+            str(out_file),
+            "--window",
+            "400",
+        ]
+    )
+    assert code == 0
+    lines = out_file.read_text().splitlines()
+    assert lines[0].startswith("type,")
+    assert sum(1 for ln in lines if ln.startswith("window,")) == 3
+
+
 def test_simulate_rejects_unknown_policy():
     with pytest.raises(SystemExit):
         main(["simulate", "--policy", "nope", "--workload", "zipf", "--capacity", "8"])

@@ -200,6 +200,38 @@ class TestSimulate:
             HitKind.MISS,
         ]
 
+    def test_on_access_with_cross_check(self, medium_mapping):
+        """Regression: an observer must coexist with periodic
+        residency reconciliation — every access observed once, in
+        order, and cross-checks still pass on an honest policy."""
+        trace = Trace(
+            np.random.default_rng(7).integers(0, 1024, 1000), medium_mapping
+        )
+        seen = []
+        res = simulate(
+            ItemLRU(32, medium_mapping),
+            trace,
+            on_access=lambda pos, item, kind: seen.append((pos, item, kind)),
+            cross_check_every=64,
+        )
+        assert len(seen) == res.accesses == 1000
+        assert [s[0] for s in seen] == list(range(1000))
+        assert [s[1] for s in seen] == trace.items.tolist()
+        assert sum(1 for s in seen if s[2] is HitKind.MISS) == res.misses
+
+    def test_on_access_receives_immutable_values(self, small_mapping):
+        """The observer contract: only ints and HitKind cross the
+        boundary, so an observer cannot mutate engine state through
+        its arguments."""
+        trace = Trace(np.array([0, 1, 0]), small_mapping)
+
+        def observer(pos, item, kind):
+            assert type(pos) is int
+            assert type(item) is int
+            assert isinstance(kind, HitKind)
+
+        simulate(ItemLRU(4, small_mapping), trace, on_access=observer)
+
     def test_merged_results(self, small_mapping):
         t1 = Trace(np.array([0, 1]), small_mapping)
         t2 = Trace(np.array([2, 3]), small_mapping)

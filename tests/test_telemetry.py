@@ -1,0 +1,380 @@
+"""Telemetry subsystem tests: registry, windows, sinks, recorder.
+
+The two load-bearing guarantees:
+
+* **Exactness** — window rows partition the trace: per-window misses
+  and accesses sum to the ``SimResult`` totals, including a trailing
+  partial window.
+* **Non-interference** — attaching a recorder (even with full event
+  tracing) produces a ``SimResult`` identical to an uninstrumented
+  run, for deterministic and seeded-randomized policies alike.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import grid, sweep
+from repro.analysis.tables import format_histogram
+from repro.core.engine import simulate
+from repro.core.mapping import FixedBlockMapping
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.policies import GCM, IBLP, BlockLRU, ItemLRU
+from repro.telemetry import (
+    CSVSink,
+    EventSampler,
+    Histogram,
+    JSONLSink,
+    MetricsRegistry,
+    Recorder,
+    RingBufferSink,
+    WindowedSeries,
+    read_jsonl,
+)
+from repro.telemetry.report import load_telemetry, render_report
+from repro.types import HitKind
+
+
+@pytest.fixture
+def mapping():
+    return FixedBlockMapping(universe=1024, block_size=8)
+
+
+@pytest.fixture
+def trace(mapping):
+    gen = np.random.default_rng(42)
+    return Trace(gen.integers(0, 1024, size=3000, dtype=np.int64), mapping)
+
+
+class TestMetricsRegistry:
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("misses") is reg.counter("misses")
+        assert reg.gauge("occ") is reg.gauge("occ")
+        assert reg.histogram("age") is reg.histogram("age")
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x")
+        with pytest.raises(ConfigurationError):
+            reg.histogram("x")
+
+    def test_histogram_edge_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("age", edges=(1, 2, 4))
+        with pytest.raises(ConfigurationError):
+            reg.histogram("age", edges=(1, 2, 8))
+
+    def test_counter_monotone(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+    def test_as_dict_and_flat(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", edges=(1, 2)).observe(0)
+        flat = reg.flat(prefix="t_")
+        assert flat["t_n"] == 3
+        assert flat["t_g"] == 1.5
+        assert flat["t_h_total"] == 1
+        as_dict = reg.as_dict()
+        assert as_dict["h"]["counts"] == [1, 0, 0]
+        assert "n" in reg and len(reg) == 3
+        assert reg.names() == ["n", "g", "h"]
+
+
+class TestHistogram:
+    def test_bucketing_upper_inclusive(self):
+        h = Histogram("age", edges=(1, 4, 16))
+        for v in (0, 1, 2, 4, 5, 100):
+            h.observe(v)
+        assert h.counts == [2, 2, 1, 1]
+        assert h.total == 6
+        assert h.mean == pytest.approx(112 / 6)
+
+    def test_bad_edges_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", edges=())
+        with pytest.raises(ConfigurationError):
+            Histogram("h", edges=(4, 1))
+        with pytest.raises(ConfigurationError):
+            Histogram("h", edges=(1, 1, 2))
+
+    def test_merge(self):
+        a = Histogram("a", edges=(1, 2))
+        b = Histogram("b", edges=(1, 2))
+        a.observe(0)
+        b.observe(5, n=3)
+        a.merge(b)
+        assert a.counts == [1, 0, 3]
+        assert a.total == 4
+        with pytest.raises(ConfigurationError):
+            a.merge(Histogram("c", edges=(1, 3)))
+
+    def test_quantile(self):
+        h = Histogram("h", edges=(1, 2, 4))
+        for _ in range(99):
+            h.observe(1)
+        h.observe(4)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 4.0
+        with pytest.raises(ConfigurationError):
+            h.quantile(1.5)
+
+    def test_format_histogram_render(self):
+        h = Histogram("h", edges=(1, 2))
+        h.observe(0, n=4)
+        h.observe(9)
+        text = format_histogram(h.edges, h.counts, width=8)
+        assert "[0, 1]" in text and "(2, inf)" in text
+        assert text.count("#") == 8 + 2
+        with pytest.raises(ValueError):
+            format_histogram((1, 2), [1, 2])
+
+
+class TestWindowedSeries:
+    def _feed(self, series, kinds):
+        for kind in kinds:
+            loaded = 2 if kind is HitKind.MISS else 0
+            series.observe(kind, loaded, 0, occupancy=1)
+
+    def test_partial_final_window(self):
+        series = WindowedSeries(window=4)
+        self._feed(series, [HitKind.MISS] * 10)
+        assert len(series.rows) == 2
+        tail = series.finalize()
+        assert tail is not None and tail.accesses == 2
+        assert [r.accesses for r in series.rows] == [4, 4, 2]
+        assert series.total_misses == 10
+        assert series.total_accesses == 10
+        assert series.rows[-1].start == 8 and series.rows[-1].end == 10
+
+    def test_exact_multiple_has_no_partial(self):
+        series = WindowedSeries(window=5)
+        self._feed(series, [HitKind.TEMPORAL_HIT] * 10)
+        assert series.finalize() is None
+        assert [r.accesses for r in series.rows] == [5, 5]
+
+    def test_empty_trace(self):
+        series = WindowedSeries(window=5)
+        assert series.finalize() is None
+        assert series.rows == []
+        assert series.total_accesses == 0
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            WindowedSeries(window=0)
+
+    def test_ratios_and_roundtrip(self):
+        series = WindowedSeries(window=3, age_edges=(1, 4))
+        series.observe(HitKind.MISS, 4, 0, occupancy=4)
+        series.observe(HitKind.SPATIAL_HIT, 0, 0, occupancy=4)
+        series.observe(HitKind.TEMPORAL_HIT, 0, 2, occupancy=2, eviction_ages=(0, 9))
+        (row,) = series.rows
+        assert row.miss_ratio == pytest.approx(1 / 3)
+        assert row.spatial_fraction == pytest.approx(0.5)
+        assert row.mean_load_set_size == pytest.approx(4.0)
+        assert row.evict_age_counts == [1, 0, 1]
+        rec = row.as_record()
+        clone = type(row).from_record(json.loads(json.dumps(rec)))
+        assert clone == row
+
+
+class TestSampler:
+    def test_extremes_do_not_draw(self):
+        always = EventSampler(1.0, seed=1)
+        never = EventSampler(0.0, seed=1)
+        assert all(always.sample() for _ in range(100))
+        assert not any(never.sample() for _ in range(100))
+
+    def test_seeded_determinism(self):
+        first = EventSampler(0.5, seed=9)
+        second = EventSampler(0.5, seed=9)
+        a = [first.sample() for _ in range(200)]
+        b = [second.sample() for _ in range(200)]
+        assert a == b
+        assert 40 < sum(a) < 160
+
+    def test_rate_validated(self):
+        with pytest.raises(ConfigurationError):
+            EventSampler(1.5)
+
+
+class TestSinks:
+    def test_ring_buffer_bounded(self):
+        sink = RingBufferSink(maxlen=3)
+        for i in range(5):
+            sink.emit({"type": "access", "pos": i})
+        assert len(sink) == 3
+        assert [r["pos"] for r in sink.records] == [2, 3, 4]
+        assert sink.of_type("window") == []
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JSONLSink(path) as sink:
+            sink.emit({"type": "window", "index": 0, "misses": 3})
+            sink.emit({"type": "summary", "misses": 3})
+        records = read_jsonl(path)
+        assert records == [
+            {"type": "window", "index": 0, "misses": 3},
+            {"type": "summary", "misses": 3},
+        ]
+        assert read_jsonl(path, kinds=("window",)) == records[:1]
+
+    def test_jsonl_rejects_emit_after_close(self, tmp_path):
+        sink = JSONLSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(ValueError):
+            sink.emit({"type": "window"})
+
+    def test_csv_sink_encodes_lists(self, tmp_path):
+        path = tmp_path / "t.csv"
+        sink = CSVSink(path)
+        sink.emit({"type": "window", "counts": [1, 2]})
+        sink.close()
+        text = path.read_text()
+        assert "window" in text and '"[1, 2]"' in text
+
+
+class TestRecorder:
+    def test_window_misses_sum_to_result(self, trace, mapping):
+        recorder = Recorder(window=700)
+        res = simulate(IBLP(128, mapping), trace, recorder=recorder)
+        rows = recorder.window_rows
+        assert sum(r.misses for r in rows) == res.misses
+        assert sum(r.accesses for r in rows) == res.accesses == 3000
+        assert sum(r.spatial_hits for r in rows) == res.spatial_hits
+        assert sum(r.loaded_items for r in rows) == res.loaded_items
+        assert [r.accesses for r in rows] == [700, 700, 700, 700, 200]
+        assert all(0 <= r.occupancy <= 128 for r in rows)
+
+    def test_telemetry_does_not_change_results(self, trace, mapping):
+        """Determinism: telemetry-on and -off runs are identical, even
+        for a randomized policy and full-rate event tracing."""
+        for factory in (
+            lambda: ItemLRU(64, mapping),
+            lambda: GCM(64, mapping, seed=3),
+        ):
+            plain = simulate(factory(), trace)
+            recorder = Recorder(
+                window=100, sinks=[RingBufferSink()], sample_rate=1.0
+            )
+            traced = simulate(factory(), trace, recorder=recorder)
+            assert traced == plain
+
+    def test_full_rate_traces_every_access(self, trace, mapping):
+        sink = RingBufferSink(maxlen=10_000)
+        recorder = Recorder(sinks=[sink], sample_rate=1.0)
+        res = simulate(BlockLRU(64, mapping), trace, recorder=recorder)
+        events = sink.of_type("access")
+        assert len(events) == res.accesses
+        assert [e["pos"] for e in events[:3]] == [0, 1, 2]
+        kinds = {e["kind"] for e in events}
+        assert kinds <= {"miss", "temporal", "spatial"}
+        assert sum(e["kind"] == "miss" for e in events) == res.misses
+
+    def test_eviction_ages_tracked(self, mapping):
+        # Scan twice the capacity in blocks: every eviction happens
+        # exactly `capacity` accesses after the load.
+        items = np.arange(256)
+        trace = Trace(items, mapping)
+        recorder = Recorder(window=64)
+        simulate(BlockLRU(128, mapping), trace, recorder=recorder)
+        assert recorder.age_hist.total > 0
+        assert recorder.age_hist.mean == pytest.approx(128, abs=8)
+
+    def test_registry_synced_on_finalize(self, trace, mapping):
+        recorder = Recorder(window=500)
+        res = simulate(ItemLRU(64, mapping), trace, recorder=recorder)
+        reg = recorder.registry
+        assert reg.counter("accesses").value == res.accesses
+        assert reg.counter("misses").value == res.misses
+        assert reg.counter("spatial_hits").value == res.spatial_hits
+
+    def test_finalize_idempotent_and_summary(self, trace, mapping):
+        recorder = Recorder(window=500)
+        res = simulate(ItemLRU(64, mapping), trace, recorder=recorder)
+        summary = recorder.summary()
+        assert summary["misses"] == res.misses
+        assert summary["miss_ratio"] == pytest.approx(res.miss_ratio)
+        assert summary["spatial_fraction"] == pytest.approx(res.spatial_fraction)
+        assert summary["windows"] == 6
+        assert summary["phase_simulate_s"] > 0
+        again = recorder.finalize()
+        assert again == {"type": "summary"}
+
+    def test_phase_timer_records_span(self):
+        recorder = Recorder(sinks=[RingBufferSink()])
+        with recorder.phase("setup"):
+            pass
+        assert recorder.phase_seconds["setup"] >= 0.0
+        (event,) = recorder.ring().of_type("phase")
+        assert event["name"] == "setup"
+
+
+class TestJSONLPipeline:
+    def test_simulate_to_report_roundtrip(self, trace, mapping, tmp_path):
+        path = tmp_path / "tele.jsonl"
+        recorder = Recorder(window=640, sinks=[JSONLSink(path)], sample_rate=0.25)
+        res = simulate(IBLP(128, mapping), trace, recorder=recorder)
+
+        log = load_telemetry(path)
+        assert log.total_misses == res.misses
+        assert log.total_accesses == res.accesses
+        assert [r.as_record() for r in log.windows] == [
+            r.as_record() for r in recorder.window_rows
+        ]
+        assert log.summary["result"]["misses"] == res.misses
+        assert 0 < len(log.access_events) < res.accesses
+
+        report = render_report(log)
+        assert "windowed telemetry" in report
+        assert "spatial_fraction" in report
+        assert "miss_ratio vs window" in report
+        no_plot = render_report(log, plot=False)
+        assert "miss_ratio vs window" not in no_plot
+        with pytest.raises(TraceFormatError):
+            render_report(log, metric="nope")
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "mystery"}\n')
+        with pytest.raises(TraceFormatError):
+            load_telemetry(path)
+
+
+class TestSweepIntegration:
+    def test_timing_attached(self):
+        rows = sweep(lambda a: {"double": 2 * a}, grid(a=[1, 2]), timing=True)
+        assert all(row["cell_seconds"] >= 0.0 for row in rows)
+        plain = sweep(lambda a: {"double": 2 * a}, grid(a=[1, 2]))
+        assert all("cell_seconds" not in row for row in plain)
+
+    def test_recorder_values_flattened(self, mapping):
+        def cell(k):
+            gen = np.random.default_rng(k)
+            tr = Trace(gen.integers(0, 1024, size=500, dtype=np.int64), mapping)
+            recorder = Recorder(window=100)
+            res = simulate(ItemLRU(k, mapping), tr, recorder=recorder)
+            return {"misses": res.misses, "telemetry": recorder}
+
+        rows = sweep(cell, grid(k=[16, 64]), timing=True)
+        for row in rows:
+            assert "telemetry" not in row
+            assert row["telemetry_misses"] == row["misses"]
+            assert row["telemetry_windows"] == 5
+            assert row["telemetry_phase_simulate_s"] > 0
+            assert row["cell_seconds"] > 0

@@ -64,6 +64,23 @@ class TestSimResult:
         r = SimResult(accesses=8, misses=2, loaded_items=10)
         assert r.mean_load_size == 5.0
 
+    def test_mean_load_set_size_and_alias(self):
+        r = SimResult(accesses=8, misses=2, loaded_items=10)
+        assert r.mean_load_set_size == 5.0
+        assert r.mean_load_size == r.mean_load_set_size
+        assert SimResult().mean_load_set_size == 0.0
+
+    def test_spatial_fraction(self):
+        r = SimResult(accesses=10, misses=4, temporal_hits=2, spatial_hits=4)
+        assert r.spatial_fraction == pytest.approx(4 / 6)
+        assert SimResult().spatial_fraction == 0.0
+        no_hits = SimResult(accesses=3, misses=3)
+        assert no_hits.spatial_fraction == 0.0
+
+    def test_as_row_includes_spatial_fraction(self):
+        r = SimResult(accesses=10, misses=4, temporal_hits=3, spatial_hits=3)
+        assert r.as_row()["spatial_fraction"] == pytest.approx(0.5)
+
     def test_as_row_includes_metadata(self):
         r = SimResult(
             accesses=1, misses=1, policy="p", capacity=4, metadata={"x": 9}
