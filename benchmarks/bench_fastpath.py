@@ -1,0 +1,130 @@
+"""E-PERF: fast replay kernels vs the referee — the speedup matrix.
+
+Measures every policy covered by :mod:`repro.core.fast` on a Zipf
+workload in three engine configurations:
+
+* ``referee``        — full shadow validation (``validate=True``);
+* ``referee-noval``  — referee bookkeeping without validation;
+* ``fast``           — the array-backed replay kernel.
+
+Emits ``benchmarks/out/fastpath_speedup.csv`` with per-policy wall
+times and speedup factors, and enforces the acceptance gate: the Item
+LRU kernel replays a 10^6-access trace at least 3x faster than the
+validating referee while producing the identical miss count.  Run with
+``pytest benchmarks/bench_fastpath.py`` (the gate runs without
+``--benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.tables import format_table, write_csv
+from repro.core.engine import simulate
+from repro.core.fast import FAST_POLICY_NAMES, compile_trace, fast_simulate
+from repro.policies import make_policy
+from repro.workloads import zipf_items
+
+MATRIX_LEN = 200_000
+GATE_LEN = 1_000_000
+K = 1024
+
+
+@pytest.fixture(scope="module")
+def matrix_trace():
+    return zipf_items(MATRIX_LEN, universe=8192, alpha=1.0, block_size=8, seed=41)
+
+
+@pytest.fixture(scope="module")
+def gate_trace():
+    return zipf_items(GATE_LEN, universe=16384, alpha=1.0, block_size=8, seed=42)
+
+
+def _best_of(reps, fn):
+    times = []
+    result = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - t0)
+    return min(times), result
+
+
+def test_fastpath_speedup_matrix(matrix_trace, out_dir):
+    """Referee vs kernel wall time for every fast-covered policy.
+
+    The matrix is informational (written to CSV and printed); the only
+    assertions are sanity ones — bit-identical miss counts and a weak
+    never-slower-than-half bound that flags a pathological kernel
+    without making the matrix a flaky timing gate.  The hard >= 3x gate
+    lives in :func:`test_item_lru_gate_three_x` below.
+    """
+    compile_trace(matrix_trace)  # compile once, outside the timed region
+    rows = []
+    for name in FAST_POLICY_NAMES:
+        t_ref, ref = _best_of(
+            3,
+            lambda: simulate(
+                make_policy(name, K, matrix_trace.mapping),
+                matrix_trace,
+                validate=True,
+            ),
+        )
+        t_noval, _ = _best_of(
+            3,
+            lambda: simulate(
+                make_policy(name, K, matrix_trace.mapping),
+                matrix_trace,
+                validate=False,
+            ),
+        )
+        t_fast, fst = _best_of(
+            3,
+            lambda: fast_simulate(
+                make_policy(name, K, matrix_trace.mapping), matrix_trace
+            ),
+        )
+        assert fst is not None and fst.misses == ref.misses, name
+        rows.append(
+            {
+                "policy": name,
+                "referee_s": t_ref,
+                "referee_noval_s": t_noval,
+                "fast_s": t_fast,
+                "speedup_vs_referee": t_ref / t_fast,
+                "speedup_vs_noval": t_noval / t_fast,
+                "accesses_per_s_fast": MATRIX_LEN / t_fast,
+            }
+        )
+    write_csv(rows, out_dir / "fastpath_speedup.csv")
+    print()
+    print(format_table(rows, title="fast replay kernel speedup matrix"))
+    for row in rows:
+        assert row["speedup_vs_referee"] > 0.5, row
+
+
+def test_item_lru_gate_three_x(gate_trace):
+    """Acceptance gate: >= 3x over the validating referee at 10^6
+    accesses, with an identical miss count."""
+    compile_trace(gate_trace)
+    t_ref, ref = _best_of(
+        2,
+        lambda: simulate(
+            make_policy("item-lru", K, gate_trace.mapping),
+            gate_trace,
+            validate=True,
+        ),
+    )
+    t_fast, fst = _best_of(
+        2,
+        lambda: fast_simulate(
+            make_policy("item-lru", K, gate_trace.mapping), gate_trace
+        ),
+    )
+    assert fst.misses == ref.misses
+    speedup = t_ref / t_fast
+    print(f"\nitem-lru 1e6 accesses: referee {t_ref:.3f}s, "
+          f"fast {t_fast:.3f}s, speedup {speedup:.1f}x")
+    assert speedup >= 3.0, f"fast path speedup {speedup:.2f}x < 3x gate"

@@ -23,7 +23,7 @@ from repro.analysis.competitive import (
     measure_adversarial,
     ratio_on_trace,
 )
-from repro.analysis.sweep import sweep, grid
+from repro.analysis.sweep import grid, simulate_cell, sweep
 from repro.analysis.tables import format_histogram, format_table, write_csv
 from repro.analysis.ascii_plot import line_plot
 from repro.analysis.mrc import (
@@ -43,6 +43,7 @@ __all__ = [
     "ratio_on_trace",
     "sweep",
     "grid",
+    "simulate_cell",
     "format_table",
     "format_histogram",
     "write_csv",

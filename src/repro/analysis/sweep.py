@@ -27,7 +27,7 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 
-__all__ = ["grid", "sweep"]
+__all__ = ["grid", "simulate_cell", "sweep"]
 
 
 def grid(**axes: Sequence[Any]) -> List[Dict[str, Any]]:
@@ -41,6 +41,32 @@ def grid(**axes: Sequence[Any]) -> List[Dict[str, Any]]:
     names = list(axes)
     combos = itertools.product(*(axes[n] for n in names))
     return [dict(zip(names, combo)) for combo in combos]
+
+
+def simulate_cell(
+    policy: str,
+    capacity: int,
+    trace,
+    fast: bool = True,
+    **policy_kwargs,
+) -> Dict[str, Any]:
+    """Picklable sweep worker: replay one (policy, capacity, trace) cell.
+
+    Builds the policy by registry name and replays through
+    ``simulate(..., fast=fast)``, so sweeps ride the replay kernels of
+    :mod:`repro.core.fast` wherever one covers the policy and fall back
+    to the referee elsewhere — serial, parallel, fast, and referee runs
+    are all bit-identical (``tests/test_analysis.py`` pins this).
+    Returns ``SimResult.as_row()``; :func:`sweep` merges the cell
+    parameters in.
+    """
+    # Imported lazily to keep sweep importable without the simulator
+    # stack (and to keep worker pickles small).
+    from repro.core.engine import simulate
+    from repro.policies import make_policy
+
+    instance = make_policy(policy, capacity, trace.mapping, **policy_kwargs)
+    return simulate(instance, trace, fast=fast).as_row()
 
 
 def _flatten_recorders(row: Dict[str, Any]) -> Dict[str, Any]:

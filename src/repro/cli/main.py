@@ -114,6 +114,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--stay", type=float, default=0.8)
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.add_argument(
+        "--fast",
+        action="store_true",
+        help="replay through the conformance-proven fast kernels "
+        "(repro.core.fast) when the policy supports it; automatically "
+        "falls back to the referee otherwise (and always with "
+        "--telemetry, which needs the referee's observation hooks)",
+    )
+    p_sim.add_argument(
         "--telemetry",
         metavar="OUT",
         help="write windowed telemetry to this file "
@@ -257,7 +265,7 @@ def _dispatch(ns: argparse.Namespace) -> str:
             else:
                 trace = _WORKLOADS[ns.workload](ns)
         policy = make_policy(ns.policy, ns.capacity, trace.mapping)
-        result = run_simulation(policy, trace, recorder=recorder)
+        result = run_simulation(policy, trace, recorder=recorder, fast=ns.fast)
         out = format_table([result.as_row()], title="simulation result")
         if recorder is not None:
             # `report` reads the JSONL interchange format only, so don't

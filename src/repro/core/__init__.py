@@ -9,6 +9,10 @@
   classifies hits into temporal vs spatial.
 * :mod:`repro.core.readwrite` — read/write traces and write-back
   accounting (extension beyond the paper's read-only scope).
+* :mod:`repro.core.fast` — validation-free replay kernels behind
+  ``simulate(..., fast=True)``.
+* :mod:`repro.core.conformance` — the differential harness proving
+  the kernels bit-identical to the referee.
 """
 
 from repro.core.mapping import BlockMapping, FixedBlockMapping, ExplicitBlockMapping
@@ -20,6 +24,18 @@ from repro.core.readwrite import (
     WritebackStats,
     make_rw_trace,
 )
+from repro.core.fast import (
+    FAST_POLICY_NAMES,
+    CompiledTrace,
+    compile_trace,
+    fast_simulate,
+)
+from repro.core.conformance import (
+    ConformanceReport,
+    assert_conformant,
+    check_conformance,
+    conformance_suite,
+)
 
 __all__ = [
     "BlockMapping",
@@ -28,6 +44,14 @@ __all__ = [
     "Trace",
     "simulate",
     "Engine",
+    "CompiledTrace",
+    "compile_trace",
+    "fast_simulate",
+    "FAST_POLICY_NAMES",
+    "ConformanceReport",
+    "check_conformance",
+    "assert_conformant",
+    "conformance_suite",
     "RWTrace",
     "WritebackSimulator",
     "WritebackStats",

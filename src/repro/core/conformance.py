@@ -1,0 +1,215 @@
+"""Differential conformance: prove fast kernels bit-identical to the referee.
+
+The replay kernels in :mod:`repro.core.fast` are only admissible
+because this harness can show, for any trace, that a kernel and the
+validating referee engine produce the *same computation*:
+
+* the complete :class:`~repro.types.SimResult` — every counter, the
+  policy name, capacity, and metadata — compared field by field, and
+* the full per-access outcome stream (miss / temporal hit / spatial
+  hit, one code per access, in trace order), so two runs cannot agree
+  on aggregates while disagreeing on individual accesses.
+
+The referee side runs with full validation *and* periodic residency
+cross-checks, so a conformance pass simultaneously certifies the
+kernel against the referee and the referee against the model.
+
+``tests/test_fastpath_conformance.py`` drives this over randomized and
+adversarial traces for every kernel; :func:`conformance_suite` is the
+bulk entry point CI uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.engine import simulate
+from repro.core.fast import (
+    FAST_POLICY_NAMES,
+    KIND_MISS,
+    KIND_SPATIAL,
+    KIND_TEMPORAL,
+    fast_simulate,
+)
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError
+from repro.policies import make_policy
+from repro.types import HitKind, SimResult
+
+__all__ = [
+    "KIND_CODE",
+    "ConformanceReport",
+    "referee_outcomes",
+    "fast_outcomes",
+    "check_conformance",
+    "assert_conformant",
+    "conformance_suite",
+]
+
+#: HitKind → compact stream code (must agree with the kernel codes).
+KIND_CODE: Dict[HitKind, int] = {
+    HitKind.MISS: KIND_MISS,
+    HitKind.TEMPORAL_HIT: KIND_TEMPORAL,
+    HitKind.SPATIAL_HIT: KIND_SPATIAL,
+}
+
+#: Every SimResult field that must match bit-for-bit.
+RESULT_FIELDS: Tuple[str, ...] = (
+    "accesses",
+    "misses",
+    "temporal_hits",
+    "spatial_hits",
+    "loaded_items",
+    "evicted_items",
+    "policy",
+    "capacity",
+    "metadata",
+)
+
+
+def referee_outcomes(
+    policy, trace: Trace, cross_check_every: int = 16
+) -> Tuple[SimResult, List[int]]:
+    """Validated referee replay; returns (result, per-access codes)."""
+    codes: List[int] = []
+    result = simulate(
+        policy,
+        trace,
+        validate=True,
+        cross_check_every=cross_check_every,
+        on_access=lambda pos, item, kind: codes.append(KIND_CODE[kind]),
+    )
+    return result, codes
+
+
+def fast_outcomes(policy, trace: Trace) -> Tuple[Optional[SimResult], List[int]]:
+    """Kernel replay; ``(None, [])`` when no kernel applies."""
+    codes: List[int] = []
+    result = fast_simulate(policy, trace, record=codes)
+    return result, codes
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of one differential replay."""
+
+    policy: str
+    capacity: int
+    accesses: int
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when referee and kernel were bit-identical."""
+        return not self.mismatches
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else "DIVERGED"
+        head = (
+            f"[{status}] {self.policy} k={self.capacity} "
+            f"({self.accesses} accesses)"
+        )
+        return head + "".join(f"\n  - {m}" for m in self.mismatches)
+
+
+def _diff_streams(ref: Sequence[int], fast: Sequence[int]) -> List[str]:
+    names = {KIND_MISS: "miss", KIND_TEMPORAL: "temporal", KIND_SPATIAL: "spatial"}
+    if len(ref) != len(fast):
+        return [f"outcome stream length: referee={len(ref)} fast={len(fast)}"]
+    out = []
+    for pos, (r, f) in enumerate(zip(ref, fast)):
+        if r != f:
+            out.append(
+                f"outcome at access {pos}: referee={names[r]} fast={names[f]}"
+            )
+            if len(out) >= 5:
+                out.append("... further stream divergences suppressed")
+                break
+    return out
+
+
+def check_conformance(
+    name: str,
+    capacity: int,
+    trace: Trace,
+    cross_check_every: int = 16,
+    **policy_kwargs,
+) -> ConformanceReport:
+    """Replay ``name`` through both engines; diff everything.
+
+    Two fresh policy instances are built from the same configuration so
+    neither replay can contaminate the other.  Raises
+    :class:`ConfigurationError` if the policy has no fast kernel — a
+    conformance check that silently tested the referee against itself
+    would be vacuous.
+    """
+    ref_policy = make_policy(name, capacity, trace.mapping, **policy_kwargs)
+    fast_policy = make_policy(name, capacity, trace.mapping, **policy_kwargs)
+    ref_result, ref_codes = referee_outcomes(
+        ref_policy, trace, cross_check_every=cross_check_every
+    )
+    fast_result, fast_codes = fast_outcomes(fast_policy, trace)
+    if fast_result is None:
+        raise ConfigurationError(
+            f"policy {name!r} has no fast kernel; conformance is undefined "
+            f"(supported: {', '.join(FAST_POLICY_NAMES)})"
+        )
+    report = ConformanceReport(
+        policy=ref_result.policy,
+        capacity=capacity,
+        accesses=ref_result.accesses,
+    )
+    for fname in RESULT_FIELDS:
+        ref_val = getattr(ref_result, fname)
+        fast_val = getattr(fast_result, fname)
+        if ref_val != fast_val:
+            report.mismatches.append(
+                f"SimResult.{fname}: referee={ref_val!r} fast={fast_val!r}"
+            )
+    report.mismatches.extend(_diff_streams(ref_codes, fast_codes))
+    return report
+
+
+def assert_conformant(
+    name: str, capacity: int, trace: Trace, **policy_kwargs
+) -> ConformanceReport:
+    """:func:`check_conformance`, raising ``AssertionError`` on divergence."""
+    report = check_conformance(name, capacity, trace, **policy_kwargs)
+    assert report.ok, str(report)
+    return report
+
+
+def conformance_suite(
+    traces: Dict[str, Trace],
+    capacities: Iterable[int],
+    policies: Iterable[str] = FAST_POLICY_NAMES,
+) -> List[Dict[str, object]]:
+    """Full (trace × policy × capacity) differential matrix.
+
+    Returns one row per cell with an ``ok`` flag and divergence detail;
+    callers (CI, benches) assert ``all(row["ok"] ...)``.  The
+    a-threshold family is exercised at ``a ∈ {1, 2}`` per cell.
+    """
+    rows: List[Dict[str, object]] = []
+    caps = list(capacities)
+    for trace_name, trace in traces.items():
+        for policy in policies:
+            variants = [{}]
+            if policy == "athreshold-lru":
+                variants = [{"a": 1}, {"a": 2}]
+            for kwargs in variants:
+                for capacity in caps:
+                    report = check_conformance(policy, capacity, trace, **kwargs)
+                    rows.append(
+                        {
+                            "trace": trace_name,
+                            "policy": policy,
+                            **{f"arg_{k}": v for k, v in kwargs.items()},
+                            "capacity": capacity,
+                            "accesses": report.accesses,
+                            "ok": report.ok,
+                            "detail": "; ".join(report.mismatches),
+                        }
+                    )
+    return rows

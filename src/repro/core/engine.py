@@ -187,6 +187,7 @@ def simulate(
     cross_check_every: int = 0,
     on_access: Optional[Callable[[int, int, HitKind], None]] = None,
     recorder=None,
+    fast: bool = False,
 ) -> SimResult:
     """Run ``policy`` over ``trace`` and return aggregate statistics.
 
@@ -213,6 +214,17 @@ def simulate(
         as a ``"simulate"`` phase and the recorder is finalized (its
         sinks flushed and closed) before returning.  Telemetry never
         alters the returned :class:`SimResult`.
+    fast:
+        Replay through a validation-free kernel from
+        :mod:`repro.core.fast` when one covers this policy; the
+        conformance harness (:mod:`repro.core.conformance`) proves the
+        kernels bit-identical to the referee, so the returned
+        :class:`SimResult` is the same object it would be either way.
+        Falls back to the referee automatically for unsupported
+        policies, warm policies, or when observation/reconciliation
+        (``on_access``, ``recorder``, ``cross_check_every``) is
+        requested.  Unlike the referee, the kernel does not mutate
+        ``policy``.
 
     Returns
     -------
@@ -223,6 +235,12 @@ def simulate(
         or trace.mapping.max_block_size != policy.mapping.max_block_size
     ):
         raise ProtocolViolation("trace and policy use different block mappings")
+    if fast and on_access is None and recorder is None and not cross_check_every:
+        from repro.core.fast import fast_simulate
+
+        result = fast_simulate(policy, trace)
+        if result is not None:
+            return result
     if policy.is_offline:
         policy.prepare(trace)
     engine = Engine(policy, trace.mapping, validate=validate, recorder=recorder)

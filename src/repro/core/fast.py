@@ -1,0 +1,630 @@
+"""Validation-free replay kernels for the hot policies.
+
+The referee engine (:mod:`repro.core.engine`) validates every policy
+action with Python sets — correct, but a large constant factor on the
+per-access path.  For the classic deterministic policies the entire
+replay is a pure function of ``(trace, capacity, parameters)``, so this
+module provides *replay kernels*: slotted, array-backed re-implementa-
+tions that produce the exact same :class:`~repro.types.SimResult`
+(temporal/spatial hit taxonomy and load-set statistics included)
+without constructing :class:`~repro.types.AccessOutcome` records,
+frozensets, or shadow validation state.
+
+Correctness is not assumed — it is *proven* by the differential
+conformance harness (:mod:`repro.core.conformance` and
+``tests/test_fastpath_conformance.py``), which replays randomized and
+adversarial traces through both engines and asserts the complete
+result, per-access outcome stream included, is bit-identical.  A kernel
+that drifts from the referee fails CI, so the fast path can never
+silently diverge from the validated model.
+
+Entry points
+------------
+* :func:`compile_trace` — integer-encode a :class:`Trace` once
+  (item → dense id, per-access block ids, block membership tables);
+  memoized per trace object.
+* :func:`fast_simulate` — replay a supported policy over a trace;
+  returns ``None`` when no kernel applies (the caller falls back to
+  the referee).  ``simulate(..., fast=True)`` does exactly that.
+* :func:`supports` / :data:`FAST_POLICY_NAMES` — kernel coverage.
+
+Fallback rules (any of these routes the access back to the referee):
+
+* the policy type has no kernel (subclasses do not inherit kernels:
+  dispatch is on the *exact* class, so an overridden hook cannot be
+  silently replayed with the parent's semantics);
+* the policy is not cold (kernels replay from an empty cache);
+* the policy's mapping is not the trace's mapping (or an equivalent
+  aligned :class:`FixedBlockMapping`) — the referee cross-validates
+  the two mappings at runtime, the kernels cannot;
+* the caller asked for observation (``on_access``, ``recorder``) or
+  reconciliation (``cross_check_every``) — referee-only features.
+
+Kernels never mutate the policy object they dispatch on; they read its
+configuration (capacity, layer split, threshold) and replay a replica.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.mapping import FixedBlockMapping
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError
+from repro.policies.athreshold import AThresholdLRU
+from repro.policies.block_cache import BlockFIFO, BlockLRU
+from repro.policies.iblp import IBLP
+from repro.policies.item_lru import ItemFIFO, ItemLRU
+from repro.policies.item_other import ItemClock
+from repro.types import SimResult
+
+__all__ = [
+    "CompiledTrace",
+    "compile_trace",
+    "fast_simulate",
+    "supports",
+    "FAST_POLICY_NAMES",
+    "KIND_MISS",
+    "KIND_TEMPORAL",
+    "KIND_SPATIAL",
+]
+
+#: Integer codes for the per-access outcome stream (the compact form of
+#: :class:`~repro.types.HitKind` used by kernels and the conformance
+#: harness; see :data:`repro.core.conformance.KIND_CODE`).
+KIND_MISS, KIND_TEMPORAL, KIND_SPATIAL = 0, 1, 2
+
+
+class CompiledTrace:
+    """A trace lowered to plain-int arrays for kernel replay.
+
+    Attributes
+    ----------
+    n:
+        Number of accesses.
+    items:
+        Requested item ids as a Python ``list`` (C-int iteration is
+        ~3× faster than pulling ``numpy`` scalars in a Python loop).
+    blocks:
+        Block id of each access, same length as ``items``.
+    dense:
+        Per-access item ids re-encoded densely as ``0..n_distinct-1``
+        (index into ``unique_items``); item-granularity kernels use
+        these to replace hash lookups with array indexing.
+    unique_items:
+        ``int64`` array decoding dense id → original item id.
+    block_members:
+        ``block id → ascending tuple of member items`` for every block
+        the trace references (what the referee obtains from
+        ``mapping.items_in`` per miss, computed once here).
+    item_block:
+        ``item id → block id`` for every member of every referenced
+        block (covers side-loaded items that never appear in ``items``).
+    """
+
+    __slots__ = (
+        "n",
+        "items",
+        "blocks",
+        "dense",
+        "n_distinct",
+        "unique_items",
+        "block_members",
+        "item_block",
+    )
+
+    def __init__(self, trace: Trace) -> None:
+        arr = trace.items
+        self.n = int(arr.size)
+        self.items: List[int] = arr.tolist()
+        blocks_arr = trace.mapping.blocks_of(arr)
+        self.blocks: List[int] = blocks_arr.tolist()
+        if self.n:
+            unique, inverse = np.unique(arr, return_inverse=True)
+        else:
+            unique = np.empty(0, dtype=np.int64)
+            inverse = np.empty(0, dtype=np.int64)
+        self.unique_items = unique
+        self.n_distinct = int(unique.size)
+        self.dense: List[int] = inverse.tolist()
+        self.block_members: Dict[int, Tuple[int, ...]] = {}
+        self.item_block: Dict[int, int] = {}
+        for blk in np.unique(blocks_arr).tolist():
+            members = tuple(trace.mapping.items_in(blk))
+            self.block_members[blk] = members
+            for member in members:
+                self.item_block[member] = blk
+
+
+# Memoized per live Trace object; entries evaporate with their trace.
+# Keyed by id() with a weakref guard because Trace (a plain dataclass)
+# is unhashable, and storing the compile on the trace itself would
+# bloat pickles shipped to sweep workers.
+_COMPILED: Dict[int, Tuple["weakref.ref[Trace]", CompiledTrace]] = {}
+
+
+def compile_trace(trace: Trace) -> CompiledTrace:
+    """Compile (or fetch the memoized compilation of) ``trace``."""
+    key = id(trace)
+    cached = _COMPILED.get(key)
+    if cached is not None and cached[0]() is trace:
+        return cached[1]
+    compiled = CompiledTrace(trace)
+    _COMPILED[key] = (
+        weakref.ref(trace, lambda _ref, _key=key: _COMPILED.pop(_key, None)),
+        compiled,
+    )
+    return compiled
+
+
+#: counts = (misses, temporal_hits, spatial_hits, loaded_items, evicted_items)
+_Counts = Tuple[int, int, int, int, int]
+_Record = Optional[List[int]]
+
+
+# -- item-granularity kernels (no spatial hits possible) --------------------
+def _replay_item_recency(
+    ct: CompiledTrace, capacity: int, touch_on_hit: bool, record: _Record
+) -> _Counts:
+    """LRU (``touch_on_hit``) / FIFO item cache over dense ids.
+
+    Recency is a doubly-linked list over slot arrays: ``nxt``/``prv``
+    of size ``n_distinct + 1`` with slot ``S`` as the head/tail
+    sentinel (MRU at ``nxt[S]``, LRU at ``prv[S]``).
+    """
+    m = ct.n_distinct
+    S = m  # sentinel slot
+    nxt = [S] * (m + 1)
+    prv = [S] * (m + 1)
+    resident = bytearray(m)
+    size = 0
+    misses = temporal = evicted = 0
+    for it in ct.dense:
+        if resident[it]:
+            temporal += 1
+            if touch_on_hit:
+                p = prv[it]
+                nx = nxt[it]
+                nxt[p] = nx
+                prv[nx] = p
+                f = nxt[S]
+                nxt[S] = it
+                prv[it] = S
+                nxt[it] = f
+                prv[f] = it
+            if record is not None:
+                record.append(KIND_TEMPORAL)
+        else:
+            misses += 1
+            if size >= capacity:
+                lru = prv[S]
+                p = prv[lru]
+                nxt[p] = S
+                prv[S] = p
+                resident[lru] = 0
+                evicted += 1
+            else:
+                size += 1
+            resident[it] = 1
+            f = nxt[S]
+            nxt[S] = it
+            prv[it] = S
+            nxt[it] = f
+            prv[f] = it
+            if record is not None:
+                record.append(KIND_MISS)
+    return misses, temporal, 0, misses, evicted
+
+
+def _replay_item_clock(ct: CompiledTrace, capacity: int, record: _Record) -> _Counts:
+    """CLOCK item cache on flat ring arrays, bit-exact to
+    :class:`repro.structs.clock_hand.ClockHand`.
+
+    ClockHand's ``evict()`` + ``insert()`` pair pops the victim and
+    re-inserts at the hand (rotating the backing list when the victim
+    sits at the end); relative to the hand that is circularly identical
+    to replacing the victim's slot in place and advancing the hand by
+    one, which is what this kernel does — O(1) per miss instead of the
+    structure's O(n) reindex.  During warmup (no evictions yet) the
+    hand rests on the first-inserted key at the end of the ring and
+    each insert lands just behind it, displacing only that one entry.
+    """
+    m = ct.n_distinct
+    pos = [0] * m  # dense id -> ring slot (valid iff resident)
+    resident = bytearray(m)
+    ring = [0] * capacity  # ring slot -> dense id
+    ref = bytearray(capacity)  # ring slot -> reference bit
+    hand = 0
+    size = 0
+    misses = temporal = evicted = 0
+    for it in ct.dense:
+        if resident[it]:
+            ref[pos[it]] = 1
+            temporal += 1
+            if record is not None:
+                record.append(KIND_TEMPORAL)
+            continue
+        misses += 1
+        if record is not None:
+            record.append(KIND_MISS)
+        if size >= capacity:
+            h = hand
+            if h >= capacity:
+                h = 0
+            while ref[h]:  # second-chance sweep
+                ref[h] = 0
+                h += 1
+                if h >= capacity:
+                    h = 0
+            resident[ring[h]] = 0
+            evicted += 1
+            ring[h] = it
+            ref[h] = 1
+            pos[it] = h
+            resident[it] = 1
+            hand = h + 1
+        elif size == 0:
+            ring[0] = it
+            ref[0] = 1
+            pos[it] = 0
+            resident[it] = 1
+            size = 1
+            # hand stays 0: it rests on this first key until full.
+        else:
+            # Insert just behind the hand at slot size-1; the first key
+            # shifts to slot size and its reference bit moves with it.
+            last = ring[size - 1]
+            ring[size] = last
+            ref[size] = ref[size - 1]
+            pos[last] = size
+            ring[size - 1] = it
+            ref[size - 1] = 1
+            pos[it] = size - 1
+            resident[it] = 1
+            size += 1
+            hand = size - 1
+    return misses, temporal, 0, misses, evicted
+
+
+# -- block-granularity kernels (referee hit-taxonomy replicated) ------------
+def _replay_block(
+    ct: CompiledTrace, capacity: int, touch_on_hit: bool, record: _Record
+) -> _Counts:
+    """Whole-block LRU/FIFO mirroring ``_BlockPolicyBase`` + the
+    referee's spatial-pending classification."""
+    blocks_d: Dict[int, Tuple[int, ...]] = {}  # insertion order = LRU→MRU
+    resident: set = set()
+    pending: set = set()  # side-loaded residents not yet hit
+    members_of = ct.block_members
+    misses = temporal = spatial = loaded_n = evicted_n = 0
+    for it, blk in zip(ct.items, ct.blocks):
+        if blk in blocks_d:
+            if it in resident:
+                if touch_on_hit:
+                    blocks_d[blk] = blocks_d.pop(blk)
+                if it in pending:
+                    pending.discard(it)
+                    spatial += 1
+                    if record is not None:
+                        record.append(KIND_SPATIAL)
+                else:
+                    temporal += 1
+                    if record is not None:
+                        record.append(KIND_TEMPORAL)
+                continue
+            # Trimmed residue (k < |block|): replace the stale entry.
+            stale = blocks_d.pop(blk)
+            resident.difference_update(stale)
+            evicted = set(stale)
+        else:
+            evicted = set()
+        members = members_of[blk]
+        load = members
+        if len(members) > capacity:
+            keep = [it]
+            for m in members:
+                if m != it and len(keep) < capacity:
+                    keep.append(m)
+            load = tuple(sorted(keep))
+        while len(resident) + len(load) > capacity:
+            victim_block = next(iter(blocks_d))
+            victim_items = blocks_d.pop(victim_block)
+            evicted.update(victim_items)
+            resident.difference_update(victim_items)
+        blocks_d[blk] = load
+        resident.update(load)
+        load_set = set(load)
+        churn = load_set & evicted
+        eff_loaded = load_set - churn
+        eff_evicted = evicted - churn
+        misses += 1
+        loaded_n += len(eff_loaded)
+        evicted_n += len(eff_evicted)
+        pending -= eff_evicted
+        for member in eff_loaded:
+            if member != it:
+                pending.add(member)
+            else:
+                pending.discard(member)
+        if record is not None:
+            record.append(KIND_MISS)
+    return misses, temporal, spatial, loaded_n, evicted_n
+
+
+def _replay_iblp(
+    ct: CompiledTrace, capacity: int, item_layer_size: int, record: _Record
+) -> _Counts:
+    """Canonical IBLP (item layer in front) with union refcounting."""
+    ils = item_layer_size
+    bls = capacity - ils
+    items_d: Dict[int, None] = {}  # item layer, insertion order = LRU→MRU
+    blocks_d: Dict[int, Tuple[int, ...]] = {}  # block layer
+    refcount: Dict[int, int] = {}  # item -> number of layers holding it
+    occupancy = 0  # item slots used by the block layer
+    pending: set = set()
+    members_of = ct.block_members
+    misses = temporal = spatial = loaded_n = evicted_n = 0
+
+    def acquire(x: int, loaded: set) -> None:
+        n = refcount.get(x, 0)
+        refcount[x] = n + 1
+        if n == 0:
+            loaded.add(x)
+
+    def release(x: int, evicted: set) -> None:
+        n = refcount[x] - 1
+        if n:
+            refcount[x] = n
+        else:
+            del refcount[x]
+            evicted.add(x)
+
+    def item_insert(x: int, loaded: set, evicted: set) -> None:
+        if ils == 0:
+            return
+        if x in items_d:
+            items_d[x] = items_d.pop(x)
+            return
+        if len(items_d) >= ils:
+            victim = next(iter(items_d))
+            del items_d[victim]
+            release(victim, evicted)
+        items_d[x] = None
+        acquire(x, loaded)
+
+    def block_insert(blk: int, x: int, loaded: set, evicted: set) -> None:
+        nonlocal occupancy
+        if bls == 0:
+            return
+        if blk in blocks_d:
+            stale = blocks_d.pop(blk)
+            occupancy -= len(stale)
+            for s in stale:
+                release(s, evicted)
+        members = members_of[blk]
+        load = members
+        if len(members) > bls:
+            keep = [x] + [m for m in members if m != x]
+            load = tuple(keep[:bls])
+        while occupancy + len(load) > bls:
+            victim_block = next(iter(blocks_d))
+            victim_items = blocks_d.pop(victim_block)
+            occupancy -= len(victim_items)
+            for v in victim_items:
+                release(v, evicted)
+        blocks_d[blk] = load
+        occupancy += len(load)
+        for member in load:
+            acquire(member, loaded)
+
+    for it, blk in zip(ct.items, ct.blocks):
+        if it in items_d:
+            items_d[it] = items_d.pop(it)  # pure item-layer hit
+            if it in pending:
+                pending.discard(it)
+                spatial += 1
+                if record is not None:
+                    record.append(KIND_SPATIAL)
+            else:
+                temporal += 1
+                if record is not None:
+                    record.append(KIND_TEMPORAL)
+            continue
+        loaded: set = set()
+        evicted: set = set()
+        if blk in blocks_d and it in refcount:
+            # Block-layer hit: refresh block recency, promote the item.
+            blocks_d[blk] = blocks_d.pop(blk)
+            item_insert(it, loaded, evicted)
+            loaded.discard(it)  # promotion of a resident is not a load
+            eff_evicted = evicted - (loaded & evicted)
+            evicted_n += len(eff_evicted)
+            pending -= eff_evicted
+            if it in pending:
+                pending.discard(it)
+                spatial += 1
+                if record is not None:
+                    record.append(KIND_SPATIAL)
+            else:
+                temporal += 1
+                if record is not None:
+                    record.append(KIND_TEMPORAL)
+            continue
+        # Full miss: both layers load.
+        item_insert(it, loaded, evicted)
+        block_insert(blk, it, loaded, evicted)
+        churn = loaded & evicted
+        eff_loaded = loaded - churn
+        eff_evicted = evicted - churn
+        misses += 1
+        loaded_n += len(eff_loaded)
+        evicted_n += len(eff_evicted)
+        pending -= eff_evicted
+        for member in eff_loaded:
+            if member != it:
+                pending.add(member)
+            else:
+                pending.discard(member)
+        if record is not None:
+            record.append(KIND_MISS)
+    return misses, temporal, spatial, loaded_n, evicted_n
+
+
+def _replay_athreshold(
+    ct: CompiledTrace, capacity: int, a: int, record: _Record
+) -> _Counts:
+    """LRU item eviction; whole-block load on the ``a``-th distinct miss."""
+    order: Dict[int, None] = {}  # insertion order = LRU→MRU
+    resident: set = set()
+    block_miss_count: Dict[int, int] = {}
+    block_resident_count: Dict[int, int] = {}
+    pending: set = set()
+    members_of = ct.block_members
+    block_of = ct.item_block
+    misses = temporal = spatial = loaded_n = evicted_n = 0
+    for it, blk in zip(ct.items, ct.blocks):
+        if it in resident:
+            order[it] = order.pop(it)
+            if it in pending:
+                pending.discard(it)
+                spatial += 1
+                if record is not None:
+                    record.append(KIND_SPATIAL)
+            else:
+                temporal += 1
+                if record is not None:
+                    record.append(KIND_TEMPORAL)
+            continue
+        misses_so_far = block_miss_count.get(blk, 0) + 1
+        block_miss_count[blk] = misses_so_far
+        if misses_so_far >= a:
+            want = [m for m in members_of[blk] if m not in resident]
+            if len(want) > capacity:
+                want = [it] + [w for w in want if w != it]
+                want = want[:capacity]
+        else:
+            want = [it]
+        protect = set(want)
+        loaded: set = set()
+        evicted: set = set()
+        for w in want:
+            if len(resident) >= capacity:
+                victim = -1
+                for key in order:
+                    if key not in protect:
+                        victim = key
+                        break
+                if victim < 0:  # pragma: no cover - mirrors referee guard
+                    raise ConfigurationError(
+                        "cannot evict: every resident item is protected"
+                    )
+                del order[victim]
+                resident.discard(victim)
+                vblk = block_of[victim]
+                n = block_resident_count[vblk] - 1
+                if n:
+                    block_resident_count[vblk] = n
+                else:
+                    del block_resident_count[vblk]
+                    block_miss_count.pop(vblk, None)
+                evicted.add(victim)
+            resident.add(w)
+            order[w] = None
+            wblk = block_of[w]
+            block_resident_count[wblk] = block_resident_count.get(wblk, 0) + 1
+            loaded.add(w)
+        misses += 1
+        loaded_n += len(loaded)
+        evicted_n += len(evicted)
+        pending -= evicted
+        for member in loaded:
+            if member != it:
+                pending.add(member)
+            else:
+                pending.discard(member)
+        if record is not None:
+            record.append(KIND_MISS)
+    return misses, temporal, spatial, loaded_n, evicted_n
+
+
+# -- dispatch ----------------------------------------------------------------
+_Kernel = Callable[[CompiledTrace, "object", _Record], _Counts]
+
+_DISPATCH: Dict[type, _Kernel] = {
+    ItemLRU: lambda ct, p, rec: _replay_item_recency(ct, p.capacity, True, rec),
+    ItemFIFO: lambda ct, p, rec: _replay_item_recency(ct, p.capacity, False, rec),
+    ItemClock: lambda ct, p, rec: _replay_item_clock(ct, p.capacity, rec),
+    BlockLRU: lambda ct, p, rec: _replay_block(ct, p.capacity, True, rec),
+    BlockFIFO: lambda ct, p, rec: _replay_block(ct, p.capacity, False, rec),
+    IBLP: lambda ct, p, rec: _replay_iblp(ct, p.capacity, p.item_layer_size, rec),
+    AThresholdLRU: lambda ct, p, rec: _replay_athreshold(ct, p.capacity, p.a, rec),
+}
+
+#: Registry names with a replay kernel (the a-threshold family counts
+#: once: every ``a`` shares the ``athreshold-lru`` kernel).
+FAST_POLICY_NAMES: Tuple[str, ...] = tuple(
+    sorted(cls.name for cls in _DISPATCH)
+)
+
+
+def _mappings_equivalent(policy, trace: Trace) -> bool:
+    """Whether kernels may use the trace's mapping for both roles.
+
+    The referee runs the policy against ``policy.mapping`` while
+    shadow-validating against ``trace.mapping``; kernels collapse the
+    two, which is only sound when they denote the same partition.
+    """
+    pm, tm = policy.mapping, trace.mapping
+    if pm is tm:
+        return True
+    return (
+        isinstance(pm, FixedBlockMapping)
+        and isinstance(tm, FixedBlockMapping)
+        and pm.universe == tm.universe
+        and pm.max_block_size == tm.max_block_size
+    )
+
+
+def supports(policy) -> bool:
+    """Whether ``policy`` (by exact type) has a replay kernel."""
+    return type(policy) in _DISPATCH
+
+
+def fast_simulate(policy, trace: Trace, record: _Record = None) -> Optional[SimResult]:
+    """Replay ``policy`` over ``trace`` with a kernel, if one applies.
+
+    Returns the referee-identical :class:`SimResult`, or ``None`` when
+    the policy has no kernel, is already warm, or its mapping cannot be
+    collapsed with the trace's (see the module docstring's fallback
+    rules).  ``record``, if given, receives one
+    :data:`KIND_MISS`/:data:`KIND_TEMPORAL`/:data:`KIND_SPATIAL` code
+    per access — the stream the conformance harness diffs against the
+    referee's ``on_access`` observations.  The policy object is never
+    mutated.
+    """
+    kernel = _DISPATCH.get(type(policy))
+    if kernel is None:
+        return None
+    if not _mappings_equivalent(policy, trace):
+        return None
+    if policy.resident_items():
+        return None  # warm policy: replay state only the referee tracks
+    compiled = compile_trace(trace)
+    misses, temporal, spatial, loaded, evicted = kernel(compiled, policy, record)
+    result = SimResult(
+        policy=getattr(policy, "name", type(policy).__name__),
+        capacity=policy.capacity,
+    )
+    result.metadata.update(
+        {k: v for k, v in trace.metadata.items() if isinstance(v, (str, int, float))}
+    )
+    result.accesses = compiled.n
+    result.misses = misses
+    result.temporal_hits = temporal
+    result.spatial_hits = spatial
+    result.loaded_items = loaded
+    result.evicted_items = evicted
+    return result

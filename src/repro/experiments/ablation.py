@@ -93,7 +93,7 @@ def layer_order(
     )
     rows = []
     for policy in (IBLP(k, trace.mapping), BlockFirstIBLP(k, trace.mapping)):
-        res = simulate(policy, trace)
+        res = simulate(policy, trace, fast=True)
         rows.append(
             {
                 "study": "layer_order",
@@ -155,7 +155,7 @@ def eviction_granularity(
         AThresholdLRU(k, mapping, a=1),
         IBLP(k, mapping),
     ):
-        res = simulate(policy, trace)
+        res = simulate(policy, trace, fast=True)
         rows.append(
             {
                 "study": "eviction_granularity",
@@ -185,7 +185,7 @@ def gcm_variants(
         MarkAllGCM(k, trace.mapping),
         MarkingLRU(k, trace.mapping),
     ):
-        res = simulate(policy, trace)
+        res = simulate(policy, trace, fast=True)
         rows.append(
             {
                 "study": "gcm_variants",

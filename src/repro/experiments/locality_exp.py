@@ -80,7 +80,7 @@ def run(
         profile = profile_trace(trace)
         emp = profile.to_bounds()
         iblp = IBLP(k, trace.mapping)
-        res = simulate(iblp, trace)
+        res = simulate(iblp, trace, fast=True)
         rows.append(
             {
                 "regime": label,

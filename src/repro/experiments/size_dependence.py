@@ -118,7 +118,9 @@ def empirical_flip(
     rows: List[Dict[str, float]] = []
     for wname, trace in traces.items():
         for sname, i in splits.items():
-            res = simulate(IBLP(k, trace.mapping, item_layer_size=i), trace)
+            res = simulate(
+                IBLP(k, trace.mapping, item_layer_size=i), trace, fast=True
+            )
             rows.append(
                 {
                     "workload": wname,
@@ -164,7 +166,7 @@ def adaptive_hedge(
     )
     for wname, trace in traces.items():
         policy = AdaptiveIBLP(k, trace.mapping)
-        res = simulate(policy, trace)
+        res = simulate(policy, trace, fast=True)
         rows.append(
             {
                 "workload": wname,

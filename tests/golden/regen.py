@@ -1,0 +1,125 @@
+"""Regenerate the golden-trace regression fixtures.
+
+Run from the repo root after an *intentional* behavior change::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+Each fixture is a small canonical trace plus the referee-computed
+:class:`SimResult` core fields for **every registered policy** at two
+capacities.  ``tests/test_golden_traces.py`` replays the traces through
+the referee (all policies) and the fast kernels (supported policies)
+and diffs against the stored truth, so a refactor of *either* engine
+that changes behavior — or a fixture regenerated to paper over one —
+shows up as a reviewable diff of these JSON files.
+
+Randomized policies (``gcm*``, ``item-random``) are pinned by their
+default seeds; the fixtures are deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.engine import simulate
+from repro.core.mapping import ExplicitBlockMapping, FixedBlockMapping
+from repro.core.trace import Trace
+from repro.policies import make_policy, policy_names
+
+HERE = Path(__file__).parent
+CAPACITIES = [4, 16]
+
+#: SimResult fields stored per (policy, capacity) cell.
+FIELDS = (
+    "accesses",
+    "misses",
+    "temporal_hits",
+    "spatial_hits",
+    "loaded_items",
+    "evicted_items",
+)
+
+
+def golden_traces() -> dict:
+    """The canonical fixture traces (small, seeded, diverse geometry)."""
+    rng = np.random.default_rng(2022)
+    scan = Trace(
+        np.tile(np.arange(48, dtype=np.int64), 3), FixedBlockMapping(48, 4)
+    )
+    zipf = Trace(
+        np.minimum((rng.zipf(1.3, 400) - 1) % 64, 63).astype(np.int64),
+        FixedBlockMapping(64, 8),
+    )
+    walk = [0]
+    for _ in range(399):
+        if rng.random() < 0.8:  # stay in block, possibly another item
+            walk.append((walk[-1] // 8) * 8 + int(rng.integers(8)))
+        else:
+            walk.append(int(rng.integers(64)))
+    markov = Trace(np.asarray(walk, dtype=np.int64), FixedBlockMapping(64, 8))
+    pollution = Trace(
+        np.asarray(
+            [x for i in range(200) for x in (0, 8 + (4 * i) % 56)],
+            dtype=np.int64,
+        ),
+        FixedBlockMapping(64, 4),
+    )
+    ragged = Trace(
+        rng.integers(0, 14, 300, dtype=np.int64),
+        ExplicitBlockMapping.from_groups(
+            [[0], [1, 2], [3, 4, 5], [6, 7, 8, 9], [10], [11, 12, 13]],
+            max_block_size=4,
+        ),
+    )
+    return {
+        "scan": scan,
+        "zipf": zipf,
+        "markov": markov,
+        "pollution": pollution,
+        "ragged": ragged,
+    }
+
+
+def _mapping_payload(mapping) -> dict:
+    if isinstance(mapping, FixedBlockMapping):
+        return {
+            "kind": "fixed",
+            "universe": mapping.universe,
+            "block_size": mapping.max_block_size,
+        }
+    block_ids = mapping.blocks_of(np.arange(mapping.universe, dtype=np.int64))
+    return {
+        "kind": "explicit",
+        "block_ids": block_ids.tolist(),
+        "max_block_size": mapping.max_block_size,
+    }
+
+
+def main() -> None:
+    for name, trace in golden_traces().items():
+        expected: dict = {}
+        for policy_name in sorted(policy_names()):
+            expected[policy_name] = {}
+            for k in CAPACITIES:
+                policy = make_policy(policy_name, k, trace.mapping)
+                res = simulate(policy, trace, cross_check_every=25)
+                expected[policy_name][str(k)] = {
+                    f: getattr(res, f) for f in FIELDS
+                }
+        payload = {
+            "trace": name,
+            "mapping": _mapping_payload(trace.mapping),
+            "items": trace.items.tolist(),
+            "capacities": CAPACITIES,
+            "expected": expected,
+        }
+        path = HERE / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"wrote {path} ({len(trace)} accesses, "
+              f"{len(expected)} policies x {len(CAPACITIES)} capacities)")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,7 @@ from repro.analysis import (
     format_table,
     grid,
     line_plot,
+    simulate_cell,
     sweep,
     thm5_numeric,
     thm6_numeric,
@@ -101,6 +102,34 @@ class TestSweep:
 
     def test_sweep_empty(self):
         assert sweep(_square, []) == []
+
+    def test_sweep_parallel_fast_matches_serial_referee(self):
+        """Regression: a parallel sweep on the fast kernels is
+        bit-identical to a serial sweep through the validating referee
+        — same rows, same order, every SimResult column equal."""
+        trace = uniform_random(1500, universe=128, block_size=4, seed=3)
+        cells = grid(
+            policy=["item-lru", "item-fifo", "block-lru", "iblp"],
+            capacity=[16, 64],
+            trace=[trace],
+        )
+        referee = sweep(
+            simulate_cell,
+            [dict(c, fast=False) for c in cells],
+            parallel=False,
+        )
+        fast = sweep(
+            simulate_cell,
+            [dict(c, fast=True) for c in cells],
+            parallel=True,
+            max_workers=2,
+        )
+        assert len(referee) == len(fast) == len(cells)
+        for ref_row, fast_row in zip(referee, fast):
+            for row in (ref_row, fast_row):
+                row.pop("trace")  # echoed Trace: identity differs across rows
+                row.pop("fast")
+            assert ref_row == fast_row
 
 
 def _square(a):

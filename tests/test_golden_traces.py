@@ -1,0 +1,97 @@
+"""Golden-trace regression: both engines vs committed truth.
+
+``tests/golden/*.json`` (written by ``tests/golden/regen.py``) hold
+small canonical traces with referee-computed results for every
+registered policy at two capacities.  Refactors of the referee *or*
+the fast kernels diff against this stored truth: a behavior change in
+either engine fails here even if the two engines still agree with each
+other, which closes the "both drifted together" hole a purely
+differential harness leaves open.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.fast import fast_simulate
+from repro.core.mapping import ExplicitBlockMapping, FixedBlockMapping
+from repro.core.trace import Trace
+from repro.policies import make_policy, policy_names
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_FILES = sorted(GOLDEN_DIR.glob("*.json"))
+FIELDS = (
+    "accesses",
+    "misses",
+    "temporal_hits",
+    "spatial_hits",
+    "loaded_items",
+    "evicted_items",
+)
+
+
+def _load(path: Path):
+    payload = json.loads(path.read_text())
+    m = payload["mapping"]
+    if m["kind"] == "fixed":
+        mapping = FixedBlockMapping(m["universe"], m["block_size"])
+    else:
+        mapping = ExplicitBlockMapping(
+            m["block_ids"], max_block_size=m["max_block_size"]
+        )
+    trace = Trace(np.asarray(payload["items"], dtype=np.int64), mapping)
+    return trace, payload
+
+
+def test_golden_fixtures_exist_and_cover_the_registry():
+    assert len(GOLDEN_FILES) >= 4
+    for path in GOLDEN_FILES:
+        _, payload = _load(path)
+        assert sorted(payload["expected"]) == sorted(policy_names()), (
+            f"{path.name} is stale: regenerate with "
+            "`PYTHONPATH=src python tests/golden/regen.py` and review the diff"
+        )
+
+
+@pytest.mark.parametrize("path", GOLDEN_FILES, ids=lambda p: p.stem)
+def test_referee_matches_golden(path):
+    trace, payload = _load(path)
+    mismatches = []
+    for policy_name, by_capacity in payload["expected"].items():
+        for k_str, want in by_capacity.items():
+            res = simulate(
+                make_policy(policy_name, int(k_str), trace.mapping),
+                trace,
+                cross_check_every=25,
+            )
+            got = {f: getattr(res, f) for f in FIELDS}
+            if got != want:
+                mismatches.append(f"{policy_name}/k={k_str}: {want} -> {got}")
+    assert not mismatches, "referee drifted from golden truth:\n" + "\n".join(
+        mismatches
+    )
+
+
+@pytest.mark.parametrize("path", GOLDEN_FILES, ids=lambda p: p.stem)
+def test_fast_kernels_match_golden(path):
+    trace, payload = _load(path)
+    mismatches = []
+    checked = 0
+    for policy_name, by_capacity in payload["expected"].items():
+        for k_str, want in by_capacity.items():
+            res = fast_simulate(
+                make_policy(policy_name, int(k_str), trace.mapping), trace
+            )
+            if res is None:  # no kernel for this policy
+                continue
+            checked += 1
+            got = {f: getattr(res, f) for f in FIELDS}
+            if got != want:
+                mismatches.append(f"{policy_name}/k={k_str}: {want} -> {got}")
+    assert checked > 0  # the kernel set must intersect the registry
+    assert not mismatches, "fast kernels drifted from golden truth:\n" + "\n".join(
+        mismatches
+    )

@@ -9,7 +9,9 @@ invariants the theory relies on:
   above by the trace length;
 * determinism: identical runs produce identical statistics;
 * the exact offline solver is never beaten by any online policy;
-* hit taxonomy accounting is consistent.
+* hit taxonomy accounting is consistent;
+* differential conformance: the fast replay kernels are bit-identical
+  to the referee on arbitrary (trace, policy, k, B) configurations.
 """
 
 import numpy as np
@@ -17,7 +19,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.conformance import check_conformance
 from repro.core.engine import simulate
+from repro.core.fast import FAST_POLICY_NAMES
 from repro.core.mapping import FixedBlockMapping
 from repro.core.trace import Trace
 from repro.offline.exact import solve_gc_exact
@@ -114,6 +118,43 @@ def test_iblp_split_stays_within_capacity(items, split):
     policy = make_policy("iblp", 12, trace.mapping, item_layer_size=split)
     res = simulate(policy, trace, cross_check_every=5)
     assert res.accesses == len(items)
+
+
+@pytest.mark.parametrize("name", FAST_POLICY_NAMES)
+@settings(max_examples=25, deadline=None)
+@given(
+    items=st.lists(st.integers(0, 31), min_size=0, max_size=120),
+    k=_capacity_strategy,
+    B=st.integers(1, 8),
+)
+def test_fast_kernels_conform_to_referee(name, items, k, B):
+    """Differential property: referee and kernel replays are
+    bit-identical — every SimResult field and the entire per-access
+    outcome stream — on arbitrary (trace, k, B) configurations."""
+    # universe=32 with B in 1..8 includes non-divisible geometries, so
+    # ragged final blocks are part of the property space.
+    trace = Trace(np.asarray(items, dtype=np.int64), FixedBlockMapping(32, B))
+    report = check_conformance(name, k, trace, cross_check_every=7)
+    assert report.ok, str(report)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    items=st.lists(st.integers(0, 31), min_size=0, max_size=120),
+    k=_capacity_strategy,
+    a=st.integers(1, 6),
+    split_frac=st.floats(0.0, 1.0),
+)
+def test_fast_kernel_parameter_families_conform(items, k, a, split_frac):
+    """The parameterized kernels (a-threshold, IBLP splits) conform at
+    arbitrary parameter values, not just the defaults."""
+    trace = _make_trace(items)
+    report = check_conformance("athreshold-lru", k, trace, a=a)
+    assert report.ok, str(report)
+    report = check_conformance(
+        "iblp", k, trace, item_layer_size=int(split_frac * k)
+    )
+    assert report.ok, str(report)
 
 
 @settings(max_examples=15, deadline=None)

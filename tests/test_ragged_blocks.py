@@ -9,8 +9,10 @@ check granularity behaviour per block size.
 import numpy as np
 import pytest
 
+from repro.core.conformance import assert_conformant
 from repro.core.engine import simulate
-from repro.core.mapping import ExplicitBlockMapping
+from repro.core.fast import FAST_POLICY_NAMES
+from repro.core.mapping import ExplicitBlockMapping, FixedBlockMapping
 from repro.core.trace import Trace
 from repro.policies import make_policy, policy_names
 
@@ -73,3 +75,23 @@ def test_exact_solver_on_ragged(ragged):
     trace = Trace(np.array([1, 2, 3, 4, 5, 1, 2]), ragged)
     # Load {1,2} (1 miss), {3,4,5} (1 miss); cache 5 holds both.
     assert solve_gc_exact(trace, 5) == 2
+
+
+# -- fast-kernel conformance on ragged geometry ------------------------------
+@pytest.mark.parametrize("name", FAST_POLICY_NAMES)
+@pytest.mark.parametrize("k", [1, 2, 5, 10])
+def test_fast_kernels_conform_on_ragged_partition(name, k, ragged):
+    """The kernels replay the §3-style ragged partition bit-identically:
+    singleton blocks, short blocks, and full blocks in one mapping."""
+    rng = np.random.default_rng(1)
+    trace = Trace(rng.integers(0, 14, 600, dtype=np.int64), ragged)
+    assert_conformant(name, k, trace, cross_check_every=50)
+
+
+@pytest.mark.parametrize("name", FAST_POLICY_NAMES)
+def test_fast_kernels_conform_on_ragged_final_fixed_block(name):
+    """FixedBlockMapping with universe % B != 0 (short trailing block)."""
+    mapping = FixedBlockMapping(universe=22, block_size=8)
+    rng = np.random.default_rng(2)
+    trace = Trace(rng.integers(0, 22, 600, dtype=np.int64), mapping)
+    assert_conformant(name, 6, trace)

@@ -1,4 +1,11 @@
-"""Deeper referee coverage and marking-policy invariants."""
+"""Deeper referee coverage and marking-policy invariants.
+
+Also pins the referee's behavior on the degenerate geometries the fast
+replay kernels must honor bit-for-bit (see
+``tests/test_fastpath_conformance.py`` for the differential side):
+capacity ``k=1``, traditional ``B=1``, ragged final blocks, and
+empty-trace replay.
+"""
 
 import numpy as np
 import pytest
@@ -9,9 +16,11 @@ from repro.core.engine import Engine, simulate
 from repro.core.mapping import FixedBlockMapping
 from repro.core.trace import Trace
 from repro.errors import ProtocolViolation
-from repro.policies import GCM, ItemLRU, MarkAllGCM, MarkingLRU
+from repro.policies import GCM, ItemLRU, MarkAllGCM, MarkingLRU, make_policy, policy_names
 from repro.policies.base import Policy
 from repro.types import AccessOutcome
+
+ONLINE = sorted(n for n in policy_names() if not n.startswith("belady"))
 
 
 class _LyingPolicy(Policy):
@@ -83,6 +92,58 @@ def test_gcm_marking_invariants(cls, items, k, seed):
         # The item just requested must be resident and marked.
         assert policy.contains(item)
         assert item in policy.marked_items()
+
+
+# -- referee edge cases the fast kernels must also honor --------------------
+@pytest.mark.parametrize("name", ONLINE)
+def test_empty_trace_replay_is_all_zero(name):
+    mapping = FixedBlockMapping(universe=16, block_size=4)
+    trace = Trace(np.empty(0, dtype=np.int64), mapping)
+    res = simulate(make_policy(name, 4, mapping), trace, cross_check_every=1)
+    assert res.accesses == 0
+    assert res.misses == res.temporal_hits == res.spatial_hits == 0
+    assert res.loaded_items == res.evicted_items == 0
+    assert res.miss_ratio == 0.0 and res.spatial_fraction == 0.0
+
+
+@pytest.mark.parametrize("name", ONLINE)
+def test_capacity_one_referee_invariants(name):
+    """k=1: occupancy stays at one item; every distinct access misses
+    unless it repeats the immediately-resident item."""
+    mapping = FixedBlockMapping(universe=24, block_size=4)
+    rng = np.random.default_rng(5)
+    trace = Trace(rng.integers(0, 24, 300, dtype=np.int64), mapping)
+    policy = make_policy(name, 1, mapping)
+    engine = Engine(policy, mapping)
+    for item in trace.items.tolist():
+        engine.access(int(item))
+        assert len(engine.resident) <= 1
+    assert engine.result.accesses == 300
+
+
+@pytest.mark.parametrize("name", ONLINE)
+def test_block_size_one_is_traditional_caching(name):
+    """B=1 degenerates to the traditional model: spatial hits are
+    impossible and load sets are single items."""
+    mapping = FixedBlockMapping(universe=24, block_size=1)
+    rng = np.random.default_rng(6)
+    trace = Trace(rng.integers(0, 24, 300, dtype=np.int64), mapping)
+    res = simulate(make_policy(name, 6, mapping), trace, cross_check_every=10)
+    assert res.spatial_hits == 0
+    assert res.loaded_items == res.misses  # every load set is exactly {item}
+
+
+@pytest.mark.parametrize("name", ONLINE)
+def test_ragged_final_fixed_block(name):
+    """universe % B != 0: the last block is short; the referee's
+    load-subset validation must accept (only) its real members."""
+    mapping = FixedBlockMapping(universe=14, block_size=4)
+    assert mapping.items_in(3) == (12, 13)
+    rng = np.random.default_rng(8)
+    trace = Trace(rng.integers(0, 14, 300, dtype=np.int64), mapping)
+    res = simulate(make_policy(name, 5, mapping), trace, cross_check_every=10)
+    assert res.accesses == 300
+    assert res.misses + res.hits == 300
 
 
 def test_gcm_requested_item_never_displaced_within_access():
