@@ -1,0 +1,131 @@
+"""Campaign orchestration: memoization payoff and overhead.
+
+Three measurements:
+
+* cold campaign vs the equivalent plain serial ``sweep`` — the
+  orchestration overhead (store writes, journaling, hashing) on a real
+  grid;
+* warm re-run of the same campaign — everything served from the
+  content-addressed store, which must be far faster than recomputing;
+* :class:`~repro.campaign.CampaignCache`-backed ablation study — the
+  experiment-integration path, warm vs cold.
+
+Artifacts: ``out/campaign_rows.csv`` (the grid rows, identical cold
+and warm) and ``out/campaign_timing.csv``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.sweep import simulate_cell, sweep
+from repro.analysis.tables import format_table, write_csv
+from repro.campaign import CampaignCache, CampaignRunner, CampaignSpec, TraceSpec
+from repro.experiments import ablation
+
+SPEC_TRACES = {
+    "zipf": TraceSpec(
+        kind="workload",
+        name="zipf",
+        params={
+            "length": 30_000,
+            "universe": 2048,
+            "alpha": 1.0,
+            "block_size": 8,
+            "seed": 0,
+        },
+    ),
+    "markov": TraceSpec(
+        kind="workload",
+        name="markov",
+        params={
+            "length": 30_000,
+            "universe": 2048,
+            "block_size": 8,
+            "stay": 0.8,
+            "seed": 0,
+        },
+    ),
+}
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec.from_grid(
+        name="bench",
+        policies=["item-lru", "block-lru", "iblp", "gcm"],
+        capacities=[64, 256],
+        traces=SPEC_TRACES,
+        fast=True,
+    )
+
+
+def test_campaign_cold_warm_vs_sweep(benchmark, tmp_path, out_dir):
+    spec = _spec()
+
+    t0 = time.perf_counter()
+    traces = {key: t.materialize() for key, t in spec.traces.items()}
+    sweep_rows = sweep(
+        simulate_cell,
+        [
+            dict(
+                policy=c.policy,
+                capacity=c.capacity,
+                trace=traces[c.trace],
+                fast=c.fast,
+            )
+            for c in spec.cells
+        ],
+    )
+    sweep_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    with CampaignRunner(tmp_path, spec) as runner:
+        cold = runner.run()
+    cold_s = time.perf_counter() - t0
+    assert cold.computed == len(spec.cells)
+
+    def warm_run():
+        with CampaignRunner(tmp_path, spec) as runner:
+            return runner.run()
+
+    warm = benchmark.pedantic(warm_run, rounds=3, iterations=1)
+    assert warm.computed == 0
+    assert warm.memo_hits == len(spec.cells)
+
+    rows = warm.rows()
+    for row, expected in zip(rows, sweep_rows):
+        row.pop("trace")
+        expected.pop("trace")
+    assert rows == sweep_rows  # warm rows bit-identical to plain sweep
+
+    write_csv(warm.rows(), out_dir / "campaign_rows.csv")
+    timing = [
+        {"mode": "plain_sweep", "seconds": sweep_s},
+        {"mode": "campaign_cold", "seconds": cold_s},
+        {"mode": "campaign_warm", "seconds": warm.seconds},
+    ]
+    write_csv(timing, out_dir / "campaign_timing.csv")
+    print()
+    print(format_table(timing, title="campaign orchestration timing"))
+    # The whole point: a warm campaign must crush recomputation.
+    assert warm.seconds < 0.5 * sweep_s
+
+
+def test_campaign_cache_ablation(benchmark, tmp_path, out_dir):
+    kwargs = {"k": 256, "B": 8}
+
+    with CampaignCache(tmp_path) as cache:
+        cold = ablation.gcm_variants(cache=cache, **kwargs)
+        assert cache.computed > 0 and cache.hits == 0
+
+    def warm():
+        with CampaignCache(tmp_path) as cache:
+            rows = ablation.gcm_variants(cache=cache, **kwargs)
+            return rows, cache
+
+    rows, cache = benchmark.pedantic(warm, rounds=3, iterations=1)
+    assert cache.computed == 0 and cache.hit_ratio == 1.0
+    assert rows == cold
+    write_csv(rows, out_dir / "campaign_cache_ablation.csv")
+    print()
+    print(format_table(rows, title="cache-backed §6 GCM variants"))

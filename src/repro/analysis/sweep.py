@@ -15,6 +15,18 @@ is the cell's own cost, not queueing time).  A worker may also leave a
 in-worker into ``<key>_*`` scalar summary columns (and stays
 picklable), so per-cell windowed/timing telemetry rides along grid
 rows without every experiment hand-rolling the plumbing.
+
+Timing guarantee: ``cell_seconds`` brackets *exactly* the
+``fn(**cell)`` call — row post-processing (copying the mapping,
+flattening recorders, which runs ``Recorder.finalize`` and therefore
+flushes/closes sinks) happens outside the timed region, so the column
+is the cell body's cost and nothing else.
+
+Error context: in a parallel sweep a worker exception is re-raised in
+the parent as :class:`repro.errors.SweepCellError` naming the failing
+cell's kwargs (the original exception rides along as ``__cause__``);
+a serial sweep raises in the caller's own stack, which already shows
+the cell.
 """
 
 from __future__ import annotations
@@ -25,7 +37,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SweepCellError
 
 __all__ = ["grid", "simulate_cell", "sweep"]
 
@@ -86,9 +98,12 @@ def _call(
     kwargs: Dict[str, Any],
     timing: bool = False,
 ):
+    # The timed region is the cell body alone; see the module
+    # docstring's timing guarantee.
     t0 = time.perf_counter()
-    out = dict(fn(**kwargs))
+    raw = fn(**kwargs)
     elapsed = time.perf_counter() - t0
+    out = dict(raw)
     _flatten_recorders(out)
     if timing:
         out.setdefault("cell_seconds", elapsed)
@@ -134,4 +149,14 @@ def sweep(
         raise ConfigurationError(f"max_workers must be >= 1, got {workers}")
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [pool.submit(_call, fn, c, timing) for c in cell_list]
-        return [f.result() for f in futures]
+        rows = []
+        for cell, future in zip(cell_list, futures):
+            try:
+                rows.append(future.result())
+            except Exception as exc:
+                raise SweepCellError(
+                    f"sweep cell {cell!r} failed: "
+                    f"{type(exc).__name__}: {exc}",
+                    cell=cell,
+                ) from exc
+        return rows

@@ -1,0 +1,149 @@
+"""Experiment integration: a memoizing ``simulate`` front-end.
+
+The experiment drivers (:mod:`repro.experiments`) call ``simulate``
+directly with hand-built policies; rewriting them as declarative grids
+would lose their narrative structure.  :class:`CampaignCache` instead
+gives them the campaign subsystem's memoization à la carte: it looks
+like ``simulate`` but is keyed by the same content address the runner
+uses (policy registry name + kwargs, capacity, trace fingerprint, fast
+flag, code version), backed by the same crash-safe
+:class:`~repro.campaign.store.ResultStore`.  An experiment rendered
+through a cache is resumable — kill it anywhere, rerun, and only the
+not-yet-stored simulations execute.
+
+Only trace-driven simulations are cacheable.  Adaptive-adversary runs
+(the adversary reacts to the policy's decisions, so there is no trace
+to fingerprint until after the run) always execute live; experiments
+mixing both memoize the trace-driven part.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.campaign.journal import Journal
+from repro.campaign.spec import cell_hash
+from repro.campaign.store import ResultStore
+from repro.campaign.runner import result_fields, result_from_fields
+from repro.core.trace import Trace
+from repro.types import SimResult
+
+__all__ = ["CampaignCache", "cached_simulate", "open_cache"]
+
+
+class CampaignCache:
+    """Content-addressed memoization of ``simulate`` calls.
+
+    Parameters
+    ----------
+    directory:
+        Campaign directory holding the store and journal (shared with
+        ``campaign`` CLI runs pointed at the same directory).
+    recorder:
+        Optional :class:`repro.telemetry.Recorder`; hit/miss counters
+        are published into its registry on :meth:`close`.
+    """
+
+    def __init__(
+        self, directory: str | Path, recorder=None, store_sync: bool = True
+    ) -> None:
+        self.directory = Path(directory)
+        self.store = ResultStore(self.directory, sync=store_sync)
+        self.journal = Journal(self.directory)
+        self.recorder = recorder
+        self.hits = 0
+        self.computed = 0
+
+    def simulate(
+        self,
+        policy: str,
+        capacity: int,
+        trace: Trace,
+        fast: bool = False,
+        **policy_kwargs: Any,
+    ) -> SimResult:
+        """Memoized equivalent of ``simulate(make_policy(...), trace)``.
+
+        ``policy`` is a registry name (:func:`repro.policies.make_policy`);
+        the returned :class:`SimResult` is bit-identical whether it was
+        computed now or served from the store (the store keeps the full
+        result state, not just the derived row).
+        """
+        digest = cell_hash(
+            policy=policy,
+            capacity=capacity,
+            trace_fingerprint=trace.fingerprint(),
+            fast=fast,
+            policy_kwargs=policy_kwargs,
+        )
+        stored = self.store.get(digest)
+        if stored is not None:
+            self.hits += 1
+            return result_from_fields(stored)
+        from repro.core.engine import simulate
+        from repro.policies import make_policy
+
+        instance = make_policy(policy, capacity, trace.mapping, **policy_kwargs)
+        result = simulate(instance, trace, fast=fast)
+        self.store.put(digest, result_fields(result))
+        self.journal.append(
+            "done", hash=digest, attempt=1, memo=False, source="cache"
+        )
+        self.computed += 1
+        return result
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.computed
+        return self.hits / total if total else 0.0
+
+    def close(self) -> None:
+        if self.recorder is not None:
+            reg = self.recorder.registry
+            reg.counter("campaign_cache_hits").inc(self.hits)
+            reg.counter("campaign_cache_computed").inc(self.computed)
+            reg.gauge("campaign_cache_hit_ratio").set(self.hit_ratio)
+        self.store.close()
+        self.journal.close()
+
+    def __enter__(self) -> "CampaignCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def cached_simulate(
+    cache: Optional["CampaignCache"],
+    policy: str,
+    capacity: int,
+    trace: Trace,
+    fast: bool = False,
+    **policy_kwargs: Any,
+) -> SimResult:
+    """``cache.simulate(...)``, or a plain uncached ``simulate`` when
+    ``cache`` is None.
+
+    The single call-site shape the experiment drivers use: they take an
+    optional cache and route every trace-driven simulation through this,
+    so the same code path serves both ``render()`` (uncached, as before)
+    and campaign-backed resumable runs.
+    """
+    if cache is not None:
+        return cache.simulate(policy, capacity, trace, fast=fast, **policy_kwargs)
+    from repro.core.engine import simulate
+    from repro.policies import make_policy
+
+    instance = make_policy(policy, capacity, trace.mapping, **policy_kwargs)
+    return simulate(instance, trace, fast=fast)
+
+
+def open_cache(
+    directory: Optional[str | Path], recorder=None
+) -> Optional[CampaignCache]:
+    """``CampaignCache`` for ``directory``, or ``None`` when no
+    directory is given (the experiments' uncached default)."""
+    if directory is None:
+        return None
+    return CampaignCache(directory, recorder=recorder)

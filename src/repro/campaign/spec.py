@@ -1,0 +1,298 @@
+"""Campaign descriptions and the content address of a cell.
+
+A campaign is a named grid of *cells*; each cell names a registered
+policy, its kwargs, a capacity, a trace, and whether the fast replay
+kernels may serve it.  Traces are referenced by key into the
+campaign's trace table so a grid over two policies × three capacities
+carries one copy of each trace spec, not six.
+
+Content addressing
+------------------
+:func:`cell_hash` maps a cell to a stable SHA-256 over a canonical
+JSON encoding of every input that can change the result:
+
+* policy name and policy kwargs (sorted),
+* capacity,
+* the **trace fingerprint** (:meth:`repro.core.trace.Trace.fingerprint`
+  — access sequence + block partition, independent of how the trace
+  was built),
+* the ``fast`` flag (the conformance harness proves fast and referee
+  replay bit-identical, but the flag is still an input: a hash that
+  ignored it could serve a referee row where a kernel bug repro was
+  requested),
+* the library version (``repro.__version__``), so upgrading the code
+  invalidates memoized rows instead of silently mixing versions.
+
+Anything *not* in the list — trace metadata, worker count, retry
+policy, wall-clock — must not influence the result, and therefore
+does not influence the address.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+import repro
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "TraceSpec",
+    "CellSpec",
+    "CampaignSpec",
+    "cell_hash",
+    "canonical_json",
+    "trace_workload_names",
+]
+
+SPEC_FILENAME = "spec.json"
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _workload_registry() -> Dict[str, Callable[..., Trace]]:
+    # Imported lazily so `repro.campaign.spec` stays importable without
+    # the workload stack (mirrors sweep's lazy-import convention).
+    from repro import workloads as w
+
+    return {
+        "uniform": w.uniform_random,
+        "zipf": w.zipf_items,
+        "scan": w.sequential_scan,
+        "cyclic_scan": w.cyclic_scan,
+        "strided": w.strided,
+        "block_runs": w.block_runs,
+        "markov": w.markov_spatial,
+        "block_zipf": w.block_zipf,
+        "interleaved_streams": w.interleaved_streams,
+        "hot_and_stream": w.hot_and_stream,
+        "dram": w.dram_cache_workload,
+        "pagecache": w.page_cache_workload,
+    }
+
+
+def trace_workload_names() -> List[str]:
+    """Workload generator names a :class:`TraceSpec` may reference."""
+    return sorted(_workload_registry())
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A reproducible trace reference: generator call or trace file.
+
+    ``kind="workload"`` names a generator from
+    :func:`trace_workload_names` with JSON-scalar ``params``;
+    ``kind="file"`` names a text trace readable by
+    :func:`repro.workloads.trace_io.read_text_trace`.  Either way the
+    cell hash uses the *materialized* trace's fingerprint, so an
+    edited trace file recomputes its cells even though the spec text
+    is unchanged.
+    """
+
+    kind: str = "workload"
+    name: str = "uniform"
+    params: Mapping[str, Any] = field(default_factory=dict)
+    path: Optional[str] = None
+    block_size: Optional[int] = None
+    densify: bool = False
+
+    def materialize(self) -> Trace:
+        """Build the trace this spec describes."""
+        if self.kind == "workload":
+            registry = _workload_registry()
+            if self.name not in registry:
+                raise ConfigurationError(
+                    f"unknown campaign workload {self.name!r}; "
+                    f"known: {', '.join(sorted(registry))}"
+                )
+            return registry[self.name](**dict(self.params))
+        if self.kind == "file":
+            from repro.workloads.trace_io import read_text_trace
+
+            if not self.path:
+                raise ConfigurationError("file trace spec needs a path")
+            return read_text_trace(
+                self.path, block_size=self.block_size, densify=self.densify
+            ).trace
+        raise ConfigurationError(f"unknown trace spec kind {self.kind!r}")
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"kind": self.kind}
+        if self.kind == "workload":
+            out["name"] = self.name
+            out["params"] = dict(self.params)
+        else:
+            out["path"] = self.path
+            out["block_size"] = self.block_size
+            out["densify"] = self.densify
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceSpec":
+        return cls(
+            kind=data.get("kind", "workload"),
+            name=data.get("name", "uniform"),
+            params=dict(data.get("params", {})),
+            path=data.get("path"),
+            block_size=data.get("block_size"),
+            densify=bool(data.get("densify", False)),
+        )
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One grid cell: a policy replayed over one trace at one size."""
+
+    policy: str
+    capacity: int
+    trace: str  #: key into :attr:`CampaignSpec.traces`
+    fast: bool = True
+    policy_kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "capacity": self.capacity,
+            "trace": self.trace,
+            "fast": self.fast,
+            "policy_kwargs": dict(self.policy_kwargs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CellSpec":
+        return cls(
+            policy=data["policy"],
+            capacity=int(data["capacity"]),
+            trace=data["trace"],
+            fast=bool(data.get("fast", True)),
+            policy_kwargs=dict(data.get("policy_kwargs", {})),
+        )
+
+    def params_row(self) -> Dict[str, Any]:
+        """The cell parameters echoed into exported rows (sweep-style)."""
+        out: Dict[str, Any] = {
+            "policy": self.policy,
+            "capacity": self.capacity,
+            "trace": self.trace,
+            "fast": self.fast,
+        }
+        out.update(self.policy_kwargs)
+        return out
+
+
+def cell_hash(
+    policy: str,
+    capacity: int,
+    trace_fingerprint: str,
+    fast: bool = True,
+    policy_kwargs: Optional[Mapping[str, Any]] = None,
+    version: Optional[str] = None,
+) -> str:
+    """The content address of one cell (see the module docstring)."""
+    payload = canonical_json(
+        {
+            "policy": policy,
+            "capacity": int(capacity),
+            "policy_kwargs": dict(policy_kwargs or {}),
+            "trace_fingerprint": trace_fingerprint,
+            "fast": bool(fast),
+            "version": version if version is not None else repro.__version__,
+        }
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class CampaignSpec:
+    """A named, serializable experiment grid.
+
+    ``version`` is pinned at construction so a campaign directory
+    records the code version its rows were computed with; `resume`
+    re-hashes with the *pinned* version, keeping an interrupted
+    campaign bit-identical to an uninterrupted one even across a
+    library upgrade mid-campaign.
+    """
+
+    name: str
+    traces: Dict[str, TraceSpec]
+    cells: List[CellSpec]
+    version: str = field(default_factory=lambda: repro.__version__)
+
+    def __post_init__(self) -> None:
+        for cell in self.cells:
+            if cell.trace not in self.traces:
+                raise ConfigurationError(
+                    f"cell references unknown trace key {cell.trace!r}"
+                )
+
+    @classmethod
+    def from_grid(
+        cls,
+        name: str,
+        policies: Sequence[str],
+        capacities: Sequence[int],
+        traces: Mapping[str, TraceSpec],
+        fast: bool = True,
+        policy_kwargs: Optional[Mapping[str, Any]] = None,
+    ) -> "CampaignSpec":
+        """Cartesian (trace × policy × capacity) grid, sweep-ordered."""
+        if not policies or not capacities or not traces:
+            raise ConfigurationError(
+                "a campaign grid needs at least one policy, capacity, and trace"
+            )
+        cells = [
+            CellSpec(
+                policy=p,
+                capacity=c,
+                trace=t,
+                fast=fast,
+                policy_kwargs=dict(policy_kwargs or {}),
+            )
+            for t in traces
+            for p in policies
+            for c in capacities
+        ]
+        return cls(name=name, traces=dict(traces), cells=cells)
+
+    # -- serialization -----------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "version": self.version,
+            "traces": {k: t.as_dict() for k, t in self.traces.items()},
+            "cells": [c.as_dict() for c in self.cells],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        return cls(
+            name=data["name"],
+            traces={
+                k: TraceSpec.from_dict(t) for k, t in data["traces"].items()
+            },
+            cells=[CellSpec.from_dict(c) for c in data["cells"]],
+            version=data.get("version", repro.__version__),
+        )
+
+    def save(self, directory: str | Path) -> Path:
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / SPEC_FILENAME
+        path.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "CampaignSpec":
+        path = Path(directory) / SPEC_FILENAME
+        if not path.exists():
+            raise ConfigurationError(
+                f"{path} not found: not a campaign directory (run before resume)"
+            )
+        return cls.from_dict(json.loads(path.read_text()))

@@ -24,7 +24,9 @@ import sys
 from contextlib import nullcontext
 from typing import Callable, Dict, List, Optional
 
+import repro
 from repro.analysis.tables import format_table
+from repro.campaign.cli import add_campaign_parser, run_campaign_command
 from repro.core.engine import simulate as run_simulation
 from repro.errors import ConfigurationError
 from repro.locality.profile import profile_trace
@@ -75,6 +77,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="gc-caching",
         description="Granularity-Change Caching reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {repro.__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -168,6 +175,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_abl = sub.add_parser("ablation", help="design-choice ablations")
     p_abl.add_argument("--k", type=int, default=256)
     p_abl.add_argument("--B", type=int, default=8)
+    p_abl.add_argument(
+        "--campaign-dir",
+        default=None,
+        help="memoize trace-driven simulations in this campaign "
+        "directory (rerun after a crash recomputes only missing cells)",
+    )
 
     p_prof = sub.add_parser("profile", help="empirical f(n)/g(n) profile")
     p_prof.add_argument("--workload", choices=sorted(_WORKLOADS), required=True)
@@ -194,6 +207,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_mrc.add_argument("--alpha", type=float, default=1.0)
     p_mrc.add_argument("--stay", type=float, default=0.8)
     p_mrc.add_argument("--seed", type=int, default=0)
+
+    add_campaign_parser(sub)
 
     sub.add_parser("schematics", help="executable Figures 1 & 4 demo")
     return parser
@@ -288,7 +303,13 @@ def _dispatch(ns: argparse.Namespace) -> str:
     if ns.command == "adversarial":
         return adversarial.render(k=ns.k, h=ns.h, B=ns.B, cycles=ns.cycles)
     if ns.command == "ablation":
-        return ablation.render(k=ns.k, B=ns.B)
+        from repro.campaign import open_cache
+
+        cache = open_cache(ns.campaign_dir)
+        if cache is None:
+            return ablation.render(k=ns.k, B=ns.B)
+        with cache:
+            return ablation.render(k=ns.k, B=ns.B, cache=cache)
     if ns.command == "profile":
         trace = _WORKLOADS[ns.workload](ns)
         profile = profile_trace(trace)
@@ -337,6 +358,8 @@ def _dispatch(ns: argparse.Namespace) -> str:
         return format_table(
             rows, title=f"Mattson MRC ({ns.workload}, B={trace.block_size})"
         )
+    if ns.command == "campaign":
+        return run_campaign_command(ns)
     if ns.command == "schematics":
         return schematics.render()
     raise ConfigurationError(f"unknown command {ns.command!r}")  # pragma: no cover

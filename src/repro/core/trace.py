@@ -9,6 +9,7 @@ self-describing, and serialize to ``.npz`` for reuse across runs.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -80,6 +81,31 @@ class Trace:
     def distinct_blocks(self) -> int:
         """Number of distinct blocks referenced."""
         return int(np.unique(self.block_trace()).size) if self.items.size else 0
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the trace (items + block partition).
+
+        Two traces with the same access sequence over the same
+        partition hash identically regardless of how they were built
+        (generator, file import, ``.npz`` round-trip); metadata is
+        deliberately excluded.  Used by :mod:`repro.campaign` as the
+        trace component of a cell's content address.
+        """
+        h = hashlib.sha256()
+        h.update(b"trace-v1\x00")
+        h.update(np.ascontiguousarray(self.items, dtype=np.int64).tobytes())
+        h.update(b"\x00mapping\x00")
+        if isinstance(self.mapping, FixedBlockMapping):
+            h.update(
+                f"fixed:{self.mapping.universe}:{self.mapping.max_block_size}".encode()
+            )
+        else:
+            block_ids = self.mapping.blocks_of(
+                np.arange(self.mapping.universe, dtype=np.int64)
+            )
+            h.update(f"explicit:{self.mapping.max_block_size}:".encode())
+            h.update(np.ascontiguousarray(block_ids, dtype=np.int64).tobytes())
+        return h.hexdigest()
 
     def concat(self, other: "Trace") -> "Trace":
         """Concatenate two traces over the same universe/mapping."""

@@ -14,6 +14,7 @@ __all__ = [
     "ProtocolViolation",
     "CapacityExceeded",
     "IllegalLoadSet",
+    "SweepCellError",
     "TraceFormatError",
     "SolverError",
 ]
@@ -48,6 +49,21 @@ class IllegalLoadSet(ProtocolViolation):
     Definition 1 requires the loaded set to (a) be contained in the
     requested item's block and (b) contain the requested item.
     """
+
+
+class SweepCellError(GCCachingError, RuntimeError):
+    """A sweep worker failed; carries the failing cell's parameters.
+
+    A bare exception surfacing from a parallel sweep says nothing
+    about *which* grid cell died; this wrapper pins the cell's kwargs
+    to the message (and keeps the original exception as
+    ``__cause__``).
+    """
+
+    def __init__(self, message: str, cell: dict | None = None) -> None:
+        super().__init__(message)
+        #: The kwargs of the cell whose worker raised.
+        self.cell = dict(cell or {})
 
 
 class TraceFormatError(GCCachingError, ValueError):

@@ -12,25 +12,22 @@ Four studies, each pinned to a paper claim:
    IBLP/athreshold (item eviction) on sparse-block traffic.
 4. **GCM marking discipline** (§6): GCM vs a marker that ignores
    blocks vs one that marks side loads, on mixed traffic.
+
+Every trace-driven study accepts an optional
+:class:`~repro.campaign.CampaignCache`; with one, simulations are
+memoized by content address and the whole ablation becomes resumable.
+The a-threshold sweep is adaptive-adversarial (no trace to fingerprint)
+and always runs live.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.adversary import GeneralAdversary
 from repro.analysis.competitive import measure_adversarial
 from repro.analysis.tables import format_table
-from repro.core.engine import simulate
-from repro.policies import (
-    GCM,
-    IBLP,
-    AThresholdLRU,
-    BlockFirstIBLP,
-    BlockLRU,
-    MarkAllGCM,
-    MarkingLRU,
-)
+from repro.campaign.integrate import CampaignCache, cached_simulate
 from repro.workloads import hot_and_stream
 
 __all__ = [
@@ -43,7 +40,10 @@ __all__ = [
 
 
 def layer_order(
-    k: int = 256, B: int = 8, length: int = 60_000
+    k: int = 256,
+    B: int = 8,
+    length: int = 60_000,
+    cache: Optional[CampaignCache] = None,
 ) -> List[Dict[str, float]]:
     """§5.1: item-first vs block-first layering on pollution traffic.
 
@@ -92,12 +92,12 @@ def layer_order(
         {"generator": "layer_order_pollution"},
     )
     rows = []
-    for policy in (IBLP(k, trace.mapping), BlockFirstIBLP(k, trace.mapping)):
-        res = simulate(policy, trace, fast=True)
+    for name in ("iblp", "iblp-blockfirst"):
+        res = cached_simulate(cache, name, k, trace, fast=True)
         rows.append(
             {
                 "study": "layer_order",
-                "policy": policy.name,
+                "policy": name,
                 "misses": res.misses,
                 "miss_ratio": res.miss_ratio,
                 "spatial_hits": res.spatial_hits,
@@ -112,6 +112,8 @@ def athreshold_sweep(
     k: int = 256, h: int = 48, B: int = 8, cycles: int = 4
 ) -> List[Dict[str, float]]:
     """§4.4: the a-extremes dominate under the Theorem 4 adversary."""
+    from repro.policies import AThresholdLRU
+
     rows = []
     for a in range(1, B + 1):
         adv = GeneralAdversary(k, h, B)
@@ -129,7 +131,11 @@ def athreshold_sweep(
 
 
 def eviction_granularity(
-    k: int = 256, B: int = 8, length: int = 60_000, seed: int = 5
+    k: int = 256,
+    B: int = 8,
+    length: int = 60_000,
+    seed: int = 5,
+    cache: Optional[CampaignCache] = None,
 ) -> List[Dict[str, float]]:
     """§4.4: item-granularity eviction vs block eviction on sparse reuse.
 
@@ -150,16 +156,16 @@ def eviction_granularity(
     items = (rng.integers(0, n_hot, length) * B).astype(np.int64)
     trace = Trace(items, mapping, {"generator": "one_hot_per_block"})
     rows = []
-    for policy in (
-        BlockLRU(k, mapping),
-        AThresholdLRU(k, mapping, a=1),
-        IBLP(k, mapping),
+    for name, kwargs in (
+        ("block-lru", {}),
+        ("athreshold-lru", {"a": 1}),
+        ("iblp", {}),
     ):
-        res = simulate(policy, trace, fast=True)
+        res = cached_simulate(cache, name, k, trace, fast=True, **kwargs)
         rows.append(
             {
                 "study": "eviction_granularity",
-                "policy": policy.name,
+                "policy": name,
                 "misses": res.misses,
                 "miss_ratio": res.miss_ratio,
             }
@@ -168,7 +174,11 @@ def eviction_granularity(
 
 
 def gcm_variants(
-    k: int = 256, B: int = 8, length: int = 60_000, seed: int = 9
+    k: int = 256,
+    B: int = 8,
+    length: int = 60_000,
+    seed: int = 9,
+    cache: Optional[CampaignCache] = None,
 ) -> List[Dict[str, float]]:
     """§6: GCM vs block-oblivious marking vs mark-everything."""
     trace = hot_and_stream(
@@ -180,16 +190,12 @@ def gcm_variants(
         seed=seed,
     )
     rows = []
-    for policy in (
-        GCM(k, trace.mapping),
-        MarkAllGCM(k, trace.mapping),
-        MarkingLRU(k, trace.mapping),
-    ):
-        res = simulate(policy, trace, fast=True)
+    for name in ("gcm", "gcm-markall", "marking-lru"):
+        res = cached_simulate(cache, name, k, trace, fast=True)
         rows.append(
             {
                 "study": "gcm_variants",
-                "policy": policy.name,
+                "policy": name,
                 "misses": res.misses,
                 "miss_ratio": res.miss_ratio,
                 "spatial_hits": res.spatial_hits,
@@ -200,17 +206,28 @@ def gcm_variants(
     return rows
 
 
-def render(k: int = 256, B: int = 8) -> str:
-    """All four ablations, formatted."""
+def render(
+    k: int = 256, B: int = 8, cache: Optional[CampaignCache] = None
+) -> str:
+    """All four ablations, formatted.
+
+    With ``cache``, the three trace-driven studies are memoized (and a
+    rerun after a crash recomputes only what is missing); the
+    adversarial a-threshold sweep always executes live.
+    """
     sections = [
-        format_table(layer_order(k=k, B=B), title="§5.1 layer order"),
+        format_table(
+            layer_order(k=k, B=B, cache=cache), title="§5.1 layer order"
+        ),
         format_table(
             athreshold_sweep(k=k, B=B), title="\n§4.4 a-threshold sweep"
         ),
         format_table(
-            eviction_granularity(k=k, B=B),
+            eviction_granularity(k=k, B=B, cache=cache),
             title="\n§4.4 eviction granularity",
         ),
-        format_table(gcm_variants(k=k, B=B), title="\n§6 GCM variants"),
+        format_table(
+            gcm_variants(k=k, B=B, cache=cache), title="\n§6 GCM variants"
+        ),
     ]
     return "\n".join(sections)

@@ -19,15 +19,15 @@ known caching problems".  Two demonstrations:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from scipy.optimize import brentq
 
 from repro.analysis.tables import format_table
 from repro.bounds.upper import iblp_optimal_item_layer, iblp_ratio
+from repro.campaign.integrate import CampaignCache, cached_simulate
 from repro.core.engine import simulate
 from repro.errors import SolverError
-from repro.policies import IBLP
 from repro.workloads import hot_and_stream
 
 __all__ = ["bounds_crossing", "empirical_flip", "render"]
@@ -82,7 +82,11 @@ def bounds_crossing(
 
 
 def empirical_flip(
-    k: int = 256, B: int = 8, length: int = 50_000, seed: int = 17
+    k: int = 256,
+    B: int = 8,
+    length: int = 50_000,
+    seed: int = 17,
+    cache: Optional[CampaignCache] = None,
 ) -> List[Dict[str, float]]:
     """Measured ranking of two splits flips across locality regimes.
 
@@ -118,8 +122,8 @@ def empirical_flip(
     rows: List[Dict[str, float]] = []
     for wname, trace in traces.items():
         for sname, i in splits.items():
-            res = simulate(
-                IBLP(k, trace.mapping, item_layer_size=i), trace, fast=True
+            res = cached_simulate(
+                cache, "iblp", k, trace, fast=True, item_layer_size=i
             )
             rows.append(
                 {
@@ -134,7 +138,11 @@ def empirical_flip(
 
 
 def adaptive_hedge(
-    k: int = 256, B: int = 8, length: int = 50_000, seed: int = 17
+    k: int = 256,
+    B: int = 8,
+    length: int = 50_000,
+    seed: int = 17,
+    cache: Optional[CampaignCache] = None,
 ) -> List[Dict[str, float]]:
     """The extension answer to §5.3: an adaptive split hedges both regimes.
 
@@ -143,10 +151,14 @@ def adaptive_hedge(
     fixed splits each collapse in one regime; the adaptive split stays
     near the better fixed split in both, and reports where its
     boundary converged.
+
+    The adaptive rows need the live policy instance afterwards (to read
+    the converged ``item_layer_target``), so only the fixed-split rows
+    go through ``cache``.
     """
     from repro.policies import AdaptiveIBLP
 
-    rows = empirical_flip(k=k, B=B, length=length, seed=seed)
+    rows = empirical_flip(k=k, B=B, length=length, seed=seed, cache=cache)
     traces = {}
     from repro.workloads import interleaved_streams
 
@@ -179,8 +191,10 @@ def adaptive_hedge(
     return rows
 
 
-def render(k: int = 256, B: int = 8) -> str:
-    """Both demonstrations, formatted."""
+def render(
+    k: int = 256, B: int = 8, cache: Optional[CampaignCache] = None
+) -> str:
+    """Both demonstrations, formatted (simulations memoized via ``cache``)."""
     cross = bounds_crossing()
     lines = [
         "Size dependence (§5.3): tuned-split Theorem 7 curves cross at "
@@ -188,7 +202,7 @@ def render(k: int = 256, B: int = 8) -> str:
         format_table([cross]),
         "",
         format_table(
-            empirical_flip(k=k, B=B),
+            empirical_flip(k=k, B=B, cache=cache),
             title="Empirical ranking flip across locality regimes",
         ),
     ]

@@ -6,9 +6,19 @@ be replayed through the simulator (and library traces exported for
 other simulators):
 
 * comment/header lines start with ``#``; two directives are honoured:
-  ``# universe: <int>`` and ``# block_size: <int>``;
-* each remaining line is one access: the item id, optionally followed
-  by whitespace and an ``r``/``w`` flag (default read).
+  ``# universe: <int>`` and ``# block_size: <int>``.  A ``#`` line
+  shaped like a directive (``# key: value``) with any other key is a
+  :class:`~repro.errors.TraceFormatError` — silent typos
+  (``# blocksize: 8``) must not change simulation results; plain
+  comments without a colon are ignored;
+* each remaining line is one access: a non-negative item id,
+  optionally followed by whitespace and an ``r``/``w`` flag (default
+  read).  Extra fields, negative ids, and files with no accesses are
+  format errors.
+
+Every malformed input raises :class:`~repro.errors.TraceFormatError`
+with the file and line number — never a bare ``ValueError`` or
+``IndexError``.
 
 Unknown ids are densified optionally (``densify=True``) so sparse
 address traces (e.g. raw memory addresses) map onto the library's
@@ -77,18 +87,49 @@ def read_text_trace(
             continue
         if line.startswith("#"):
             body = line[1:].strip().lower()
-            if body.startswith("universe:"):
-                header_universe = int(body.split(":", 1)[1])
-            elif body.startswith("block_size:"):
-                header_block = int(body.split(":", 1)[1])
+            key, sep, value = body.partition(":")
+            if not sep:
+                continue  # plain comment
+            key = key.strip()
+            if key not in ("universe", "block_size"):
+                raise TraceFormatError(
+                    f"{path}:{lineno}: unknown directive {key!r} "
+                    "(known: universe, block_size)"
+                )
+            try:
+                parsed = int(value)
+            except ValueError as exc:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: directive {key!r} needs an integer, "
+                    f"got {value.strip()!r}"
+                ) from exc
+            if parsed < 1:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: directive {key!r} must be >= 1, "
+                    f"got {parsed}"
+                )
+            if key == "universe":
+                header_universe = parsed
+            else:
+                header_block = parsed
             continue
         parts = line.split()
+        if len(parts) > 2:
+            raise TraceFormatError(
+                f"{path}:{lineno}: expected 'item [r|w]', "
+                f"got {len(parts)} fields: {line!r}"
+            )
         try:
-            items.append(int(parts[0], 0))
+            item = int(parts[0], 0)
         except ValueError as exc:
             raise TraceFormatError(
                 f"{path}:{lineno}: bad item id {parts[0]!r}"
             ) from exc
+        if item < 0:
+            raise TraceFormatError(
+                f"{path}:{lineno}: item ids must be non-negative, got {item}"
+            )
+        items.append(item)
         if len(parts) > 1:
             flag = parts[1].lower()
             if flag not in ("r", "w"):

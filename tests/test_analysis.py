@@ -132,6 +132,50 @@ class TestSweep:
             assert ref_row == fast_row
 
 
+    def test_parallel_worker_error_names_cell(self):
+        """A parallel worker exception re-raises as SweepCellError
+        with the failing cell's kwargs in the message and attached."""
+        from repro.errors import SweepCellError
+
+        cells = grid(a=[1, 0, 2])
+        with pytest.raises(SweepCellError) as excinfo:
+            sweep(_reciprocal, cells, parallel=True, max_workers=2)
+        message = str(excinfo.value)
+        assert "'a': 0" in message  # the cell params are in the message
+        assert "ZeroDivisionError" in message
+        assert excinfo.value.cell == {"a": 0}
+        assert isinstance(excinfo.value.__cause__, ZeroDivisionError)
+
+    def test_cell_seconds_excludes_finalize_cost(self):
+        """Timing guarantee: cell_seconds brackets the cell body only,
+        not the recorder flattening (which runs finalize/sink flush)."""
+        rows = sweep(_slow_finalize_cell, grid(x=[1]), timing=True)
+        # The cell body is ~instant; a finalize that sleeps 0.2s must
+        # not leak into the measurement.
+        assert rows[0]["cell_seconds"] < 0.1
+        assert rows[0]["telemetry_accesses"] == 0  # recorder flattened
+
+
+def _reciprocal(a):
+    return {"r": 1 / a}
+
+
+class _SlowCloseSink:
+    def emit(self, record):
+        pass
+
+    def close(self):
+        import time
+
+        time.sleep(0.2)
+
+
+def _slow_finalize_cell(x):
+    from repro.telemetry import Recorder
+
+    return {"value": x, "telemetry": Recorder(sinks=[_SlowCloseSink()])}
+
+
 def _square(a):
     return {"sq": a * a}
 

@@ -9,13 +9,31 @@ def test_help_lists_subcommands(capsys):
     with pytest.raises(SystemExit):
         build_parser().parse_args(["--help"])
     out = capsys.readouterr().out
-    for cmd in ("table", "figure", "simulate", "adversarial", "profile"):
+    for cmd in (
+        "table",
+        "figure",
+        "simulate",
+        "adversarial",
+        "profile",
+        "campaign",
+    ):
         assert cmd in out
 
 
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_version_flag(capsys):
+    import repro
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert repro.__version__ in out
+    assert "gc-caching" in out
 
 
 def test_table1(capsys):

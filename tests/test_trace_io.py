@@ -111,6 +111,74 @@ class TestDensify:
         assert blocks[0] == blocks[1] != blocks[2]
 
 
+class TestErrorPaths:
+    """Every malformed input is a TraceFormatError, never a bare
+    ValueError/IndexError (TraceFormatError subclasses ValueError, so
+    the checks assert the *specific* type)."""
+
+    def _assert_format_error(self, path, match):
+        with pytest.raises(TraceFormatError, match=match) as excinfo:
+            read_text_trace(path)
+        assert type(excinfo.value) is TraceFormatError
+
+    def test_malformed_access_line(self, tmp_path):
+        p = tmp_path / "t.trace"
+        p.write_text("1\nbanana\n")
+        self._assert_format_error(p, "bad item id")
+
+    def test_too_many_fields(self, tmp_path):
+        p = tmp_path / "t.trace"
+        p.write_text("3 r extra\n")
+        self._assert_format_error(p, "fields")
+
+    def test_negative_id(self, tmp_path):
+        p = tmp_path / "t.trace"
+        p.write_text("5\n-3\n")
+        self._assert_format_error(p, "non-negative")
+
+    def test_negative_id_densify(self, tmp_path):
+        p = tmp_path / "t.trace"
+        p.write_text("-3\n")
+        with pytest.raises(TraceFormatError):
+            read_text_trace(p, block_size=4, densify=True)
+
+    def test_unknown_directive(self, tmp_path):
+        p = tmp_path / "t.trace"
+        p.write_text("# blocksize: 8\n1\n")  # typo'd block_size
+        self._assert_format_error(p, "unknown directive")
+
+    def test_non_integer_directive_value(self, tmp_path):
+        p = tmp_path / "t.trace"
+        p.write_text("# universe: many\n1\n")
+        self._assert_format_error(p, "needs an integer")
+
+    def test_non_positive_directive_value(self, tmp_path):
+        p = tmp_path / "t.trace"
+        p.write_text("# block_size: 0\n1\n")
+        self._assert_format_error(p, "must be >= 1")
+
+    def test_plain_comments_still_ignored(self, tmp_path):
+        p = tmp_path / "t.trace"
+        p.write_text("# a comment without directive shape\n7\n")
+        assert read_text_trace(p).trace.items.tolist() == [7]
+
+    def test_truly_empty_file(self, tmp_path):
+        p = tmp_path / "t.trace"
+        p.write_text("")
+        self._assert_format_error(p, "no accesses")
+
+    def test_whitespace_only_file(self, tmp_path):
+        p = tmp_path / "t.trace"
+        p.write_text("\n   \n\t\n")
+        self._assert_format_error(p, "no accesses")
+
+    def test_line_numbers_reported(self, tmp_path):
+        p = tmp_path / "t.trace"
+        p.write_text("1\n2\nbad\n")
+        with pytest.raises(TraceFormatError, match=r":3:"):
+            read_text_trace(p)
+
+
 def test_imported_trace_simulates(tmp_path):
     from repro.core.engine import simulate
     from repro.policies import IBLP
