@@ -14,8 +14,10 @@ GC setting's two granularities:
   direct simulation for comparison (IBLP is *not* a stack policy, so no
   one-pass shortcut exists — the engine run is the honest tool).
 
-The stack algorithm uses a Fenwick tree over access positions, giving
-O(T log T) total instead of O(T·k) per capacity.
+Stack distances are computed by the array-oriented offline kernel in
+:mod:`repro.core.fast` (a mergesort-style inversion count, O(T log T)
+with numpy-vectorized levels); this module keeps the analysis-facing
+API and the curve/grid constructions on top of it.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.core.engine import simulate
+from repro.core.fast import stack_distances
 from repro.core.trace import Trace
 from repro.errors import ConfigurationError
 from repro.policies.iblp import IBLP
@@ -37,28 +40,6 @@ __all__ = [
 ]
 
 
-class _Fenwick:
-    """Binary indexed tree for prefix sums over access positions."""
-
-    def __init__(self, n: int) -> None:
-        self._tree = np.zeros(n + 1, dtype=np.int64)
-        self._n = n
-
-    def add(self, pos: int, delta: int) -> None:
-        pos += 1
-        while pos <= self._n:
-            self._tree[pos] += delta
-            pos += pos & (-pos)
-
-    def prefix(self, pos: int) -> int:
-        """Sum over [0, pos)."""
-        total = 0
-        while pos > 0:
-            total += int(self._tree[pos])
-            pos -= pos & (-pos)
-        return total
-
-
 def lru_stack_distances(ids: Sequence[int] | np.ndarray) -> np.ndarray:
     """Reuse distances of each access under LRU (inf → -1).
 
@@ -66,20 +47,7 @@ def lru_stack_distances(ids: Sequence[int] | np.ndarray) -> np.ndarray:
     previous access to ``ids[t]``; an LRU cache of capacity ``k`` hits
     access ``t`` iff ``0 <= distance[t] < k``.  Cold accesses get -1.
     """
-    arr = np.asarray(ids, dtype=np.int64)
-    n = int(arr.size)
-    out = np.full(n, -1, dtype=np.int64)
-    tree = _Fenwick(n)
-    last_pos: Dict[int, int] = {}
-    for t, ident in enumerate(arr.tolist()):
-        prev = last_pos.get(ident)
-        if prev is not None:
-            # Distinct ids since prev = marks in (prev, t).
-            out[t] = tree.prefix(t) - tree.prefix(prev + 1)
-            tree.add(prev, -1)
-        tree.add(t, 1)
-        last_pos[ident] = t
-    return out
+    return stack_distances(np.asarray(ids, dtype=np.int64))
 
 
 def block_lru_stack_distances(trace: Trace) -> np.ndarray:

@@ -92,7 +92,14 @@ def add_campaign_parser(sub: argparse._SubParsersAction) -> None:
     )
     p_run.add_argument("--fast", action="store_true")
     p_run.add_argument("--parallel", action="store_true")
-    p_run.add_argument("--workers", type=int, default=None)
+    p_run.add_argument(
+        "--workers",
+        "--jobs",
+        type=int,
+        default=None,
+        dest="workers",
+        help="worker processes (default: REPRO_JOBS env, else all CPUs)",
+    )
     p_run.add_argument(
         "--timeout",
         type=float,
@@ -107,7 +114,14 @@ def add_campaign_parser(sub: argparse._SubParsersAction) -> None:
     )
     p_res.add_argument("directory")
     p_res.add_argument("--parallel", action="store_true")
-    p_res.add_argument("--workers", type=int, default=None)
+    p_res.add_argument(
+        "--workers",
+        "--jobs",
+        type=int,
+        default=None,
+        dest="workers",
+        help="worker processes (default: REPRO_JOBS env, else all CPUs)",
+    )
     p_res.add_argument("--timeout", type=float, default=None)
     p_res.add_argument("--max-attempts", type=int, default=3)
     p_res.add_argument("--backoff", type=float, default=0.5)

@@ -23,6 +23,13 @@ a per-run circuit breaker, not a permanent verdict.
 Determinism: workers receive fully materialized traces and seeded
 policies; retry timing, worker counts, and scheduling order can change
 *when* a cell is computed but never *what* it computes.
+
+Trace delivery: a parallel run publishes each materialized trace once
+into a shared-memory arena (:mod:`repro.core.arena`) and ships workers
+the small handle; a worker attaches zero-copy and, because attachments
+carry the publisher's fingerprint, content addressing is unchanged.
+When shared memory is unavailable the trace travels by pickle exactly
+as before — the arena is an optimization, never a requirement.
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ from multiprocessing.connection import wait as connection_wait
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.analysis.sweep import default_workers
 from repro.campaign.journal import Journal
 from repro.campaign.spec import CampaignSpec, CellSpec, cell_hash
 from repro.campaign.store import ResultStore
@@ -97,10 +105,17 @@ def execute_cell(cell: CellSpec, trace: Trace) -> Dict[str, Any]:
     return result_fields(simulate(instance, trace, fast=cell.fast))
 
 
-def _worker_main(conn, cell_dict: Dict[str, Any], trace: Trace) -> None:
-    """Child-process entry: compute one cell, ship outcome over the pipe."""
+def _worker_main(conn, cell_dict: Dict[str, Any], trace) -> None:
+    """Child-process entry: compute one cell, ship outcome over the pipe.
+
+    ``trace`` is either a materialized :class:`Trace` (pickle fallback)
+    or an :class:`repro.core.arena.ArenaHandle` to attach zero-copy; a
+    failed attach reports like any other cell error and retries.
+    """
     try:
-        fields = execute_cell(CellSpec.from_dict(cell_dict), trace)
+        from repro.core.arena import resolve
+
+        fields = execute_cell(CellSpec.from_dict(cell_dict), resolve(trace))
         conn.send(("ok", fields))
     except BaseException as exc:  # report, never hang the pipe
         try:
@@ -295,8 +310,9 @@ class CampaignRunner:
             raise ConfigurationError(
                 f"max_workers must be >= 1, got {max_workers}"
             )
-        self.max_workers = max_workers or max(1, (os.cpu_count() or 2) - 1)
+        self.max_workers = max_workers or default_workers()
         self.retry = retry
+        self._arenas: List[Any] = []
         self.recorder = recorder
         self._sleep = sleep
         self._tick = tick
@@ -313,6 +329,18 @@ class CampaignRunner:
             traces[key] = trace
             fingerprints[key] = trace.fingerprint()
         self._traces = traces
+        # Parallel runs ship workers arena handles where possible;
+        # traces that fail to publish fall back to pickling.
+        self._close_arenas()
+        self._trace_payloads: Dict[str, Any] = dict(traces)
+        if self.parallel:
+            from repro.core import arena
+
+            for key, trace in traces.items():
+                published = arena.publish(trace)
+                if published is not None:
+                    self._arenas.append(published)
+                    self._trace_payloads[key] = published.handle
         outcomes: List[CellOutcome] = []
         todo: List[_CellState] = []
         for index, cell in enumerate(self.spec.cells):
@@ -442,7 +470,7 @@ class CampaignRunner:
             args=(
                 child_conn,
                 state.cell.as_dict(),
-                self._traces[state.cell.trace],
+                self._trace_payloads[state.cell.trace],
             ),
             daemon=True,
         )
@@ -602,11 +630,14 @@ class CampaignRunner:
                 seconds=0.0,
                 memo=True,
             )
-        with phase("execute"):
-            if self.parallel and todo:
-                executed = self._run_processes(todo)
-            else:
-                executed = self._run_inline(todo)
+        try:
+            with phase("execute"):
+                if self.parallel and todo:
+                    executed = self._run_processes(todo)
+                else:
+                    executed = self._run_inline(todo)
+        finally:
+            self._close_arenas()
         outcomes = sorted(memo_outcomes + executed, key=lambda o: o.index)
         report = CampaignReport(
             spec=self.spec,
@@ -633,7 +664,12 @@ class CampaignRunner:
         reg.gauge("campaign_memo_hit_ratio").set(report.memo_hit_ratio)
         reg.gauge("campaign_store_hit_ratio").set(self.store.hit_ratio)
 
+    def _close_arenas(self) -> None:
+        while self._arenas:
+            self._arenas.pop().close()
+
     def close(self) -> None:
+        self._close_arenas()
         self.store.close()
         self.journal.close()
 

@@ -20,6 +20,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from contextlib import nullcontext
 from typing import Callable, Dict, List, Optional
@@ -82,6 +83,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--version",
         action="version",
         version=f"%(prog)s {repro.__version__}",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=None,
+        help="worker processes for parallel phases (exported as the "
+        "REPRO_JOBS override read by sweeps and campaigns; defaults to "
+        "all CPUs)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -217,6 +227,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     ns = build_parser().parse_args(argv)
+    if getattr(ns, "jobs", None) is not None:
+        if ns.jobs < 1:
+            raise ConfigurationError(f"--jobs must be >= 1, got {ns.jobs}")
+        # The env var is the single source of truth every parallel
+        # entry point (sweep, campaign runner) already reads.
+        os.environ["REPRO_JOBS"] = str(ns.jobs)
     out = _dispatch(ns)
     print(out)
     return 0

@@ -1,0 +1,287 @@
+"""Shared-memory trace arenas: publish a :class:`Trace` once, attach zero-copy.
+
+Parallel sweeps and campaigns fan cells out over worker processes, and
+before this module existed every cell shipped its trace by pickle — an
+8 MB serialize/deserialize per cell for a 10^6-access trace, repeated
+for every capacity point.  An arena lowers the trace's arrays into one
+``multiprocessing.shared_memory`` segment in the parent; workers attach
+by segment name and rebuild a fully functional :class:`Trace` whose
+``items`` (and explicit block-id table, if any) are read-only views of
+the shared pages — no copy, no pickle, identical fingerprint.
+
+Ownership protocol
+------------------
+* The **publisher** (:func:`publish` → :class:`TraceArena`) owns the
+  segment and is the only side that unlinks it; ``close()`` is
+  idempotent and safe to call while workers still hold attachments
+  (POSIX keeps the pages alive until the last map drops).  A publisher
+  that dies without closing is covered by the interpreter's resource
+  tracker, which unlinks leaked segments at shutdown.
+* **Workers** attach via :func:`attach` (usually through
+  :func:`resolve`, which passes plain traces straight through).
+  Attachments are cached per process in :data:`_ATTACHED` so a worker
+  re-serving the same trace across cells attaches once; they never
+  take resource-tracker ownership (see :func:`_open_untracked`), so a
+  worker killed mid-cell (crash injection, OOM) cannot cause the
+  segment the publisher still owns to be unlinked.
+
+Fallback
+--------
+:func:`shared_memory_available` probes the platform once (and honors
+``REPRO_NO_SHM=1``); when it reports ``False`` — or a mapping type has
+no arena encoding — :func:`publish` returns ``None`` and callers fall
+back to pickling the trace, so the arena is purely an optimization and
+never a functional requirement.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.mapping import ExplicitBlockMapping, FixedBlockMapping
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ArenaHandle",
+    "TraceArena",
+    "publish",
+    "attach",
+    "resolve",
+    "detach_all",
+    "shared_memory_available",
+]
+
+#: Set to any non-empty value to force the pickle fallback (tests, or
+#: platforms where /dev/shm is unreliable).
+DISABLE_ENV = "REPRO_NO_SHM"
+
+_PROBE: Optional[bool] = None
+
+
+def _shm_module():
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:  # pragma: no cover - stripped-down builds
+        return None
+    return shared_memory
+
+
+def shared_memory_available() -> bool:
+    """Whether shared-memory arenas work here (cached probe + env gate)."""
+    global _PROBE
+    if os.environ.get(DISABLE_ENV):
+        return False
+    if _PROBE is None:
+        shm_mod = _shm_module()
+        if shm_mod is None:
+            _PROBE = False
+        else:
+            try:
+                seg = shm_mod.SharedMemory(create=True, size=8)
+                seg.close()
+                seg.unlink()
+                _PROBE = True
+            except Exception:
+                _PROBE = False
+    return _PROBE
+
+
+@dataclass
+class ArenaHandle:
+    """Small picklable descriptor workers use to attach a published trace.
+
+    Identity is the shared-memory segment ``name`` plus the trace
+    ``fingerprint`` (attached traces inherit it, so content-addressed
+    consumers — the campaign store, the compile memo — behave exactly
+    as if the original object had been shipped).
+    """
+
+    name: str
+    fingerprint: str
+    n: int
+    mapping_kind: str  # "fixed" | "explicit"
+    universe: int
+    max_block_size: int
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceArena:
+    """Publisher-side owner of one shared-memory trace segment.
+
+    Layout: ``items`` (``n`` int64 words) followed, for explicit
+    mappings, by the dense ``block_ids`` table (``universe`` words).
+    """
+
+    def __init__(self, trace: Trace, shm_mod) -> None:
+        # Marked closed until fully constructed so __del__ on a
+        # half-built instance (unsupported mapping) is a no-op.
+        self._closed = True
+        items = np.ascontiguousarray(trace.items, dtype=np.int64)
+        mapping = trace.mapping
+        if isinstance(mapping, FixedBlockMapping):
+            kind = "fixed"
+            extra = np.empty(0, dtype=np.int64)
+        elif isinstance(mapping, ExplicitBlockMapping):
+            kind = "explicit"
+            extra = np.ascontiguousarray(
+                mapping.blocks_of(np.arange(mapping.universe, dtype=np.int64))
+            )
+        else:
+            raise ConfigurationError(
+                f"no arena encoding for mapping type {type(mapping).__name__}"
+            )
+        total = int(items.size + extra.size)
+        self._shm = shm_mod.SharedMemory(create=True, size=max(total * 8, 8))
+        buf = np.ndarray(total, dtype=np.int64, buffer=self._shm.buf)
+        buf[: items.size] = items
+        buf[items.size:] = extra
+        del buf  # drop the exported view so close() cannot hit BufferError
+        self.handle = ArenaHandle(
+            name=self._shm.name,
+            fingerprint=trace.fingerprint(),
+            n=int(items.size),
+            mapping_kind=kind,
+            universe=int(mapping.universe),
+            max_block_size=int(mapping.max_block_size),
+            metadata=dict(trace.metadata),
+        )
+        self._closed = False
+
+    def close(self) -> None:
+        """Release and unlink the segment (idempotent, never raises)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except Exception:
+            pass
+        try:
+            self._shm.unlink()
+        except Exception:
+            pass  # already unlinked (e.g. by the resource tracker)
+
+    def __enter__(self) -> "TraceArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        self.close()
+
+
+def publish(trace: Trace) -> Optional[TraceArena]:
+    """Publish ``trace`` into shared memory, or ``None`` to fall back.
+
+    ``None`` means "ship the trace by pickle instead": shared memory is
+    unavailable/disabled, the mapping type has no arena encoding, or
+    segment creation failed (e.g. /dev/shm full).  Callers own the
+    returned arena and must :meth:`TraceArena.close` it after the last
+    worker is done.
+    """
+    if not shared_memory_available():
+        return None
+    shm_mod = _shm_module()
+    try:
+        return TraceArena(trace, shm_mod)
+    except Exception:
+        return None
+
+
+# -- worker side -------------------------------------------------------------
+
+#: Per-process attachment registry: segment name -> (SharedMemory, Trace).
+_ATTACHED: Dict[str, Tuple[Any, Trace]] = {}
+_ATEXIT_REGISTERED = False
+
+
+def _open_untracked(shm_mod, name: str):
+    """Attach to an existing segment without taking tracker ownership.
+
+    3.13+ exposes ``track=False`` for exactly this.  On earlier
+    versions *every* ``SharedMemory`` registers with the resource
+    tracker, attachments included — but workers here are always
+    children of the publisher and so share its tracker process, where
+    registration is an idempotent set-add; the double-registration is
+    harmless.  Do NOT "fix" it by unregistering in the worker: the
+    shared tracker would drop the publisher's own registration and its
+    later ``unlink()`` then KeyErrors inside the tracker.
+    """
+    try:
+        return shm_mod.SharedMemory(name=name, track=False)
+    except TypeError:
+        return shm_mod.SharedMemory(name=name)
+
+
+def attach(handle: ArenaHandle) -> Trace:
+    """Rebuild the published trace from ``handle`` (cached per process).
+
+    The returned trace's arrays are read-only views of the shared
+    segment; its fingerprint is inherited from the handle, so compile
+    memos and content-addressed stores treat it as the original.
+    Raises :class:`ConfigurationError` if the segment cannot be opened
+    (e.g. the publisher already closed it).
+    """
+    global _ATEXIT_REGISTERED
+    cached = _ATTACHED.get(handle.name)
+    if cached is not None:
+        return cached[1]
+    shm_mod = _shm_module()
+    if shm_mod is None:  # pragma: no cover - stripped-down builds
+        raise ConfigurationError("shared memory unavailable; cannot attach")
+    try:
+        shm = _open_untracked(shm_mod, handle.name)
+    except Exception as exc:
+        raise ConfigurationError(
+            f"cannot attach trace arena {handle.name!r}: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+    extra = handle.universe if handle.mapping_kind == "explicit" else 0
+    buf = np.ndarray(handle.n + extra, dtype=np.int64, buffer=shm.buf)
+    items = buf[: handle.n]
+    items.flags.writeable = False
+    if handle.mapping_kind == "fixed":
+        mapping: Any = FixedBlockMapping(handle.universe, handle.max_block_size)
+    else:
+        block_ids = buf[handle.n:]
+        block_ids.flags.writeable = False
+        mapping = ExplicitBlockMapping(
+            block_ids, max_block_size=handle.max_block_size
+        )
+    trace = Trace(items, mapping, dict(handle.metadata))
+    trace._fp = handle.fingerprint
+    _ATTACHED[handle.name] = (shm, trace)
+    if not _ATEXIT_REGISTERED:
+        atexit.register(detach_all)
+        _ATEXIT_REGISTERED = True
+    return trace
+
+
+def resolve(obj: Any) -> Any:
+    """:func:`attach` arena handles; pass everything else through."""
+    if isinstance(obj, ArenaHandle):
+        return attach(obj)
+    return obj
+
+
+def detach_all() -> None:
+    """Drop every cached attachment in this process (never raises).
+
+    Note the numpy views handed out by :func:`attach` may still be
+    referenced; closing then raises ``BufferError`` and the mapping
+    simply stays alive until the process exits, which is harmless —
+    attachments never own the segment.
+    """
+    while _ATTACHED:
+        _, (shm, _trace) = _ATTACHED.popitem()
+        try:
+            shm.close()
+        except Exception:
+            pass

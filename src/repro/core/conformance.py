@@ -30,7 +30,10 @@ from repro.core.fast import (
     KIND_MISS,
     KIND_SPATIAL,
     KIND_TEMPORAL,
+    MULTI_CAPACITY_POLICIES,
     fast_simulate,
+    multi_capacity_replay,
+    multi_capacity_supported,
 )
 from repro.core.trace import Trace
 from repro.errors import ConfigurationError
@@ -44,6 +47,8 @@ __all__ = [
     "fast_outcomes",
     "check_conformance",
     "assert_conformant",
+    "check_multi_capacity",
+    "assert_multi_capacity_conformant",
     "conformance_suite",
 ]
 
@@ -180,6 +185,66 @@ def assert_conformant(
     return report
 
 
+def check_multi_capacity(
+    name: str,
+    trace: Trace,
+    capacities: Sequence[int],
+    cross_check_every: int = 16,
+) -> List[ConformanceReport]:
+    """Diff one batched multi-capacity replay against per-capacity referees.
+
+    One :func:`repro.core.fast.multi_capacity_replay` call produces the
+    whole capacity family; every member is then held to the same
+    standard as a single-cell conformance check — all
+    :data:`RESULT_FIELDS` plus the full per-access outcome stream
+    against a fresh validated referee run at that capacity.  Raises
+    :class:`ConfigurationError` when the combination has no batched
+    kernel (caller should fall back to per-cell checks).
+    """
+    caps = sorted({int(k) for k in capacities})
+    if not multi_capacity_supported(name, trace, caps):
+        raise ConfigurationError(
+            f"no batched kernel for policy {name!r} over this trace/"
+            f"capacities (supported policies: "
+            f"{', '.join(MULTI_CAPACITY_POLICIES)})"
+        )
+    record: Dict[int, List[int]] = {}
+    results = multi_capacity_replay(name, trace, caps, record=record)
+    reports: List[ConformanceReport] = []
+    for capacity in caps:
+        ref_policy = make_policy(name, capacity, trace.mapping)
+        ref_result, ref_codes = referee_outcomes(
+            ref_policy, trace, cross_check_every=cross_check_every
+        )
+        batch_result = results[capacity]
+        report = ConformanceReport(
+            policy=ref_result.policy,
+            capacity=capacity,
+            accesses=ref_result.accesses,
+        )
+        for fname in RESULT_FIELDS:
+            ref_val = getattr(ref_result, fname)
+            batch_val = getattr(batch_result, fname)
+            if ref_val != batch_val:
+                report.mismatches.append(
+                    f"SimResult.{fname}: referee={ref_val!r} "
+                    f"batched={batch_val!r}"
+                )
+        report.mismatches.extend(_diff_streams(ref_codes, record[capacity]))
+        reports.append(report)
+    return reports
+
+
+def assert_multi_capacity_conformant(
+    name: str, trace: Trace, capacities: Sequence[int]
+) -> List[ConformanceReport]:
+    """:func:`check_multi_capacity`, raising on any divergence."""
+    reports = check_multi_capacity(name, trace, capacities)
+    bad = [r for r in reports if not r.ok]
+    assert not bad, "\n".join(str(r) for r in bad)
+    return reports
+
+
 def conformance_suite(
     traces: Dict[str, Trace],
     capacities: Iterable[int],
@@ -190,6 +255,14 @@ def conformance_suite(
     Returns one row per cell with an ``ok`` flag and divergence detail;
     callers (CI, benches) assert ``all(row["ok"] ...)``.  The
     a-threshold family is exercised at ``a ∈ {1, 2}`` per cell.
+
+    Stack policies additionally get ``mode="batched"`` rows: the whole
+    capacity family recomputed by one
+    :func:`repro.core.fast.multi_capacity_replay` call and diffed
+    per-capacity against the referee, so the sweep collapse path is
+    certified by the same suite as the per-cell kernels.  Capacities a
+    trace cannot batch (Block-LRU below its block size) are dropped
+    from the batched rows only.
     """
     rows: List[Dict[str, object]] = []
     caps = list(capacities)
@@ -205,6 +278,7 @@ def conformance_suite(
                         {
                             "trace": trace_name,
                             "policy": policy,
+                            "mode": "cell",
                             **{f"arg_{k}": v for k, v in kwargs.items()},
                             "capacity": capacity,
                             "accesses": report.accesses,
@@ -212,4 +286,25 @@ def conformance_suite(
                             "detail": "; ".join(report.mismatches),
                         }
                     )
+            if policy not in MULTI_CAPACITY_POLICIES:
+                continue
+            batch_caps = caps
+            if not multi_capacity_supported(policy, trace, batch_caps):
+                batch_caps = [k for k in caps if k >= trace.block_size]
+            if not batch_caps or not multi_capacity_supported(
+                policy, trace, batch_caps
+            ):
+                continue
+            for report in check_multi_capacity(policy, trace, batch_caps):
+                rows.append(
+                    {
+                        "trace": trace_name,
+                        "policy": policy,
+                        "mode": "batched",
+                        "capacity": report.capacity,
+                        "accesses": report.accesses,
+                        "ok": report.ok,
+                        "detail": "; ".join(report.mismatches),
+                    }
+                )
     return rows

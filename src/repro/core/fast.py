@@ -46,8 +46,9 @@ configuration (capacity, layer split, threshold) and replay a replica.
 
 from __future__ import annotations
 
-import weakref
-from typing import Callable, Dict, List, Optional, Tuple
+import os
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -70,6 +71,10 @@ __all__ = [
     "KIND_MISS",
     "KIND_TEMPORAL",
     "KIND_SPATIAL",
+    "stack_distances",
+    "MULTI_CAPACITY_POLICIES",
+    "multi_capacity_supported",
+    "multi_capacity_replay",
 ]
 
 #: Integer codes for the per-access outcome stream (the compact form of
@@ -139,24 +144,35 @@ class CompiledTrace:
                 self.item_block[member] = blk
 
 
-# Memoized per live Trace object; entries evaporate with their trace.
-# Keyed by id() with a weakref guard because Trace (a plain dataclass)
-# is unhashable, and storing the compile on the trace itself would
-# bloat pickles shipped to sweep workers.
-_COMPILED: Dict[int, Tuple["weakref.ref[Trace]", CompiledTrace]] = {}
+# Memoized by content fingerprint, not object identity: a sweep worker
+# that receives the same trace unpickled (or arena-attached) per cell
+# still reuses one compilation.  The LRU cap bounds memory — compiled
+# traces hold Python-int lists, so a handful of large ones is already
+# tens of MB; typical workers touch one or two distinct traces.
+_COMPILE_MEMO_CAP = 4
+_COMPILED: "OrderedDict[str, CompiledTrace]" = OrderedDict()
 
 
 def compile_trace(trace: Trace) -> CompiledTrace:
-    """Compile (or fetch the memoized compilation of) ``trace``."""
-    key = id(trace)
+    """Compile (or fetch the memoized compilation of) ``trace``.
+
+    The memo key is :meth:`Trace.fingerprint`, so equal-content traces
+    share one compilation regardless of how they reached this process.
+    ``REPRO_NO_COMPILE_MEMO=1`` disables the memo (benchmarking and
+    memory-constrained runs); the fingerprint itself is cached on the
+    trace instance, so keying is cheap after the first call.
+    """
+    if os.environ.get("REPRO_NO_COMPILE_MEMO"):
+        return CompiledTrace(trace)
+    key = trace.fingerprint()
     cached = _COMPILED.get(key)
-    if cached is not None and cached[0]() is trace:
-        return cached[1]
+    if cached is not None:
+        _COMPILED.move_to_end(key)
+        return cached
     compiled = CompiledTrace(trace)
-    _COMPILED[key] = (
-        weakref.ref(trace, lambda _ref, _key=key: _COMPILED.pop(_key, None)),
-        compiled,
-    )
+    _COMPILED[key] = compiled
+    while len(_COMPILED) > _COMPILE_MEMO_CAP:
+        _COMPILED.popitem(last=False)
     return compiled
 
 
@@ -628,3 +644,339 @@ def fast_simulate(policy, trace: Trace, record: _Record = None) -> Optional[SimR
     result.loaded_items = loaded
     result.evicted_items = evicted
     return result
+
+
+# -- vectorized stack distances [Mattson et al. 1970] ------------------------
+#
+# The batched multi-capacity kernels below rest on reuse (stack)
+# distances: dist[t] = number of distinct ids referenced since the
+# previous access to ids[t] (cold accesses get -1).  An LRU cache of
+# capacity k hits access t iff 0 <= dist[t] < k, so one pass prices
+# every capacity simultaneously.
+#
+# Let prev[t] be the position of the previous access to ids[t] (-1 when
+# cold).  Positions s in the window (prev[t], t) contribute one distinct
+# id each unless they are themselves repeats *within* the window, i.e.
+# prev[s] > prev[t] (prev values >= 0 are distinct positions, so for
+# s in the window, prev[s] > prev[t] puts prev[s] strictly inside it;
+# for s <= prev[t], prev[s] < s <= prev[t] never counts).  Hence
+#
+#     dist[t] = (t - prev[t] - 1) - #{s < t : prev[s] > prev[t]}
+#
+# and the problem reduces to counting, per element, earlier elements
+# with a greater value — a dominance count done here with a bottom-up
+# mergesort sweep in numpy (log T levels of whole-array sorts and
+# searchsorteds) instead of a per-access Fenwick loop.
+
+
+def _count_earlier_greater(values: np.ndarray) -> np.ndarray:
+    """``counts[t] = #{s < t : values[s] > values[t]}``, vectorized.
+
+    Bottom-up mergesort scheme: at the level of half-width ``w`` each
+    element in the right half of a ``2w`` block counts the strictly
+    greater elements in its left sibling; every pair ``s < t`` meets at
+    exactly one level, so the per-level counts sum to the dominance
+    count.  Each level is one whole-array ``np.sort`` plus one flat
+    ``np.searchsorted`` (rows separated by disjoint key offsets), so
+    the total is O(T log^2 T) spread over ~log T numpy passes.
+    """
+    n = int(values.size)
+    counts = np.zeros(n, dtype=np.int64)
+    if n < 2:
+        return counts
+    v = np.ascontiguousarray(values, dtype=np.int64)
+    lo = int(v.min())
+    hi = int(v.max())
+    span_key = hi - lo + 2  # per-block key offset stride (no collisions)
+
+    # Width-1 level: plain pairwise compares.
+    m2 = (n // 2) * 2
+    counts[1:m2:2] = v[0:m2:2] > v[1:m2:2]
+
+    # Width-2 level: blocks of 4, left pair vs right pair.
+    m4 = (n // 4) * 4
+    blk = v[:m4].reshape(-1, 4)
+    counts[2:m4:4] += (blk[:, 0] > blk[:, 2]).astype(np.int64) + (
+        blk[:, 1] > blk[:, 2]
+    )
+    counts[3:m4:4] += (blk[:, 0] > blk[:, 3]).astype(np.int64) + (
+        blk[:, 1] > blk[:, 3]
+    )
+    # Width-2 ragged tail: a lone third element in a partial block of 4
+    # still has a full left sibling pair.  (Width 1 has no ragged case:
+    # every odd index < 2*(n//2) is covered by the slice above.)
+    if n - m4 == 3:
+        counts[m4 + 2] += int(v[m4] > v[m4 + 2]) + int(v[m4 + 1] > v[m4 + 2])
+
+    width = 4
+    while width < n:
+        span = 2 * width
+        nblocks = -(-n // span)
+        pad_n = nblocks * span
+        if pad_n == n:
+            padded = v
+        else:
+            # Suffix padding is safe: a left half containing padding
+            # implies its right half lies entirely past the real data.
+            padded = np.empty(pad_n, dtype=np.int64)
+            padded[:n] = v
+            padded[n:] = lo
+        blocks = padded.reshape(nblocks, span)
+        left_sorted = np.sort(blocks[:, :width], axis=1)
+        base = np.arange(nblocks, dtype=np.int64) * span_key
+        flat_sorted = (left_sorted + base[:, None]).ravel()
+        queries = (blocks[:, width:] + base[:, None]).ravel()
+        le = np.searchsorted(flat_sorted, queries, side="right")
+        le -= np.repeat(np.arange(nblocks, dtype=np.int64) * width, width)
+        # Global positions of right-half elements (block-major, so the
+        # sequence is increasing: real entries form a prefix).
+        pos = (np.arange(pad_n, dtype=np.int64).reshape(nblocks, span))[
+            :, width:
+        ].ravel()
+        nreal = int(np.searchsorted(pos, n))
+        counts[pos[:nreal]] += width - le[:nreal]
+        width = span
+    return counts
+
+
+def _prev_occurrence(arr: np.ndarray) -> np.ndarray:
+    """Index of the previous access to each id (-1 when cold)."""
+    n = int(arr.size)
+    prev = np.full(n, -1, dtype=np.int64)
+    if n:
+        order = np.argsort(arr, kind="stable")
+        srt = arr[order]
+        same = srt[1:] == srt[:-1]
+        prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
+def stack_distances(ids: Sequence[int] | np.ndarray) -> np.ndarray:
+    """LRU reuse (stack) distance of each access; cold accesses get -1.
+
+    ``distance[t]`` is the number of distinct ids seen since the
+    previous access to ``ids[t]``; an LRU cache of capacity ``k`` hits
+    access ``t`` iff ``0 <= distance[t] < k``.  Fully vectorized — see
+    the derivation above :func:`_count_earlier_greater`.
+    """
+    arr = np.asarray(ids, dtype=np.int64)
+    n = int(arr.size)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    prev = _prev_occurrence(arr)
+    out = np.arange(n, dtype=np.int64) - prev - 1 - _count_earlier_greater(prev)
+    out[prev < 0] = -1
+    return out
+
+
+# -- batched multi-capacity replay -------------------------------------------
+
+#: Stack (inclusion) policies with a batched multi-capacity kernel.
+MULTI_CAPACITY_POLICIES: Tuple[str, ...] = ("block-lru", "item-lru")
+
+
+def _uniform_block_size(trace: Trace) -> Optional[int]:
+    """Common size of every *referenced* block, or ``None`` if ragged."""
+    bt = trace.block_trace()
+    if bt.size == 0:
+        return int(trace.mapping.max_block_size)
+    blocks = np.unique(bt)
+    mapping = trace.mapping
+    if isinstance(mapping, FixedBlockMapping):
+        B = mapping.max_block_size
+        sizes = np.minimum(B, mapping.universe - blocks * B)
+    else:
+        sizes = np.asarray(
+            [len(mapping.items_in(int(b))) for b in blocks], dtype=np.int64
+        )
+    first = int(sizes[0])
+    return first if bool((sizes == first).all()) else None
+
+
+def _valid_capacities(capacities: Sequence[int]) -> bool:
+    if not len(list(capacities)):
+        return False
+    return all(
+        isinstance(k, int) and not isinstance(k, bool) and k >= 1
+        for k in capacities
+    )
+
+
+def multi_capacity_supported(
+    policy_name: str, trace: Trace, capacities: Sequence[int]
+) -> bool:
+    """Whether :func:`multi_capacity_replay` covers this configuration.
+
+    Item-LRU is a stack policy outright.  Block-LRU reduces to a stack
+    policy over the block projection only when every referenced block
+    has one common size ``S`` and every capacity is at least ``S`` (so
+    no block load is ever trimmed and a capacity-``k`` cache holds
+    exactly ``k // S`` blocks); ragged partitions or sub-block
+    capacities fall back to per-capacity replay.
+    """
+    if policy_name not in MULTI_CAPACITY_POLICIES:
+        return False
+    if not _valid_capacities(capacities):
+        return False
+    if policy_name == "block-lru":
+        size = _uniform_block_size(trace)
+        if size is None or min(capacities) < size:
+            return False
+    return True
+
+
+def _batch_result(
+    policy_name: str,
+    capacity: int,
+    trace: Trace,
+    accesses: int,
+    misses: int,
+    temporal: int,
+    spatial: int,
+    loaded: int,
+    evicted: int,
+) -> SimResult:
+    """Assemble one per-capacity result exactly as :func:`fast_simulate`."""
+    result = SimResult(policy=policy_name, capacity=capacity)
+    result.metadata.update(
+        {k: v for k, v in trace.metadata.items() if isinstance(v, (str, int, float))}
+    )
+    result.accesses = accesses
+    result.misses = misses
+    result.temporal_hits = temporal
+    result.spatial_hits = spatial
+    result.loaded_items = loaded
+    result.evicted_items = evicted
+    return result
+
+
+def _multi_capacity_item_lru(
+    trace: Trace, caps: List[int], record: Optional[Dict[int, List[int]]]
+) -> Dict[int, SimResult]:
+    n = int(trace.items.size)
+    dist = stack_distances(trace.items)
+    n_distinct = int((dist < 0).sum())  # one cold access per distinct item
+    finite = dist[dist >= 0]
+    top = max(caps)
+    hist = np.bincount(np.minimum(finite, top), minlength=top + 1)
+    cum_hits = np.cumsum(hist)  # cum_hits[j] = #{0 <= dist <= j}
+    out: Dict[int, SimResult] = {}
+    for k in caps:
+        hits = int(cum_hits[k - 1])  # k <= top, so k-1 always indexes
+        misses = n - hits
+        out[k] = _batch_result(
+            "item-lru",
+            k,
+            trace,
+            accesses=n,
+            misses=misses,
+            temporal=hits,  # item caches never side-load: no spatial hits
+            spatial=0,
+            loaded=misses,
+            evicted=misses - min(n_distinct, k),
+        )
+        if record is not None:
+            record[k] = np.where((dist < 0) | (dist >= k), KIND_MISS, KIND_TEMPORAL).tolist()
+    return out
+
+
+def _multi_capacity_block_lru(
+    trace: Trace, caps: List[int], record: Optional[Dict[int, List[int]]]
+) -> Dict[int, SimResult]:
+    n = int(trace.items.size)
+    size = _uniform_block_size(trace)
+    assert size is not None and (not caps or min(caps) >= size)
+    bt = trace.block_trace()
+    bdist = stack_distances(bt)
+    p_item = _prev_occurrence(trace.items)
+    distinct_blocks = int((bdist < 0).sum())
+    # Accesses grouped by block, time-ascending within each group; the
+    # per-capacity "last reload before t" scan runs in this layout.
+    order = np.argsort(bt, kind="stable")
+    grp_start = np.empty(n, dtype=bool)
+    if n:
+        grp_start[0] = True
+        grp_start[1:] = bt[order][1:] != bt[order][:-1]
+    rank = np.cumsum(grp_start) - 1
+    base = rank * (n + 1)  # disjoint per-group key ranges
+    p_item_sorted = p_item[order]
+    out: Dict[int, SimResult] = {}
+    for k in caps:
+        slots = k // size
+        miss = (bdist < 0) | (bdist >= slots)
+        misses = int(miss.sum())
+        # L[t] = position of the latest same-block miss (block reload)
+        # strictly before t; every hit has one, since a resident block
+        # was necessarily loaded by an earlier miss.  Segmented running
+        # max over the grouped layout, shifted by one slot so each
+        # access sees only strictly-earlier reloads.
+        key = np.where(miss[order], order, -1) + base
+        shifted = np.empty(n, dtype=np.int64)
+        if n:
+            shifted[0] = base[0] - 1
+            shifted[1:] = key[:-1]
+            shifted[grp_start] = base[grp_start] - 1
+        last_reload = np.maximum.accumulate(shifted) - base
+        # Spatial hit iff the item's own previous access predates the
+        # block's latest reload: the item rode in as a side-load and
+        # this is its first touch since (the referee's pending set).
+        hit_sorted = ~miss[order]
+        spatial_sorted = hit_sorted & (p_item_sorted < last_reload)
+        spatial = int(spatial_sorted.sum())
+        temporal = n - misses - spatial
+        loaded = misses * size
+        evicted = loaded - size * min(distinct_blocks, slots)
+        out[k] = _batch_result(
+            "block-lru",
+            k,
+            trace,
+            accesses=n,
+            misses=misses,
+            temporal=temporal,
+            spatial=spatial,
+            loaded=loaded,
+            evicted=evicted,
+        )
+        if record is not None:
+            codes_sorted = np.where(
+                ~hit_sorted,
+                KIND_MISS,
+                np.where(spatial_sorted, KIND_SPATIAL, KIND_TEMPORAL),
+            )
+            codes = np.empty(n, dtype=np.int64)
+            codes[order] = codes_sorted
+            record[k] = codes.tolist()
+    return out
+
+
+def multi_capacity_replay(
+    policy_name: str,
+    trace: Trace,
+    capacities: Sequence[int],
+    record: Optional[Dict[int, List[int]]] = None,
+) -> Dict[int, SimResult]:
+    """One-pass replay of a stack policy at every capacity at once.
+
+    Computes stack distances once (item granularity for Item-LRU, block
+    granularity for Block-LRU) and derives, per capacity, the complete
+    :class:`SimResult` — including the temporal/spatial hit taxonomy —
+    bit-identical to :func:`fast_simulate` per cell (proven by
+    :mod:`repro.core.conformance` and the golden fixtures).  ``record``,
+    if given, is filled with ``capacity -> per-access outcome codes``
+    streams for the conformance harness.
+
+    Raises :class:`ConfigurationError` when the configuration is not
+    supported — gate calls with :func:`multi_capacity_supported`.
+    """
+    if not multi_capacity_supported(policy_name, trace, capacities):
+        raise ConfigurationError(
+            f"multi-capacity replay does not cover policy={policy_name!r} "
+            f"capacities={list(capacities)!r} on this trace "
+            f"(supported policies: {', '.join(MULTI_CAPACITY_POLICIES)}; "
+            "block-lru additionally needs a uniform referenced-block "
+            "size <= every capacity)"
+        )
+    caps = sorted(set(int(k) for k in capacities))
+    if policy_name == "item-lru":
+        return _multi_capacity_item_lru(trace, caps, record)
+    return _multi_capacity_block_lru(trace, caps, record)

@@ -43,6 +43,7 @@ class Trace:
 
     def __post_init__(self) -> None:
         self.items = np.asarray(self.items, dtype=np.int64)
+        self._fp: Optional[str] = None
         if self.items.ndim != 1:
             raise TraceFormatError("trace items must be one-dimensional")
         if self.items.size:
@@ -89,8 +90,17 @@ class Trace:
         partition hash identically regardless of how they were built
         (generator, file import, ``.npz`` round-trip); metadata is
         deliberately excluded.  Used by :mod:`repro.campaign` as the
-        trace component of a cell's content address.
+        trace component of a cell's content address, and by
+        :mod:`repro.core.fast` / :mod:`repro.core.arena` as the compile
+        memo and arena identity.
+
+        The digest is cached on the instance (traces are treated as
+        immutable throughout the codebase), so repeated lookups — one
+        per sweep cell — cost a dict read, not a re-hash.
         """
+        cached = getattr(self, "_fp", None)
+        if cached is not None:
+            return cached
         h = hashlib.sha256()
         h.update(b"trace-v1\x00")
         h.update(np.ascontiguousarray(self.items, dtype=np.int64).tobytes())
@@ -105,7 +115,8 @@ class Trace:
             )
             h.update(f"explicit:{self.mapping.max_block_size}:".encode())
             h.update(np.ascontiguousarray(block_ids, dtype=np.int64).tobytes())
-        return h.hexdigest()
+        self._fp = h.hexdigest()
+        return self._fp
 
     def concat(self, other: "Trace") -> "Trace":
         """Concatenate two traces over the same universe/mapping."""

@@ -34,6 +34,7 @@ __all__ = [
     "layer_order",
     "athreshold_sweep",
     "eviction_granularity",
+    "granularity_sweep",
     "gcm_variants",
     "render",
 ]
@@ -173,6 +174,50 @@ def eviction_granularity(
     return rows
 
 
+def granularity_sweep(
+    B: int = 8,
+    length: int = 60_000,
+    seed: int = 5,
+    capacities: tuple = (32, 64, 128, 256, 512, 1024, 2048, 4096),
+) -> List[Dict[str, float]]:
+    """§4.4 continued: the block-eviction penalty as a function of ``k``.
+
+    Replays :func:`eviction_granularity`'s sparse-reuse trace (one hot
+    item per block) under Item-LRU and Block-LRU at every capacity.
+    Block eviction wastes ``B - 1`` slots per useful item, so its curve
+    lags Item-LRU's by roughly a factor ``B`` in capacity.  Both are
+    stack policies, so the full grid collapses into two batched
+    multi-capacity replays (``sweep``'s Mattson path) — the whole curve
+    costs two stack-distance passes, not 16 replays.
+    """
+    import numpy as np
+
+    from repro.analysis.sweep import grid, simulate_cell, sweep
+    from repro.core.mapping import FixedBlockMapping
+    from repro.core.trace import Trace
+
+    rng = np.random.default_rng(seed)
+    n_hot = 512  # fixed working set, decoupled from the swept capacity
+    mapping = FixedBlockMapping(universe=n_hot * B, block_size=B)
+    items = (rng.integers(0, n_hot, length) * B).astype(np.int64)
+    trace = Trace(items, mapping, {"generator": "one_hot_per_block"})
+    cells = grid(
+        policy=["item-lru", "block-lru"],
+        capacity=list(capacities),
+        trace=[trace],
+    )
+    return [
+        {
+            "study": "granularity_sweep",
+            "policy": row["policy"],
+            "capacity": row["capacity"],
+            "misses": row["misses"],
+            "miss_ratio": row["miss_ratio"],
+        }
+        for row in sweep(simulate_cell, cells)
+    ]
+
+
 def gcm_variants(
     k: int = 256,
     B: int = 8,
@@ -225,6 +270,11 @@ def render(
         format_table(
             eviction_granularity(k=k, B=B, cache=cache),
             title="\n§4.4 eviction granularity",
+        ),
+        format_table(
+            granularity_sweep(B=B),
+            title="\n§4.4 block-eviction penalty across cache sizes "
+            "(batched Mattson replay)",
         ),
         format_table(
             gcm_variants(k=k, B=B, cache=cache), title="\n§6 GCM variants"

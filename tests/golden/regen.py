@@ -24,12 +24,21 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.engine import simulate
+from repro.core.fast import MULTI_CAPACITY_POLICIES, multi_capacity_supported
 from repro.core.mapping import ExplicitBlockMapping, FixedBlockMapping
 from repro.core.trace import Trace
 from repro.policies import make_policy, policy_names
 
 HERE = Path(__file__).parent
 CAPACITIES = [4, 16]
+
+#: Wider capacity family for the batched multi-capacity payload
+#: (includes 6, a non-multiple of every fixture block size, to pin the
+#: partial-block slot arithmetic).  Capacities a policy cannot batch on
+#: a given trace (Block-LRU below its block size, or over ragged
+#: blocks) are dropped per fixture; referee truth is stored for the
+#: rest.
+MULTI_CAPACITIES = [2, 4, 6, 8, 16, 32]
 
 #: SimResult fields stored per (policy, capacity) cell.
 FIELDS = (
@@ -108,12 +117,33 @@ def main() -> None:
                 expected[policy_name][str(k)] = {
                     f: getattr(res, f) for f in FIELDS
                 }
+        multi: dict = {}
+        for policy_name in MULTI_CAPACITY_POLICIES:
+            caps = [
+                k
+                for k in MULTI_CAPACITIES
+                if multi_capacity_supported(policy_name, trace, [k])
+            ]
+            if not caps:
+                multi[policy_name] = {"supported": False, "capacities": []}
+                continue
+            expected_mc = {}
+            for k in caps:
+                policy = make_policy(policy_name, k, trace.mapping)
+                res = simulate(policy, trace, cross_check_every=25)
+                expected_mc[str(k)] = {f: getattr(res, f) for f in FIELDS}
+            multi[policy_name] = {
+                "supported": True,
+                "capacities": caps,
+                "expected": expected_mc,
+            }
         payload = {
             "trace": name,
             "mapping": _mapping_payload(trace.mapping),
             "items": trace.items.tolist(),
             "capacities": CAPACITIES,
             "expected": expected,
+            "multi_capacity": multi,
         }
         path = HERE / f"{name}.json"
         path.write_text(json.dumps(payload, indent=1) + "\n")

@@ -1,0 +1,235 @@
+"""Shared-memory trace arena: lifecycle, crash-safety, and fallback.
+
+The arena is a pure optimization, so the properties worth pinning are
+the ones that make it *safe* to rely on: attached traces are
+bit-identical to the published ones (arrays, mapping, metadata,
+fingerprint), the publisher's segment survives a SIGKILL'd worker that
+held an attachment, close/unlink are idempotent, and every failure
+mode degrades to the pickle fallback instead of erroring.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core import arena
+from repro.core.mapping import ExplicitBlockMapping, FixedBlockMapping
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError
+
+pytestmark = pytest.mark.skipif(
+    not arena.shared_memory_available(),
+    reason="platform has no usable multiprocessing.shared_memory",
+)
+
+
+@pytest.fixture
+def fixed_trace() -> Trace:
+    rng = np.random.default_rng(11)
+    return Trace(
+        rng.integers(0, 256, 2000, dtype=np.int64),
+        FixedBlockMapping(universe=256, block_size=8),
+        {"generator": "uniform", "seed": 11},
+    )
+
+
+@pytest.fixture
+def ragged_trace() -> Trace:
+    mapping = ExplicitBlockMapping.from_groups(
+        [[0], [1, 2], [3, 4, 5], [6, 7, 8, 9], [10], [11, 12, 13]],
+        max_block_size=4,
+    )
+    return Trace(
+        np.array([0, 3, 9, 13, 1, 2, 0, 10, 5, 5], dtype=np.int64),
+        mapping,
+        {"generator": "hand"},
+    )
+
+
+@pytest.fixture(autouse=True)
+def _detach_after():
+    yield
+    arena.detach_all()
+
+
+def _fork_ctx():
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("fork start method unavailable")
+    return multiprocessing.get_context("fork")
+
+
+def test_publish_attach_round_trip(fixed_trace):
+    published = arena.publish(fixed_trace)
+    assert published is not None
+    with published:
+        attached = arena.attach(published.handle)
+        assert np.array_equal(attached.items, fixed_trace.items)
+        assert np.array_equal(
+            attached.block_trace(), fixed_trace.block_trace()
+        )
+        assert attached.metadata == fixed_trace.metadata
+        assert attached.mapping.universe == fixed_trace.mapping.universe
+        assert (
+            attached.mapping.max_block_size
+            == fixed_trace.mapping.max_block_size
+        )
+
+
+def test_attached_trace_inherits_fingerprint_without_rehashing(fixed_trace):
+    published = arena.publish(fixed_trace)
+    with published:
+        attached = arena.attach(published.handle)
+        # The handle carries the digest; attach must short-circuit the
+        # sha256 (content addressing and the compile memo key off it).
+        assert attached._fp == fixed_trace.fingerprint()
+        assert attached.fingerprint() == fixed_trace.fingerprint()
+
+
+def test_attached_arrays_are_read_only_views(fixed_trace):
+    published = arena.publish(fixed_trace)
+    with published:
+        attached = arena.attach(published.handle)
+        assert not attached.items.flags.writeable
+        assert not attached.items.flags.owndata
+        with pytest.raises(ValueError):
+            attached.items[0] = 99
+
+
+def test_attach_is_cached_per_process(fixed_trace):
+    published = arena.publish(fixed_trace)
+    with published:
+        first = arena.attach(published.handle)
+        again = arena.attach(pickle.loads(pickle.dumps(published.handle)))
+        assert again is first  # keyed by segment name, not handle identity
+
+
+def test_resolve_passthrough(fixed_trace):
+    assert arena.resolve(fixed_trace) is fixed_trace
+    assert arena.resolve(42) == 42
+    published = arena.publish(fixed_trace)
+    with published:
+        assert arena.resolve(published.handle).fingerprint() == (
+            fixed_trace.fingerprint()
+        )
+
+
+def test_explicit_mapping_round_trip(ragged_trace):
+    published = arena.publish(ragged_trace)
+    assert published is not None
+    with published:
+        attached = arena.attach(published.handle)
+        assert np.array_equal(
+            attached.block_trace(), ragged_trace.block_trace()
+        )
+        assert attached.fingerprint() == ragged_trace.fingerprint()
+        universe = ragged_trace.mapping.universe
+        assert np.array_equal(
+            attached.mapping.blocks_of(np.arange(universe)),
+            ragged_trace.mapping.blocks_of(np.arange(universe)),
+        )
+
+
+def test_worker_attach_across_fork(fixed_trace):
+    ctx = _fork_ctx()
+    published = arena.publish(fixed_trace)
+
+    def child(conn, handle_bytes):
+        trace = arena.resolve(pickle.loads(handle_bytes))
+        conn.send((trace.fingerprint(), int(trace.items.sum())))
+        conn.close()
+
+    with published:
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=child,
+            args=(child_conn, pickle.dumps(published.handle)),
+        )
+        proc.start()
+        fingerprint, items_sum = parent_conn.recv()
+        proc.join()
+    assert fingerprint == fixed_trace.fingerprint()
+    assert items_sum == int(fixed_trace.items.sum())
+
+
+def test_segment_survives_sigkilled_worker(fixed_trace):
+    """Crash injection: a killed attacher must not orphan-unlink the arena."""
+    ctx = _fork_ctx()
+    published = arena.publish(fixed_trace)
+
+    def hold(conn, handle_bytes):
+        arena.resolve(pickle.loads(handle_bytes))
+        conn.send("attached")
+        signal.pause()  # hold the attachment until killed
+
+    def reread(conn, handle_bytes):
+        trace = arena.resolve(pickle.loads(handle_bytes))
+        conn.send(int(trace.items.sum()))
+        conn.close()
+
+    with published:
+        handle_bytes = pickle.dumps(published.handle)
+        parent_conn, child_conn = ctx.Pipe()
+        victim = ctx.Process(target=hold, args=(child_conn, handle_bytes))
+        victim.start()
+        assert parent_conn.recv() == "attached"
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join()
+        assert victim.exitcode == -signal.SIGKILL
+        # A fresh worker can still attach: the publisher's segment
+        # survived the crash.
+        parent2, child2 = ctx.Pipe()
+        fresh = ctx.Process(target=reread, args=(child2, handle_bytes))
+        fresh.start()
+        assert parent2.recv() == int(fixed_trace.items.sum())
+        fresh.join()
+
+
+def test_close_is_idempotent_and_attach_after_close_fails(fixed_trace):
+    published = arena.publish(fixed_trace)
+    name = published.handle.name
+    published.close()
+    published.close()  # second close is a no-op, never raises
+    arena.detach_all()
+    stale = arena.ArenaHandle(
+        name=name,
+        fingerprint=fixed_trace.fingerprint(),
+        n=len(fixed_trace),
+        mapping_kind="fixed",
+        universe=fixed_trace.mapping.universe,
+        max_block_size=fixed_trace.mapping.max_block_size,
+    )
+    with pytest.raises(ConfigurationError, match="cannot attach"):
+        arena.attach(stale)
+
+
+def test_detach_all_forces_fresh_attach(fixed_trace):
+    published = arena.publish(fixed_trace)
+    with published:
+        first = arena.attach(published.handle)
+        arena.detach_all()
+        second = arena.attach(published.handle)
+        assert second is not first
+        assert np.array_equal(second.items, fixed_trace.items)
+
+
+def test_env_gate_forces_pickle_fallback(fixed_trace, monkeypatch):
+    monkeypatch.setenv(arena.DISABLE_ENV, "1")
+    assert arena.shared_memory_available() is False
+    assert arena.publish(fixed_trace) is None
+    monkeypatch.delenv(arena.DISABLE_ENV)
+    assert arena.shared_memory_available() is True
+
+
+def test_publish_returns_none_for_unknown_mapping(fixed_trace):
+    class WeirdMapping:
+        universe = 8
+        max_block_size = 2
+
+    weird = Trace(np.array([0, 1], dtype=np.int64), WeirdMapping())
+    assert arena.publish(weird) is None

@@ -9,6 +9,8 @@ and pin the fallback rules that keep ``simulate(..., fast=True)`` safe
 for everything else.
 """
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -235,8 +237,26 @@ def test_check_conformance_rejects_kernel_less_policies():
 def test_compiled_trace_is_memoized():
     trace = _trace([0, 1, 2, 3], universe=16, B=4)
     assert compile_trace(trace) is compile_trace(trace)
-    other = _trace([0, 1, 2, 3], universe=16, B=4)
-    assert compile_trace(other) is not compile_trace(trace)
+    # The memo is keyed by content fingerprint, not object identity: a
+    # pickled round-trip (what a pool worker receives per cell) must
+    # hit the same compiled trace instead of recompiling.
+    clone = pickle.loads(pickle.dumps(trace))
+    assert clone is not trace
+    assert compile_trace(clone) is compile_trace(trace)
+    different = _trace([0, 1, 2, 4], universe=16, B=4)
+    assert compile_trace(different) is not compile_trace(trace)
+
+
+def test_compile_memo_is_bounded_and_can_be_disabled(monkeypatch):
+    from repro.core import fast
+
+    traces = [_trace([i, i + 1], universe=64, B=4) for i in range(0, 12, 2)]
+    compiled = [compile_trace(t) for t in traces]
+    assert len(fast._COMPILED) <= fast._COMPILE_MEMO_CAP
+    # Most-recently-used entries survive the eviction sweep.
+    assert compile_trace(traces[-1]) is compiled[-1]
+    monkeypatch.setenv("REPRO_NO_COMPILE_MEMO", "1")
+    assert compile_trace(traces[-1]) is not compiled[-1]
 
 
 def test_compiled_trace_encoding():

@@ -54,6 +54,10 @@ def test_golden_fixtures_exist_and_cover_the_registry():
             f"{path.name} is stale: regenerate with "
             "`PYTHONPATH=src python tests/golden/regen.py` and review the diff"
         )
+        assert "multi_capacity" in payload, (
+            f"{path.name} predates the batched-replay payload: regenerate "
+            "with `PYTHONPATH=src python tests/golden/regen.py`"
+        )
 
 
 @pytest.mark.parametrize("path", GOLDEN_FILES, ids=lambda p: p.stem)
@@ -94,4 +98,34 @@ def test_fast_kernels_match_golden(path):
     assert checked > 0  # the kernel set must intersect the registry
     assert not mismatches, "fast kernels drifted from golden truth:\n" + "\n".join(
         mismatches
+    )
+
+
+@pytest.mark.parametrize("path", GOLDEN_FILES, ids=lambda p: p.stem)
+def test_multi_capacity_replay_matches_golden(path):
+    """One batched replay per policy reproduces the stored referee truth."""
+    from repro.core.fast import multi_capacity_replay, multi_capacity_supported
+
+    trace, payload = _load(path)
+    mismatches = []
+    checked = 0
+    for policy_name, entry in payload["multi_capacity"].items():
+        if not entry["supported"]:
+            # The fixture says no capacity batches here (e.g. Block-LRU
+            # over ragged blocks); the kernel must agree, not guess.
+            assert not multi_capacity_supported(policy_name, trace, [4, 16])
+            continue
+        caps = entry["capacities"]
+        assert multi_capacity_supported(policy_name, trace, caps)
+        results = multi_capacity_replay(policy_name, trace, caps)
+        for k in caps:
+            want = entry["expected"][str(k)]
+            got = {f: getattr(results[k], f) for f in FIELDS}
+            checked += 1
+            if got != want:
+                mismatches.append(f"{policy_name}/k={k}: {want} -> {got}")
+    assert checked > 0
+    assert not mismatches, (
+        "batched multi-capacity replay drifted from golden truth:\n"
+        + "\n".join(mismatches)
     )
