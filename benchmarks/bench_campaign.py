@@ -11,13 +11,15 @@ Three measurements:
   experiment-integration path, warm vs cold.
 
 Artifacts: ``out/campaign_rows.csv`` (the grid rows, identical cold
-and warm) and ``out/campaign_timing.csv``.
+and warm), ``out/campaign_timing.csv``, and the flight-recorder file
+``BENCH_campaign.json`` (via ``benchmarks/_harness.py``).
 """
 
 from __future__ import annotations
 
 import time
 
+from _harness import metric, write_bench
 from repro.analysis.sweep import simulate_cell, sweep
 from repro.analysis.tables import format_table, write_csv
 from repro.campaign import CampaignCache, CampaignRunner, CampaignSpec, TraceSpec
@@ -105,6 +107,17 @@ def test_campaign_cold_warm_vs_sweep(benchmark, tmp_path, out_dir):
         {"mode": "campaign_warm", "seconds": warm.seconds},
     ]
     write_csv(timing, out_dir / "campaign_timing.csv")
+    write_bench(
+        "campaign",
+        metrics={
+            "plain_sweep_seconds": metric(sweep_s, "s", "lower"),
+            "cold_seconds": metric(cold_s, "s", "lower"),
+            "warm_seconds": metric(warm.seconds, "s", "lower"),
+            "cold_overhead_x": metric(cold_s / sweep_s, "x", "lower"),
+            "warm_speedup": metric(sweep_s / warm.seconds, "x", "higher"),
+        },
+        extra={"cells": len(spec.cells), "policies": 4, "capacities": 2},
+    )
     print()
     print(format_table(timing, title="campaign orchestration timing"))
     # The whole point: a warm campaign must crush recomputation.

@@ -8,11 +8,12 @@ workload in three engine configurations:
 * ``fast``           — the array-backed replay kernel.
 
 Emits ``benchmarks/out/fastpath_speedup.csv`` with per-policy wall
-times and speedup factors, and enforces the acceptance gate: the Item
-LRU kernel replays a 10^6-access trace at least 3x faster than the
-validating referee while producing the identical miss count.  Run with
-``pytest benchmarks/bench_fastpath.py`` (the gate runs without
-``--benchmark-only``).
+times and speedup factors plus the flight-recorder file
+``BENCH_fastpath.json`` (via ``benchmarks/_harness.py``), and enforces
+the acceptance gate: the Item LRU kernel replays a 10^6-access trace
+at least 3x faster than the validating referee while producing the
+identical miss count.  Run with ``pytest benchmarks/bench_fastpath.py``
+(the gate runs without ``--benchmark-only``).
 """
 
 from __future__ import annotations
@@ -21,6 +22,7 @@ import time
 
 import pytest
 
+from _harness import metric, write_bench
 from repro.analysis.tables import format_table, write_csv
 from repro.core.engine import simulate
 from repro.core.fast import FAST_POLICY_NAMES, compile_trace, fast_simulate
@@ -125,6 +127,18 @@ def test_item_lru_gate_three_x(gate_trace):
     )
     assert fst.misses == ref.misses
     speedup = t_ref / t_fast
+    write_bench(
+        "fastpath",
+        metrics={
+            "referee_seconds": metric(t_ref, "s", "lower"),
+            "fast_seconds": metric(t_fast, "s", "lower"),
+            "speedup": metric(speedup, "x", "higher"),
+            "accesses_per_second_fast": metric(
+                GATE_LEN / t_fast, "accesses/s", "higher"
+            ),
+        },
+        extra={"policy": "item-lru", "trace_length": GATE_LEN, "capacity": K},
+    )
     print(f"\nitem-lru 1e6 accesses: referee {t_ref:.3f}s, "
           f"fast {t_fast:.3f}s, speedup {speedup:.1f}x")
     assert speedup >= 3.0, f"fast path speedup {speedup:.2f}x < 3x gate"

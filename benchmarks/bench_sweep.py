@@ -13,8 +13,9 @@ trace by default) two ways:
 
 Asserts the two row sets are bit-identical, re-certifies the batched
 kernel against the validating referee on a trace prefix, writes
-machine-readable ``benchmarks/out/BENCH_sweep.json`` (wall times,
-cells/sec, speedup), and enforces the acceptance gate:
+machine-readable ``BENCH_sweep.json`` through the flight-recorder
+harness (wall times, cells/sec, speedup, git sha, machine
+fingerprint), and enforces the acceptance gate:
 ``speedup >= REPRO_SWEEP_GATE`` (default 5.0).
 
 Knobs (all env vars, so the CI smoke job can shrink the run):
@@ -29,12 +30,12 @@ Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_sweep.py``.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
 import pytest
 
+from _harness import metric, write_bench
 from repro.analysis.sweep import default_workers, grid, simulate_cell, sweep
 from repro.core.conformance import assert_multi_capacity_conformant
 from repro.core.trace import Trace
@@ -111,23 +112,25 @@ def test_batched_sweep_gate(bench_trace, capacities, out_dir):
     assert_multi_capacity_conformant("item-lru", prefix, capacities)
 
     speedup = t_baseline / t_batched
-    payload = {
-        "bench": "sweep_multi_capacity",
-        "policy": "item-lru",
-        "trace_length": LENGTH,
-        "capacities": capacities,
-        "cells": len(cells),
-        "workers": workers,
-        "baseline_seconds": round(t_baseline, 4),
-        "batched_seconds": round(t_batched, 4),
-        "cells_per_second_baseline": round(len(cells) / t_baseline, 3),
-        "cells_per_second_batched": round(len(cells) / t_batched, 3),
-        "speedup": round(speedup, 3),
-        "gate": GATE,
-        "unix_time": int(time.time()),
-    }
-    path = out_dir / "BENCH_sweep.json"
-    path.write_text(json.dumps(payload, indent=1) + "\n")
+    path = write_bench(
+        "sweep",
+        metrics={
+            "baseline_seconds": metric(t_baseline, "s", "lower"),
+            "batched_seconds": metric(t_batched, "s", "lower"),
+            "cells_per_second_batched": metric(
+                len(cells) / t_batched, "cells/s", "higher"
+            ),
+            "speedup": metric(speedup, "x", "higher"),
+        },
+        extra={
+            "policy": "item-lru",
+            "trace_length": LENGTH,
+            "capacities": capacities,
+            "cells": len(cells),
+            "workers": workers,
+            "gate": GATE,
+        },
+    )
     print(
         f"\nbatched sweep: {len(cells)} cells, baseline {t_baseline:.2f}s, "
         f"batched {t_batched:.2f}s, speedup {speedup:.1f}x -> {path}"

@@ -2,12 +2,13 @@
 
 Timing benches proper: policy hot loops on realistic workloads, the
 referee's overhead, the LinkedLRU vs OrderedLRU substrate choice, and
-the telemetry instrumentation audit.  Run with
+the instrumentation audit.  Run with
 ``pytest benchmarks/ --benchmark-only`` to get ops/sec; the
 instrumentation matrix also writes
-``benchmarks/out/throughput_overhead.csv`` and enforces the telemetry
-overhead budget (full per-access tracing ≤ 2× the uninstrumented
-path).
+``benchmarks/out/throughput_overhead.csv`` plus the flight-recorder
+file ``BENCH_throughput.json`` and enforces the instrumentation
+budgets: full per-access telemetry ≤ 2× the uninstrumented path, and
+ambient span tracing ≤ 1.3× on the full-trace fast path.
 """
 
 from __future__ import annotations
@@ -17,15 +18,20 @@ import time
 import numpy as np
 import pytest
 
+from _harness import metric, write_bench
 from repro.analysis.tables import format_table, write_csv
 from repro.core.engine import simulate
+from repro.core.fast import compile_trace, fast_simulate
 from repro.policies import make_policy
 from repro.structs.linked_lru import LinkedLRU
 from repro.structs.ordered_lru import OrderedLRU
-from repro.telemetry import Recorder, RingBufferSink
+from repro.telemetry import Recorder, RingBufferSink, spans
+from repro.telemetry.spans import SpanTracer
 from repro.workloads import markov_spatial, zipf_items
 
 TRACE_LEN = 50_000
+SPAN_GATE_LEN = 400_000
+SPAN_OVERHEAD_BUDGET = 1.3
 K = 1024
 
 
@@ -117,13 +123,38 @@ def _telemetry_recorder(mode: str):
     )
 
 
-def test_instrumentation_overhead_matrix(zipf_trace, out_dir):
-    """Audit: validate on/off × telemetry off/aggregate/full-trace.
+def _span_gate_trace():
+    return zipf_items(
+        SPAN_GATE_LEN, universe=16384, alpha=1.0, block_size=8, seed=7
+    )
 
-    Emits the matrix to ``benchmarks/out/throughput_overhead.csv`` and
-    asserts the budget the telemetry layer is designed to: full
-    per-access tracing costs at most 2× the matching uninstrumented
-    run (best-of-3 wall times to shed scheduler noise).
+
+def _timed_fast_replay(trace, reps):
+    """Best-of wall time for one fast-path replay (memoized compile)."""
+    times = []
+    result = None
+    for _ in range(reps):
+        policy = make_policy("item-lru", K, trace.mapping)
+        t0 = time.perf_counter()
+        result = fast_simulate(policy, trace)
+        times.append(time.perf_counter() - t0)
+    assert result is not None and result.misses > 0
+    return min(times)
+
+
+def test_instrumentation_overhead_matrix(zipf_trace, out_dir):
+    """Audit: validate on/off × telemetry off/aggregate/full-trace,
+    plus a spans-enabled column for the fast replay path.
+
+    Emits the matrix to ``benchmarks/out/throughput_overhead.csv``
+    (and ``BENCH_throughput.json`` via the flight-recorder harness)
+    and asserts the budgets the instrumentation layers are designed
+    to: full per-access telemetry costs at most 2× the matching
+    uninstrumented run, and ambient span tracing at most
+    ``SPAN_OVERHEAD_BUDGET``× on the full-trace fast path (best-of
+    wall times to shed scheduler noise).  Spans never appear in the
+    referee rows — the referee has no span call sites by design (they
+    instrument whole replays, never per-access work).
     """
     reps = 3
     rows = []
@@ -144,8 +175,10 @@ def test_instrumentation_overhead_matrix(zipf_trace, out_dir):
             best[(validate, mode)] = seconds
             rows.append(
                 {
+                    "engine": "referee",
                     "validate": validate,
                     "telemetry": mode,
+                    "spans": False,
                     "seconds": seconds,
                     "accesses_per_s": TRACE_LEN / seconds,
                 }
@@ -153,13 +186,66 @@ def test_instrumentation_overhead_matrix(zipf_trace, out_dir):
     for row in rows:
         baseline = best[(row["validate"], "off")]
         row["overhead_x"] = row["seconds"] / baseline
+
+    # The spans-enabled column: the fast replay kernel with and
+    # without ambient span tracing (spans wrap whole replays, so this
+    # is where their overhead would show — and must stay bounded).
+    span_trace = _span_gate_trace()
+    compile_trace(span_trace)  # memoize outside the timed region
+    assert not spans.enabled()
+    t_plain = _timed_fast_replay(span_trace, reps=5)
+    spans.enable(SpanTracer(sinks=[RingBufferSink(maxlen=4096)]))
+    try:
+        t_spans = _timed_fast_replay(span_trace, reps=5)
+    finally:
+        spans.disable()
+    span_overhead = t_spans / t_plain
+    for enabled, seconds in ((False, t_plain), (True, t_spans)):
+        rows.append(
+            {
+                "engine": "fast",
+                "validate": False,
+                "telemetry": "off",
+                "spans": enabled,
+                "seconds": seconds,
+                "accesses_per_s": SPAN_GATE_LEN / seconds,
+                "overhead_x": seconds / t_plain,
+            }
+        )
+
     write_csv(rows, out_dir / "throughput_overhead.csv")
+    write_bench(
+        "throughput",
+        metrics={
+            "telemetry_full_overhead_x": metric(
+                best[(False, "full")] / best[(False, "off")], "x", "lower"
+            ),
+            "span_overhead_x": metric(span_overhead, "x", "lower"),
+            "fast_accesses_per_second": metric(
+                SPAN_GATE_LEN / t_plain, "accesses/s", "higher"
+            ),
+            "referee_accesses_per_second": metric(
+                TRACE_LEN / best[(False, "off")], "accesses/s", "higher"
+            ),
+        },
+        extra={
+            "trace_length": TRACE_LEN,
+            "span_gate_length": SPAN_GATE_LEN,
+            "span_overhead_budget": SPAN_OVERHEAD_BUDGET,
+        },
+    )
     print()
-    print(format_table(rows, title="telemetry instrumentation overhead"))
+    print(format_table(rows, title="instrumentation overhead"))
     assert best[(False, "full")] <= 2.0 * best[(False, "off")]
     assert best[(True, "full")] <= 2.0 * best[(True, "off")]
     # Aggregate-only telemetry must be strictly cheaper than full trace.
     assert best[(False, "aggregate")] <= best[(False, "full")] * 1.25
+    # The span-tracing budget on the full-trace fast path.
+    assert span_overhead <= SPAN_OVERHEAD_BUDGET, (
+        f"span tracing overhead {span_overhead:.2f}x exceeds the "
+        f"{SPAN_OVERHEAD_BUDGET}x budget "
+        f"(plain {t_plain:.4f}s, spans {t_spans:.4f}s)"
+    )
 
 
 def test_belady_preparation_throughput(benchmark, zipf_trace):

@@ -301,9 +301,13 @@ def _run_batches(
 ) -> None:
     """Fill ``rows`` for every collapsible cell via batched replay."""
     from repro.core.fast import multi_capacity_replay
+    from repro.telemetry import spans
 
     for indices, policy, trace, caps in _plan_batches(cell_list):
-        results = multi_capacity_replay(policy, trace, caps)
+        with spans.span(
+            "sweep.batch", policy=policy, cells=len(indices), capacities=len(caps)
+        ):
+            results = multi_capacity_replay(policy, trace, caps)
         for i in indices:
             cell = cell_list[i]
             row = results[int(cell["capacity"])].as_row()

@@ -1,12 +1,19 @@
-"""``gc-caching campaign`` subcommand: run / resume / status / export.
+"""``gc-caching campaign`` subcommand: run/resume/status/watch/export.
 
 The CLI face of :mod:`repro.campaign`.  ``run`` materializes a grid
 spec into a campaign directory and drives it; ``resume`` reloads the
 directory's own ``spec.json`` and continues (memo hits for everything
 already stored, so an interrupted campaign finishes bit-identically to
 an uninterrupted one); ``status`` summarizes the store + journal
-without executing anything; ``export`` writes the completed rows in
-grid order as CSV or JSONL.
+without executing anything (exiting nonzero when the latest run left
+cells quarantined); ``watch`` tails the executor's heartbeat file as a
+live status board; ``export`` writes the completed rows in grid order
+as CSV or JSONL.
+
+``run``/``resume`` take ``--trace-spans`` (hierarchical span trace,
+exportable via ``gc-caching obs trace-export``) and ``--metrics-out``
+(Prometheus textfile refreshed on every heartbeat) — see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -45,6 +52,24 @@ def _csv_list(text: str) -> List[str]:
 
 def _int_list(text: str) -> List[int]:
     return [int(part) for part in _csv_list(text)]
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by ``run`` and ``resume``."""
+    parser.add_argument(
+        "--trace-spans",
+        metavar="SPANS.jsonl",
+        default=None,
+        help="record hierarchical spans (campaign/cell/replay/...) to "
+        "this JSONL file; export with `gc-caching obs trace-export`",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="METRICS.prom",
+        default=None,
+        help="write a Prometheus textfile snapshot of live campaign "
+        "metrics on every heartbeat",
+    )
 
 
 def add_campaign_parser(sub: argparse._SubParsersAction) -> None:
@@ -108,6 +133,7 @@ def add_campaign_parser(sub: argparse._SubParsersAction) -> None:
     )
     p_run.add_argument("--max-attempts", type=int, default=3)
     p_run.add_argument("--backoff", type=float, default=0.5)
+    _add_obs_flags(p_run)
 
     p_res = action.add_parser(
         "resume", help="continue an interrupted campaign from its directory"
@@ -125,9 +151,30 @@ def add_campaign_parser(sub: argparse._SubParsersAction) -> None:
     p_res.add_argument("--timeout", type=float, default=None)
     p_res.add_argument("--max-attempts", type=int, default=3)
     p_res.add_argument("--backoff", type=float, default=0.5)
+    _add_obs_flags(p_res)
 
-    p_stat = action.add_parser("status", help="store/journal summary")
+    p_stat = action.add_parser(
+        "status",
+        help="store/journal summary (exit 1 if cells are quarantined)",
+    )
     p_stat.add_argument("directory")
+
+    p_watch = action.add_parser(
+        "watch",
+        help="live status board for a running (or finished) campaign",
+    )
+    p_watch.add_argument("directory")
+    p_watch.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="refresh period in seconds (default 1.0)",
+    )
+    p_watch.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit (exit 1 if no state file yet)",
+    )
 
     p_exp = action.add_parser(
         "export", help="write completed rows in grid order"
@@ -283,19 +330,27 @@ def collect_rows(directory: str | Path) -> List[Dict[str, Any]]:
     return rows
 
 
-def _status(directory: str) -> str:
+def _status(directory: str) -> tuple:
+    """Render the status board; exit code 1 when cells are quarantined.
+
+    A quarantined cell means the latest run gave up on it — scripts
+    polling ``campaign status`` in CI need that surfaced as a nonzero
+    exit, not buried in a table.
+    """
     from repro.analysis.tables import format_table
 
     spec = CampaignSpec.load(directory)
     journal = Journal(directory)
     attempts = journal.attempts_by_hash()
     errors = journal.last_error_by_hash()
+    quarantined = journal.quarantined_cells()
     fingerprints = {
         key: tspec.materialize().fingerprint()
         for key, tspec in spec.traces.items()
     }
     rows = []
     done = 0
+    stuck = 0
     with ResultStore(directory) as store:
         for index, cell in enumerate(spec.cells):
             digest = cell_hash(
@@ -308,22 +363,37 @@ def _status(directory: str) -> str:
             )
             stored = digest in store
             done += stored
+            # A quarantine record only matters while the cell is still
+            # missing from the store: a later resume may have finished it.
+            quarantine = None if stored else quarantined.get(digest)
+            if quarantine is not None:
+                stuck += 1
+                status = "quarantined"
+                error = quarantine["error"] or errors.get(digest, "")
+            else:
+                status = "done" if stored else "pending"
+                error = "" if stored else errors.get(digest, "")
             rows.append(
                 {
                     "index": index,
                     "policy": cell.policy,
                     "capacity": cell.capacity,
                     "trace": cell.trace,
-                    "status": "done" if stored else "pending",
+                    "status": status,
                     "attempts": attempts.get(digest, 0),
-                    "last_error": "" if stored else errors.get(digest, "")[:48],
+                    "last_error": error[:48],
                 }
             )
     header = (
         f"campaign {spec.name!r} (version {spec.version}, "
         f"{journal.run_count()} run(s)): {done}/{len(spec.cells)} cells done"
     )
-    return header + "\n" + format_table(rows, title="cells")
+    if stuck:
+        header += (
+            f"\nWARNING: {stuck} cell(s) quarantined by the latest run — "
+            "`campaign resume` retries them with a fresh attempt budget"
+        )
+    return header + "\n" + format_table(rows, title="cells"), 1 if stuck else 0
 
 
 def _export(ns: argparse.Namespace) -> str:
@@ -363,8 +433,13 @@ def _export(ns: argparse.Namespace) -> str:
     return format_table(rows, title=f"campaign {spec.name!r}")
 
 
-def run_campaign_command(ns: argparse.Namespace) -> str:
-    """Dispatch one ``campaign`` subcommand; returns printable output."""
+def run_campaign_command(ns: argparse.Namespace):
+    """Dispatch one ``campaign`` subcommand.
+
+    Returns printable output, or a ``(text, exit_code)`` tuple where a
+    nonzero exit is meaningful (``status`` with quarantined cells,
+    ``watch``).
+    """
     if ns.campaign_command == "run":
         spec = _spec_from_namespace(ns)
         with CampaignRunner(
@@ -373,6 +448,8 @@ def run_campaign_command(ns: argparse.Namespace) -> str:
             parallel=ns.parallel,
             max_workers=ns.workers,
             retry=_retry_from_namespace(ns),
+            trace_spans=ns.trace_spans,
+            metrics_out=ns.metrics_out,
         ) as runner:
             report = runner.run()
         return _render_report(report, ns.directory)
@@ -382,11 +459,19 @@ def run_campaign_command(ns: argparse.Namespace) -> str:
             parallel=ns.parallel,
             max_workers=ns.workers,
             retry=_retry_from_namespace(ns),
+            trace_spans=ns.trace_spans,
+            metrics_out=ns.metrics_out,
         ) as runner:
             report = runner.run()
         return _render_report(report, ns.directory)
     if ns.campaign_command == "status":
         return _status(ns.directory)
+    if ns.campaign_command == "watch":
+        from repro.obs.watch import watch_loop
+
+        return "", watch_loop(
+            ns.directory, interval=ns.interval, once=ns.once
+        )
     if ns.campaign_command == "export":
         return _export(ns)
     raise ConfigurationError(

@@ -92,6 +92,33 @@ class Journal:
                 out[event["hash"]] = str(event.get("error", ""))
         return out
 
+    def quarantined_cells(self) -> Dict[str, Dict[str, Any]]:
+        """Cells quarantined by the *latest* run, keyed by hash.
+
+        Quarantine is a per-run circuit breaker (resume re-arms the
+        attempt budget), so only events after the most recent ``start``
+        count: a cell quarantined two runs ago and completed since is
+        not stuck.  Each value carries ``index``, ``attempts``, and the
+        quarantining ``error``.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for event in self.replay():
+            kind = event.get("event")
+            if kind == "start":
+                out.clear()
+            elif kind == "quarantined" and "hash" in event:
+                out[event["hash"]] = {
+                    "index": event.get("index"),
+                    "attempts": int(event.get("attempts", 0)),
+                    "error": str(event.get("error", "")),
+                }
+            elif kind == "done" and event.get("hash") in out:
+                # Defensive: a cell can't normally complete after being
+                # quarantined within one run, but the journal is
+                # descriptive — trust the stronger signal.
+                del out[event["hash"]]
+        return out
+
     def close(self) -> None:
         if self._fh is not None:
             self._fh.close()

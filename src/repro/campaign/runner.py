@@ -51,6 +51,10 @@ from repro.campaign.spec import CampaignSpec, CellSpec, cell_hash
 from repro.campaign.store import ResultStore
 from repro.core.trace import Trace
 from repro.errors import ConfigurationError
+from repro.obs.watch import WATCH_FILENAME, write_watch_state
+from repro.telemetry import spans
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import SpanContext
 from repro.types import SimResult
 
 __all__ = [
@@ -105,17 +109,52 @@ def execute_cell(cell: CellSpec, trace: Trace) -> Dict[str, Any]:
     return result_fields(simulate(instance, trace, fast=cell.fast))
 
 
-def _worker_main(conn, cell_dict: Dict[str, Any], trace) -> None:
+def _worker_main(
+    conn, cell_dict: Dict[str, Any], trace, span_payload=None
+) -> None:
     """Child-process entry: compute one cell, ship outcome over the pipe.
 
     ``trace`` is either a materialized :class:`Trace` (pickle fallback)
     or an :class:`repro.core.arena.ArenaHandle` to attach zero-copy; a
     failed attach reports like any other cell error and retries.
+
+    ``span_payload`` carries the parent's span tracing across the
+    process boundary: the spans file path plus the ids agreed with the
+    orchestrator (``span_id`` names this attempt's ``cell`` span, so
+    the parent can hang its ``store.put`` under it; ``parent_id`` is
+    the orchestrator's ``campaign.execute`` span).  The worker appends
+    to the shared file — per-record flushed single writes, so lines
+    from concurrent workers interleave whole — and everything the cell
+    touches (arena attach, compile memo, replay kernels) nests under
+    the ``cell`` span via the ambient tracer.  With fork start the
+    child *inherits* the parent's tracer object; :func:`spans.enable`
+    replaces it without closing, so the parent's file handle is never
+    flushed or closed from the child.
     """
     try:
         from repro.core.arena import resolve
 
-        fields = execute_cell(CellSpec.from_dict(cell_dict), resolve(trace))
+        cell = CellSpec.from_dict(cell_dict)
+        if span_payload is not None:
+            tracer = spans.enable(
+                span_payload["path"],
+                root=SpanContext(
+                    trace_id=span_payload["trace_id"],
+                    span_id=span_payload["parent_id"],
+                ),
+                append=True,
+            )
+            cell_cm = tracer.span(
+                "cell",
+                span_id=span_payload["span_id"],
+                **span_payload.get("attrs", {}),
+            )
+        else:
+            from contextlib import nullcontext
+
+            cell_cm = nullcontext()
+        with cell_cm:
+            fields = execute_cell(cell, resolve(trace))
         conn.send(("ok", fields))
     except BaseException as exc:  # report, never hang the pipe
         try:
@@ -129,6 +168,8 @@ def _worker_main(conn, cell_dict: Dict[str, Any], trace) -> None:
         except Exception:
             pass
     finally:
+        if span_payload is not None:
+            spans.disable()
         conn.close()
 
 
@@ -235,7 +276,7 @@ class CampaignReport:
 
 
 class _CellState:
-    __slots__ = ("index", "cell", "hash", "attempts", "not_before")
+    __slots__ = ("index", "cell", "hash", "attempts", "not_before", "span_id")
 
     def __init__(self, index: int, cell: CellSpec, digest: str) -> None:
         self.index = index
@@ -243,6 +284,9 @@ class _CellState:
         self.hash = digest
         self.attempts = 0
         self.not_before = 0.0
+        # Span id of the latest attempt's "cell" span (pre-agreed with
+        # the worker so the orchestrator's store.put can parent to it).
+        self.span_id: Optional[str] = None
 
 
 def _mp_context():
@@ -273,6 +317,18 @@ class CampaignRunner:
         caller can keep composing phases.
     sleep:
         Injectable sleep (tests use a no-op to make backoff instant).
+    trace_spans:
+        Record hierarchical spans (campaign → plan/execute → cell →
+        compile/attach/replay/store) to this JSONL file; workers join
+        the same file across the process boundary.  Export with
+        ``gc-caching obs trace-export``.
+    metrics_out:
+        Refresh a Prometheus-textfile snapshot of the live campaign
+        gauges here on every heartbeat (and once more at the end).
+    heartbeat:
+        Seconds between ``watch.json`` progress snapshots in the
+        campaign directory (what ``gc-caching campaign watch`` polls);
+        ``0`` disables heartbeats entirely.
     """
 
     def __init__(
@@ -287,6 +343,9 @@ class CampaignRunner:
         sleep: Callable[[float], None] = time.sleep,
         store_sync: bool = True,
         tick: float = 0.05,
+        trace_spans: Optional[str | Path] = None,
+        metrics_out: Optional[str | Path] = None,
+        heartbeat: float = 1.0,
     ) -> None:
         self.directory = Path(directory)
         self._respec_from: Optional[str] = None
@@ -318,6 +377,18 @@ class CampaignRunner:
         self._tick = tick
         self.store = ResultStore(self.directory, sync=store_sync)
         self.journal = Journal(self.directory)
+        self._spans_path = Path(trace_spans) if trace_spans else None
+        self._metrics_path = Path(metrics_out) if metrics_out else None
+        if heartbeat < 0:
+            raise ConfigurationError(f"heartbeat must be >= 0, got {heartbeat}")
+        self.heartbeat = heartbeat
+        self._watch_path = self.directory / WATCH_FILENAME
+        # Live gauges for --metrics-out, deliberately separate from the
+        # recorder's registry: that one accumulates end-of-run counters
+        # (campaign_cells etc.) and mixing gauge/counter kinds under
+        # one name is a registry error.
+        self._live = MetricsRegistry()
+        self._last_heartbeat = 0.0
 
     # -- planning ----------------------------------------------------------
     def _plan(self) -> Tuple[List[CellOutcome], List[_CellState]]:
@@ -372,7 +443,26 @@ class CampaignRunner:
     def _commit(
         self, state: _CellState, fields: Dict[str, Any], seconds: float
     ) -> CellOutcome:
-        self.store.put(state.hash, fields)
+        tracer = spans.get_tracer()
+        if tracer is not None:
+            # Parent the durable-commit span to this cell's span even
+            # though the put runs in the orchestrator: the cell span id
+            # was pre-agreed with the worker at launch (and recorded by
+            # the inline path), so the exported tree shows the commit
+            # as the cell's final child.
+            parent = (
+                SpanContext(trace_id=tracer.trace_id, span_id=state.span_id)
+                if state.span_id is not None
+                else None
+            )
+            with tracer.span(
+                "store.put", parent=parent, index=state.index, hash=state.hash[:12]
+            ):
+                self.store.put(state.hash, fields)
+        else:
+            self.store.put(state.hash, fields)
+        self._accesses_done += int(fields.get("accesses", 0))
+        self._cell_seconds += seconds
         self.journal.append(
             "done",
             index=state.index,
@@ -414,6 +504,7 @@ class CampaignRunner:
                 attempts=state.attempts,
                 error=error,
             )
+            self._quarantined += 1
             return CellOutcome(
                 index=state.index,
                 cell=state.cell,
@@ -444,9 +535,23 @@ class CampaignRunner:
             )
             t0 = time.perf_counter()
             try:
-                fields = execute_cell(
-                    state.cell, self._traces[state.cell.trace]
-                )
+                # The cell span brackets the cell body alone (commit is
+                # its own span, explicitly parented below), mirroring
+                # the parallel path where the worker owns the cell span
+                # and the orchestrator owns store.put.
+                with spans.span(
+                    "cell",
+                    index=state.index,
+                    policy=state.cell.policy,
+                    capacity=state.cell.capacity,
+                    trace=state.cell.trace,
+                    attempt=state.attempts,
+                ) as sp:
+                    if sp is not None:
+                        state.span_id = sp.span_id
+                    fields = execute_cell(
+                        state.cell, self._traces[state.cell.trace]
+                    )
             except Exception as exc:
                 terminal = self._fail(
                     state, f"{type(exc).__name__}: {exc}", time.monotonic()
@@ -455,27 +560,59 @@ class CampaignRunner:
                     outcomes.append(terminal)
                 else:
                     ready.append(state)
+                self._heartbeat_tick()
                 continue
             self._computed += 1
             outcomes.append(
                 self._commit(state, fields, time.perf_counter() - t0)
             )
+            self._heartbeat_tick()
         return outcomes
 
     # -- parallel execution ------------------------------------------------
+    def _span_payload(self, state: _CellState) -> Optional[Dict[str, Any]]:
+        """Cross-process span continuation for one worker attempt.
+
+        Pre-generates the worker's ``cell`` span id so the orchestrator
+        can parent its later ``store.put`` span to a span recorded in
+        another process.  Requires a runner-owned spans file: without a
+        path the worker has nowhere to append.
+        """
+        tracer = spans.get_tracer()
+        if tracer is None or self._spans_path is None:
+            return None
+        parent = tracer.current_context()
+        if parent is None:
+            return None
+        state.span_id = spans.new_span_id()
+        return {
+            "path": str(self._spans_path),
+            "trace_id": tracer.trace_id,
+            "parent_id": parent.span_id,
+            "span_id": state.span_id,
+            "attrs": {
+                "index": state.index,
+                "policy": state.cell.policy,
+                "capacity": state.cell.capacity,
+                "trace": state.cell.trace,
+                "attempt": state.attempts,
+            },
+        }
+
     def _launch(self, ctx, state: _CellState):
         parent_conn, child_conn = ctx.Pipe(duplex=False)
+        state.attempts += 1
+        self._attempts += 1
         proc = ctx.Process(
             target=_worker_main,
             args=(
                 child_conn,
                 state.cell.as_dict(),
                 self._trace_payloads[state.cell.trace],
+                self._span_payload(state),
             ),
             daemon=True,
         )
-        state.attempts += 1
-        self._attempts += 1
         self.journal.append(
             "attempt",
             index=state.index,
@@ -500,6 +637,7 @@ class CampaignRunner:
         running: Dict[Any, Tuple[_CellState, Any, Optional[float], float]] = {}
         try:
             while ready or running:
+                self._heartbeat_tick(running)
                 now = time.monotonic()
                 # Launch every ripe cell a free worker slot can take.
                 while (
@@ -596,6 +734,27 @@ class CampaignRunner:
         quarantined in the report — only for campaign-level
         misconfiguration.
         """
+        # A runner-owned spans file installs the ambient tracer for the
+        # duration of the run (workers join it by path); an ambient
+        # tracer the *caller* enabled is respected and left installed.
+        owned_tracer = (
+            spans.enable(self._spans_path)
+            if self._spans_path is not None
+            else None
+        )
+        try:
+            with spans.span(
+                "campaign",
+                campaign=self.spec.name,
+                cells=len(self.spec.cells),
+                parallel=self.parallel,
+            ):
+                return self._execute_run()
+        finally:
+            if owned_tracer is not None and spans.get_tracer() is owned_tracer:
+                spans.disable()
+
+    def _execute_run(self) -> CampaignReport:
         t_start = time.perf_counter()
         run_number = self.journal.run_count() + 1
         if self._respec_from is not None:
@@ -619,8 +778,16 @@ class CampaignRunner:
         self._attempts = 0
         self._failures = 0
         self._computed = 0
-        with phase("plan"):
+        self._quarantined = 0
+        self._memo_hits = 0
+        self._accesses_done = 0
+        self._cell_seconds = 0.0
+        self._run_number = run_number
+        self._t0_mono = time.monotonic()
+        self._last_heartbeat = 0.0
+        with phase("plan"), spans.span("campaign.plan"):
             memo_outcomes, todo = self._plan()
+        self._memo_hits = len(memo_outcomes)
         for outcome in memo_outcomes:
             self.journal.append(
                 "done",
@@ -630,8 +797,9 @@ class CampaignRunner:
                 seconds=0.0,
                 memo=True,
             )
+        self._heartbeat_tick(force=True)
         try:
-            with phase("execute"):
+            with phase("execute"), spans.span("campaign.execute", todo=len(todo)):
                 if self.parallel and todo:
                     executed = self._run_processes(todo)
                 else:
@@ -649,9 +817,118 @@ class CampaignRunner:
             seconds=time.perf_counter() - t_start,
         )
         self.journal.append("finish", run=run_number, **report.summary())
+        self._heartbeat_tick(force=True, finished=True)
         if self.recorder is not None:
             self._publish_metrics(report)
         return report
+
+    # -- live heartbeat ----------------------------------------------------
+    def _heartbeat_tick(
+        self,
+        running: Optional[Dict[Any, Any]] = None,
+        force: bool = False,
+        finished: bool = False,
+    ) -> None:
+        """Throttled snapshot of run progress into ``watch.json`` (and,
+        when configured, the Prometheus textfile).
+
+        Heartbeat failures are swallowed: observability must never take
+        down a campaign that is otherwise making progress.
+        """
+        if self.heartbeat <= 0:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_heartbeat < self.heartbeat:
+            return
+        self._last_heartbeat = now
+        state = self._watch_state(running or {}, finished)
+        try:
+            write_watch_state(self._watch_path, state)
+        except OSError:  # pragma: no cover - disk-full style failures
+            pass
+        if self._metrics_path is not None:
+            from repro.obs.promfile import write_prometheus
+
+            self._update_live_metrics(state)
+            try:
+                write_prometheus(self._live, self._metrics_path)
+            except OSError:  # pragma: no cover - disk-full style failures
+                pass
+
+    def _watch_state(
+        self, running: Dict[Any, Any], finished: bool
+    ) -> Dict[str, Any]:
+        elapsed = time.monotonic() - self._t0_mono
+        total = len(self.spec.cells)
+        done = self._memo_hits + self._computed
+        remaining = max(0, total - done - self._quarantined)
+        per_cell = (
+            self._cell_seconds / self._computed if self._computed else None
+        )
+        workers = self.max_workers if self.parallel else 1
+        if remaining == 0:
+            eta: Optional[float] = 0.0
+        elif per_cell is not None:
+            eta = remaining * per_cell / max(1, workers)
+        else:
+            eta = None  # nothing computed this run yet: no basis
+        in_flight = []
+        now_perf = time.perf_counter()
+        for cell_state, proc, _deadline, t0 in running.values():
+            in_flight.append(
+                {
+                    "index": cell_state.index,
+                    "policy": cell_state.cell.policy,
+                    "capacity": cell_state.cell.capacity,
+                    "trace": cell_state.cell.trace,
+                    "attempt": cell_state.attempts,
+                    "pid": proc.pid,
+                    "seconds": now_perf - t0,
+                }
+            )
+        return {
+            "name": self.spec.name,
+            "run": self._run_number,
+            "ts": time.time(),
+            "finished": finished,
+            "parallel": self.parallel,
+            "workers": workers,
+            "cells": total,
+            "done": done,
+            "memo_hits": self._memo_hits,
+            "computed": self._computed,
+            "attempts": self._attempts,
+            "failures": self._failures,
+            "quarantined": self._quarantined,
+            "running": sorted(in_flight, key=lambda r: r["index"]),
+            "accesses_done": self._accesses_done,
+            "accesses_per_sec": (
+                self._accesses_done / elapsed if elapsed > 0 else 0.0
+            ),
+            "memo_hit_ratio": self._memo_hits / done if done else 0.0,
+            "store_hit_ratio": self.store.hit_ratio,
+            "elapsed_seconds": elapsed,
+            "eta_seconds": eta,
+        }
+
+    def _update_live_metrics(self, state: Dict[str, Any]) -> None:
+        g = self._live.gauge
+        g("campaign_cells").set(state["cells"])
+        g("campaign_cells_done").set(state["done"])
+        g("campaign_cells_quarantined").set(state["quarantined"])
+        g("campaign_cells_running").set(len(state["running"]))
+        g("campaign_memo_hits").set(state["memo_hits"])
+        g("campaign_computed").set(state["computed"])
+        g("campaign_attempts").set(state["attempts"])
+        g("campaign_failed_attempts").set(state["failures"])
+        g("campaign_accesses_per_sec").set(state["accesses_per_sec"])
+        g("campaign_memo_hit_ratio").set(state["memo_hit_ratio"])
+        g("campaign_store_hit_ratio").set(state["store_hit_ratio"])
+        g("campaign_elapsed_seconds").set(state["elapsed_seconds"])
+        g("campaign_eta_seconds").set(
+            state["eta_seconds"] if state["eta_seconds"] is not None else -1.0
+        )
+        g("campaign_finished").set(1.0 if state["finished"] else 0.0)
 
     def _publish_metrics(self, report: CampaignReport) -> None:
         reg = self.recorder.registry

@@ -30,6 +30,7 @@ from repro.analysis.tables import format_table
 from repro.campaign.cli import add_campaign_parser, run_campaign_command
 from repro.core.engine import simulate as run_simulation
 from repro.errors import ConfigurationError
+from repro.obs.cli import add_obs_parser, run_obs_command
 from repro.locality.profile import profile_trace
 from repro.policies import make_policy, policy_names
 from repro.workloads import (
@@ -219,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_mrc.add_argument("--seed", type=int, default=0)
 
     add_campaign_parser(sub)
+    add_obs_parser(sub)
 
     sub.add_parser("schematics", help="executable Figures 1 & 4 demo")
     return parser
@@ -233,9 +235,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         # The env var is the single source of truth every parallel
         # entry point (sweep, campaign runner) already reads.
         os.environ["REPRO_JOBS"] = str(ns.jobs)
+    # Handlers return either printable text (exit 0) or a
+    # (text, exit_code) tuple — how `campaign status` and
+    # `obs bench-compare` signal failure to CI without exceptions.
     out = _dispatch(ns)
-    print(out)
-    return 0
+    code = 0
+    if isinstance(out, tuple):
+        out, code = out
+    if out:
+        print(out)
+    return code
 
 
 def _make_recorder(ns: argparse.Namespace):
@@ -253,7 +262,7 @@ def _make_recorder(ns: argparse.Namespace):
     )
 
 
-def _dispatch(ns: argparse.Namespace) -> str:
+def _dispatch(ns: argparse.Namespace):
     # Imports are local so `--help` stays fast.
     from repro.experiments import (
         ablation,
@@ -376,6 +385,8 @@ def _dispatch(ns: argparse.Namespace) -> str:
         )
     if ns.command == "campaign":
         return run_campaign_command(ns)
+    if ns.command == "obs":
+        return run_obs_command(ns)
     if ns.command == "schematics":
         return schematics.render()
     raise ConfigurationError(f"unknown command {ns.command!r}")  # pragma: no cover

@@ -43,6 +43,7 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.telemetry import spans
 from repro.core.mapping import ExplicitBlockMapping, FixedBlockMapping
 from repro.core.trace import Trace
 from repro.errors import ConfigurationError
@@ -230,38 +231,45 @@ def attach(handle: ArenaHandle) -> Trace:
     (e.g. the publisher already closed it).
     """
     global _ATEXIT_REGISTERED
-    cached = _ATTACHED.get(handle.name)
-    if cached is not None:
-        return cached[1]
-    shm_mod = _shm_module()
-    if shm_mod is None:  # pragma: no cover - stripped-down builds
-        raise ConfigurationError("shared memory unavailable; cannot attach")
-    try:
-        shm = _open_untracked(shm_mod, handle.name)
-    except Exception as exc:
-        raise ConfigurationError(
-            f"cannot attach trace arena {handle.name!r}: "
-            f"{type(exc).__name__}: {exc}"
-        ) from exc
-    extra = handle.universe if handle.mapping_kind == "explicit" else 0
-    buf = np.ndarray(handle.n + extra, dtype=np.int64, buffer=shm.buf)
-    items = buf[: handle.n]
-    items.flags.writeable = False
-    if handle.mapping_kind == "fixed":
-        mapping: Any = FixedBlockMapping(handle.universe, handle.max_block_size)
-    else:
-        block_ids = buf[handle.n:]
-        block_ids.flags.writeable = False
-        mapping = ExplicitBlockMapping(
-            block_ids, max_block_size=handle.max_block_size
-        )
-    trace = Trace(items, mapping, dict(handle.metadata))
-    trace._fp = handle.fingerprint
-    _ATTACHED[handle.name] = (shm, trace)
-    if not _ATEXIT_REGISTERED:
-        atexit.register(detach_all)
-        _ATEXIT_REGISTERED = True
-    return trace
+    with spans.span("arena.attach", segment=handle.name) as sp:
+        cached = _ATTACHED.get(handle.name)
+        if cached is not None:
+            if sp is not None:
+                sp.set("cached", True)
+            return cached[1]
+        if sp is not None:
+            sp.set("cached", False)
+        shm_mod = _shm_module()
+        if shm_mod is None:  # pragma: no cover - stripped-down builds
+            raise ConfigurationError("shared memory unavailable; cannot attach")
+        try:
+            shm = _open_untracked(shm_mod, handle.name)
+        except Exception as exc:
+            raise ConfigurationError(
+                f"cannot attach trace arena {handle.name!r}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        extra = handle.universe if handle.mapping_kind == "explicit" else 0
+        buf = np.ndarray(handle.n + extra, dtype=np.int64, buffer=shm.buf)
+        items = buf[: handle.n]
+        items.flags.writeable = False
+        if handle.mapping_kind == "fixed":
+            mapping: Any = FixedBlockMapping(
+                handle.universe, handle.max_block_size
+            )
+        else:
+            block_ids = buf[handle.n:]
+            block_ids.flags.writeable = False
+            mapping = ExplicitBlockMapping(
+                block_ids, max_block_size=handle.max_block_size
+            )
+        trace = Trace(items, mapping, dict(handle.metadata))
+        trace._fp = handle.fingerprint
+        _ATTACHED[handle.name] = (shm, trace)
+        if not _ATEXIT_REGISTERED:
+            atexit.register(detach_all)
+            _ATEXIT_REGISTERED = True
+        return trace
 
 
 def resolve(obj: Any) -> Any:

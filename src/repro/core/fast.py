@@ -52,6 +52,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.telemetry import spans
 from repro.core.mapping import FixedBlockMapping
 from repro.core.trace import Trace
 from repro.errors import ConfigurationError
@@ -162,18 +163,29 @@ def compile_trace(trace: Trace) -> CompiledTrace:
     memory-constrained runs); the fingerprint itself is cached on the
     trace instance, so keying is cheap after the first call.
     """
-    if os.environ.get("REPRO_NO_COMPILE_MEMO"):
-        return CompiledTrace(trace)
-    key = trace.fingerprint()
-    cached = _COMPILED.get(key)
-    if cached is not None:
-        _COMPILED.move_to_end(key)
-        return cached
-    compiled = CompiledTrace(trace)
-    _COMPILED[key] = compiled
-    while len(_COMPILED) > _COMPILE_MEMO_CAP:
-        _COMPILED.popitem(last=False)
-    return compiled
+    with spans.span("fast.compile") as sp:
+        if os.environ.get("REPRO_NO_COMPILE_MEMO"):
+            compiled = CompiledTrace(trace)
+            if sp is not None:
+                sp.set("memo", "off")
+                sp.set("accesses", compiled.n)
+            return compiled
+        key = trace.fingerprint()
+        cached = _COMPILED.get(key)
+        if cached is not None:
+            _COMPILED.move_to_end(key)
+            if sp is not None:
+                sp.set("memo", "hit")
+                sp.set("accesses", cached.n)
+            return cached
+        compiled = CompiledTrace(trace)
+        _COMPILED[key] = compiled
+        while len(_COMPILED) > _COMPILE_MEMO_CAP:
+            _COMPILED.popitem(last=False)
+        if sp is not None:
+            sp.set("memo", "miss")
+            sp.set("accesses", compiled.n)
+        return compiled
 
 
 #: counts = (misses, temporal_hits, spatial_hits, loaded_items, evicted_items)
@@ -628,8 +640,17 @@ def fast_simulate(policy, trace: Trace, record: _Record = None) -> Optional[SimR
         return None
     if policy.resident_items():
         return None  # warm policy: replay state only the referee tracks
-    compiled = compile_trace(trace)
-    misses, temporal, spatial, loaded, evicted = kernel(compiled, policy, record)
+    with spans.span(
+        "fast.replay",
+        policy=getattr(policy, "name", type(policy).__name__),
+        capacity=policy.capacity,
+    ) as sp:
+        compiled = compile_trace(trace)
+        if sp is not None:
+            sp.set("accesses", compiled.n)
+        misses, temporal, spatial, loaded, evicted = kernel(
+            compiled, policy, record
+        )
     result = SimResult(
         policy=getattr(policy, "name", type(policy).__name__),
         capacity=policy.capacity,
@@ -763,9 +784,12 @@ def stack_distances(ids: Sequence[int] | np.ndarray) -> np.ndarray:
     n = int(arr.size)
     if n == 0:
         return np.empty(0, dtype=np.int64)
-    prev = _prev_occurrence(arr)
-    out = np.arange(n, dtype=np.int64) - prev - 1 - _count_earlier_greater(prev)
-    out[prev < 0] = -1
+    with spans.span("fast.mattson", accesses=n):
+        prev = _prev_occurrence(arr)
+        out = (
+            np.arange(n, dtype=np.int64) - prev - 1 - _count_earlier_greater(prev)
+        )
+        out[prev < 0] = -1
     return out
 
 
@@ -977,6 +1001,9 @@ def multi_capacity_replay(
             "size <= every capacity)"
         )
     caps = sorted(set(int(k) for k in capacities))
-    if policy_name == "item-lru":
-        return _multi_capacity_item_lru(trace, caps, record)
-    return _multi_capacity_block_lru(trace, caps, record)
+    with spans.span(
+        "fast.multi_capacity", policy=policy_name, capacities=len(caps)
+    ):
+        if policy_name == "item-lru":
+            return _multi_capacity_item_lru(trace, caps, record)
+        return _multi_capacity_block_lru(trace, caps, record)

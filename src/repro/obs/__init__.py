@@ -1,0 +1,38 @@
+"""Operational observability: trace export, live watch, perf baselines.
+
+Three consumers of the instrumentation the rest of the repo produces:
+
+* :mod:`repro.obs.trace_export` — convert a span JSONL file recorded
+  by :mod:`repro.telemetry.spans` into Chrome trace-event JSON,
+  loadable in Perfetto (``gc-caching obs trace-export spans.jsonl``).
+* :mod:`repro.obs.watch` — the campaign executor's heartbeat state
+  file (atomic writes, torn-read-free) and the terminal status board
+  behind ``gc-caching campaign watch``.
+* :mod:`repro.obs.promfile` — render a
+  :class:`~repro.telemetry.metrics.MetricsRegistry` in the Prometheus
+  textfile-collector exposition format (``--metrics-out``).
+* :mod:`repro.obs.bench_compare` — the perf flight recorder's gate:
+  diff two ``BENCH_<name>.json`` files written by
+  ``benchmarks/_harness.py`` and flag metric regressions beyond a
+  tolerance (``gc-caching obs bench-compare A.json B.json``).
+
+See ``docs/observability.md`` for the end-to-end workflow.
+"""
+
+from repro.obs.bench_compare import compare_benchmarks, load_bench, render_compare
+from repro.obs.promfile import render_prometheus, write_prometheus
+from repro.obs.trace_export import load_spans, to_chrome_trace
+from repro.obs.watch import read_watch_state, render_board, write_watch_state
+
+__all__ = [
+    "compare_benchmarks",
+    "load_bench",
+    "render_compare",
+    "render_prometheus",
+    "write_prometheus",
+    "load_spans",
+    "to_chrome_trace",
+    "read_watch_state",
+    "render_board",
+    "write_watch_state",
+]

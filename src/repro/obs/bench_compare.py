@@ -1,0 +1,192 @@
+"""The perf flight recorder's gate: diff two ``BENCH_<name>.json``.
+
+``benchmarks/_harness.py`` gives every bench a uniform result file:
+named metrics, each with a value, a unit, and a **direction** —
+``"lower"`` for costs (wall seconds) and ``"higher"`` for wins
+(speedups, throughput).  :func:`compare_benchmarks` takes a baseline
+and a candidate file and flags each shared metric whose value moved in
+the *bad* direction by more than ``tolerance`` (a fraction: 0.15 means
+"15 % worse fails").  Improvements never fail, metrics present on only
+one side are reported as skipped (benches grow columns over time), and
+the CLI exits nonzero on any regression — which is the whole CI gate.
+
+Raw wall times only compare meaningfully on similar machines; CI
+therefore gates on machine-independent *derived* metrics (speedup
+ratios) via ``--metrics``, with the machine fingerprints of both files
+echoed in the report so a human can judge an apples-to-oranges diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["load_bench", "compare_benchmarks", "render_compare"]
+
+_DIRECTIONS = ("lower", "higher")
+
+
+def load_bench(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load and structurally validate one harness-emitted bench file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read bench file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"bench file {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(data, dict) or "metrics" not in data:
+        raise ConfigurationError(
+            f"bench file {path} has no 'metrics' section — was it written "
+            "by benchmarks/_harness.py?"
+        )
+    for name, metric in data["metrics"].items():
+        if not isinstance(metric, dict) or "value" not in metric:
+            raise ConfigurationError(
+                f"bench file {path}: metric {name!r} has no value"
+            )
+        if metric.get("direction", "lower") not in _DIRECTIONS:
+            raise ConfigurationError(
+                f"bench file {path}: metric {name!r} direction must be one "
+                f"of {_DIRECTIONS}, got {metric.get('direction')!r}"
+            )
+    return data
+
+
+def _relative_change(base: float, cand: float) -> float:
+    if base == 0:
+        return 0.0 if cand == 0 else float("inf")
+    return (cand - base) / abs(base)
+
+
+def compare_benchmarks(
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    tolerance: float = 0.15,
+    metrics: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """Per-metric verdicts for ``candidate`` against ``baseline``.
+
+    Returns a report dict::
+
+        {"bench": ..., "tolerance": ...,
+         "results": [{"metric", "baseline", "candidate", "direction",
+                      "change", "status"}, ...],
+         "regressions": [names...], "skipped": [names...]}
+
+    ``status`` is ``"ok"``, ``"regression"``, or ``"skipped"`` (metric
+    absent on one side, or excluded by ``metrics``).  ``change`` is the
+    signed relative change of the candidate value.
+    """
+    if tolerance < 0:
+        raise ConfigurationError(f"tolerance must be >= 0, got {tolerance}")
+    wanted = set(metrics) if metrics is not None else None
+    base_metrics = baseline.get("metrics", {})
+    cand_metrics = candidate.get("metrics", {})
+    names = sorted(set(base_metrics) | set(cand_metrics))
+    results: List[Dict[str, Any]] = []
+    regressions: List[str] = []
+    skipped: List[str] = []
+    for name in names:
+        if wanted is not None and name not in wanted:
+            skipped.append(name)
+            continue
+        base = base_metrics.get(name)
+        cand = cand_metrics.get(name)
+        if base is None or cand is None:
+            skipped.append(name)
+            results.append(
+                {
+                    "metric": name,
+                    "baseline": None if base is None else base["value"],
+                    "candidate": None if cand is None else cand["value"],
+                    "direction": (base or cand).get("direction", "lower"),
+                    "change": None,
+                    "status": "skipped",
+                }
+            )
+            continue
+        direction = base.get("direction", "lower")
+        change = _relative_change(float(base["value"]), float(cand["value"]))
+        # "lower" metrics regress when they grow; "higher" ones when
+        # they shrink.  Tolerance bounds movement in the bad direction.
+        if direction == "lower":
+            bad = change > tolerance
+        else:
+            bad = change < -tolerance
+        status = "regression" if bad else "ok"
+        if bad:
+            regressions.append(name)
+        results.append(
+            {
+                "metric": name,
+                "baseline": float(base["value"]),
+                "candidate": float(cand["value"]),
+                "direction": direction,
+                "change": change,
+                "status": status,
+            }
+        )
+    if wanted is not None:
+        missing = wanted - set(names)
+        if missing:
+            raise ConfigurationError(
+                f"--metrics names not present in either file: "
+                f"{', '.join(sorted(missing))}"
+            )
+    return {
+        "bench": candidate.get("bench", baseline.get("bench", "?")),
+        "tolerance": tolerance,
+        "baseline_machine": baseline.get("machine", {}),
+        "candidate_machine": candidate.get("machine", {}),
+        "baseline_git_sha": baseline.get("git_sha"),
+        "candidate_git_sha": candidate.get("git_sha"),
+        "results": results,
+        "regressions": regressions,
+        "skipped": skipped,
+    }
+
+
+def render_compare(report: Dict[str, Any]) -> str:
+    """Human-readable verdict table for one compare report."""
+    from repro.analysis.tables import format_table
+
+    rows = []
+    for r in report["results"]:
+        rows.append(
+            {
+                "metric": r["metric"],
+                "baseline": "-" if r["baseline"] is None else f"{r['baseline']:.6g}",
+                "candidate": "-" if r["candidate"] is None else f"{r['candidate']:.6g}",
+                "direction": r["direction"],
+                "change": "-" if r["change"] is None else f"{r['change']:+.1%}",
+                "status": r["status"],
+            }
+        )
+    lines = [
+        f"bench {report['bench']!r}: baseline "
+        f"{report.get('baseline_git_sha') or '?'} vs candidate "
+        f"{report.get('candidate_git_sha') or '?'} "
+        f"(tolerance {report['tolerance']:.0%})"
+    ]
+    base_node = report.get("baseline_machine", {}).get("node")
+    cand_node = report.get("candidate_machine", {}).get("node")
+    if base_node and cand_node and base_node != cand_node:
+        lines.append(
+            f"note: different machines ({base_node} vs {cand_node}) — "
+            "raw wall times are not comparable, gate on derived ratios"
+        )
+    if rows:
+        lines.append(format_table(rows, title="metric comparison"))
+    if report["regressions"]:
+        lines.append(
+            f"REGRESSION in {len(report['regressions'])} metric(s): "
+            + ", ".join(report["regressions"])
+        )
+    else:
+        lines.append("ok: no metric regressed beyond tolerance")
+    return "\n".join(lines)

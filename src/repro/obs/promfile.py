@@ -1,0 +1,83 @@
+"""Prometheus textfile-collector exposition of a MetricsRegistry.
+
+The campaign executor (and anything else holding a
+:class:`~repro.telemetry.metrics.MetricsRegistry`) can drop its
+current instrument values into a ``.prom`` file at each heartbeat; a
+node_exporter textfile collector — or a plain ``curl``-less scrape of
+the artifact — picks it up from there.  No client library, no HTTP
+server: the exposition format is plain text, and the write is atomic
+(same temp-file + replace discipline as the watch state) so a scraper
+never reads half a file.
+
+Counters map to ``counter``, gauges to ``gauge``, histograms to the
+conventional ``_bucket{le=...}`` / ``_sum`` / ``_count`` triplet with
+cumulative bucket counts and a ``+Inf`` bucket.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+from typing import List, Union
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["render_prometheus", "write_prometheus"]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _sanitize(name: str) -> str:
+    """Coerce a registry name into a legal Prometheus metric name."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _fmt(value: float) -> str:
+    # Integral values print without a trailing .0 — matches what
+    # Prometheus client libraries emit and keeps counters readable.
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry, prefix: str = "repro_") -> str:
+    """Exposition-format text for every instrument in ``registry``."""
+    lines: List[str] = []
+    for name in registry.names():
+        inst = registry._instruments[name]
+        metric = _sanitize(prefix + name)
+        if isinstance(inst, Counter):
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_fmt(inst.value)}")
+        elif isinstance(inst, Gauge):
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_fmt(inst.value)}")
+        elif isinstance(inst, Histogram):
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for edge, count in zip(inst.edges, inst.counts):
+                cumulative += count
+                lines.append(
+                    f'{metric}_bucket{{le="{_fmt(edge)}"}} {cumulative}'
+                )
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {inst.total}')
+            lines.append(f"{metric}_sum {_fmt(inst._sum)}")
+            lines.append(f"{metric}_count {inst.total}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(
+    registry: MetricsRegistry,
+    path: Union[str, Path],
+    prefix: str = "repro_",
+) -> None:
+    """Atomically write the exposition text to ``path``."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+    tmp.write_text(render_prometheus(registry, prefix=prefix))
+    os.replace(tmp, target)

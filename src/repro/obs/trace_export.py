@@ -1,0 +1,89 @@
+"""Span JSONL → Chrome trace-event JSON (Perfetto/about:tracing).
+
+The span file may freely mix record types (spans share the telemetry
+JSONL interchange format); only ``{"type": "span"}`` lines are
+exported.  Each span becomes one complete event (``"ph": "X"``) with
+microsecond timestamps relative to the earliest span in the file, laid
+out on its recording ``(pid, tid)`` track — Perfetto then renders the
+campaign → cell → compile/attach/replay/store hierarchy as nested
+slices per worker process, and the span/parent ids ride along in
+``args`` for programmatic consumers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.telemetry.sinks import read_jsonl
+from repro.telemetry.spans import Span
+
+__all__ = ["load_spans", "to_chrome_trace", "export_chrome_trace"]
+
+
+def load_spans(path: Union[str, Path]) -> List[Span]:
+    """Parse the span records out of a (possibly mixed) JSONL file."""
+    return [Span.from_record(r) for r in read_jsonl(path, kinds=("span",))]
+
+
+def to_chrome_trace(spans: Sequence[Span]) -> Dict[str, Any]:
+    """Spans → a Chrome trace-event document (JSON-ready dict).
+
+    Timestamps are rebased so the earliest span starts at 0 µs (epoch
+    microseconds overflow the 53-bit float mantissa the viewers use).
+    Process/thread name metadata events label each worker's track.
+    """
+    events: List[Dict[str, Any]] = []
+    if not spans:
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+    t0 = min(s.start for s in spans)
+    seen_tracks = set()
+    for s in spans:
+        args: Dict[str, Any] = {
+            "trace_id": s.trace_id,
+            "span_id": s.span_id,
+            "parent_id": s.parent_id,
+        }
+        args.update(s.attributes)
+        events.append(
+            {
+                "ph": "X",
+                "name": s.name,
+                "cat": "repro",
+                "ts": (s.start - t0) * 1e6,
+                "dur": s.seconds * 1e6,
+                "pid": s.pid,
+                "tid": s.tid,
+                "args": args,
+            }
+        )
+        if s.pid not in seen_tracks:
+            seen_tracks.add(s.pid)
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": s.pid,
+                    "tid": 0,
+                    "args": {"name": f"pid {s.pid}"},
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(
+    spans_path: Union[str, Path], out: Optional[Union[str, Path]] = None
+) -> str:
+    """Export ``spans_path`` to Chrome trace JSON; return the JSON text.
+
+    When ``out`` is given the document is also written there (the CLI
+    prints to stdout otherwise, for ``> trace.json`` piping).
+    """
+    document = to_chrome_trace(load_spans(spans_path))
+    text = json.dumps(document, separators=(",", ":"))
+    if out is not None:
+        out_path = Path(out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(text + "\n")
+    return text

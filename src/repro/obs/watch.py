@@ -1,0 +1,166 @@
+"""The campaign heartbeat state file and the live watch board.
+
+The executor heartbeats a single small JSON document (``watch.json``
+in the campaign directory) describing the run as of "now": totals,
+per-worker in-flight cells, throughput, ETA.  Writes go through a
+pid-unique temporary file plus :func:`os.replace`, so a concurrent
+reader — ``gc-caching campaign watch`` polling from another terminal,
+or a Prometheus textfile collector — always sees a complete document,
+never a torn one, no locks involved.  The newest write wins, which is
+exactly right for a "current status" file.
+
+Readers treat an unreadable file as "no state yet" rather than an
+error: the watcher may start before the run does, or outlive it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = [
+    "WATCH_FILENAME",
+    "write_watch_state",
+    "read_watch_state",
+    "render_board",
+    "watch_loop",
+]
+
+WATCH_FILENAME = "watch.json"
+
+_TMP_COUNTER = itertools.count()
+
+
+def write_watch_state(path: Union[str, Path], state: Dict[str, Any]) -> None:
+    """Atomically replace ``path`` with ``state`` as JSON.
+
+    The temporary file name embeds the writer's pid, thread id, and a
+    process-local counter, so concurrent writers (two resumed runs
+    racing, or several threads hammering the file) never stomp each
+    other's half-written temp file; each ``os.replace`` is atomic on
+    POSIX and Windows alike, and the newest write wins.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(
+        f".{target.name}.{os.getpid()}."
+        f"{threading.get_ident()}.{next(_TMP_COUNTER)}.tmp"
+    )
+    tmp.write_text(json.dumps(state, sort_keys=True) + "\n")
+    os.replace(tmp, target)
+
+
+def read_watch_state(path: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    """Load the current state, or ``None`` when absent/unreadable."""
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def _fmt_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "?"
+    seconds = max(0.0, float(seconds))
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, rest = divmod(int(seconds), 60)
+    if minutes < 60:
+        return f"{minutes}m{rest:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+def _bar(done: int, total: int, width: int = 32) -> str:
+    if total <= 0:
+        return "[" + " " * width + "]"
+    filled = int(width * min(1.0, done / total))
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def render_board(state: Dict[str, Any], now: Optional[float] = None) -> str:
+    """One refresh of the terminal status board, as plain text."""
+    now = time.time() if now is None else now
+    total = int(state.get("cells", 0))
+    done = int(state.get("done", 0))
+    quarantined = int(state.get("quarantined", 0))
+    age = now - float(state.get("ts", now))
+    lines = [
+        f"campaign {state.get('name', '?')!r} · run {state.get('run', '?')} · "
+        f"{'finished' if state.get('finished') else 'running'} "
+        f"(heartbeat {age:.1f}s ago)",
+        f"{_bar(done, total)} {done}/{total} cells done"
+        + (f" · {quarantined} quarantined" if quarantined else ""),
+        f"memoized {state.get('memo_hits', 0)} · computed "
+        f"{state.get('computed', 0)} · attempts {state.get('attempts', 0)} · "
+        f"failed attempts {state.get('failures', 0)}",
+        f"throughput {float(state.get('accesses_per_sec', 0.0)):,.0f} "
+        f"accesses/s · store hit ratio "
+        f"{float(state.get('store_hit_ratio', 0.0)):.2f} · elapsed "
+        f"{_fmt_duration(state.get('elapsed_seconds'))} · ETA "
+        f"{_fmt_duration(state.get('eta_seconds'))}",
+    ]
+    running: List[Dict[str, Any]] = state.get("running", [])
+    if running:
+        lines.append(f"in flight ({len(running)} worker(s)):")
+        for row in running:
+            lines.append(
+                f"  pid {row.get('pid', '?')}: cell #{row.get('index', '?')} "
+                f"{row.get('policy', '?')}/k={row.get('capacity', '?')} "
+                f"trace={row.get('trace', '?')} attempt "
+                f"{row.get('attempt', '?')} · "
+                f"{_fmt_duration(row.get('seconds'))}"
+            )
+    elif not state.get("finished"):
+        lines.append("in flight: none (between cells)")
+    return "\n".join(lines)
+
+
+def watch_loop(
+    directory: Union[str, Path],
+    interval: float = 1.0,
+    once: bool = False,
+    stream=None,
+    clock=time.time,
+    sleep=time.sleep,
+) -> int:
+    """Poll a campaign directory's heartbeat and render the board.
+
+    ``once=True`` renders a single frame and returns (scripts, tests,
+    CI).  The continuous mode redraws every ``interval`` seconds until
+    the state reports ``finished`` or the user interrupts.  Returns a
+    shell exit code: 0 normally, 1 when no state file ever appeared in
+    once-mode.
+    """
+    import sys
+
+    stream = sys.stdout if stream is None else stream
+    path = Path(directory) / WATCH_FILENAME
+    while True:
+        state = read_watch_state(path)
+        if state is None:
+            frame = (
+                f"no heartbeat yet at {path} "
+                "(campaign not started, or an old run without heartbeats)"
+            )
+        else:
+            frame = render_board(state, now=clock())
+        if not once:
+            # ANSI clear + home keeps the board in place without
+            # depending on curses; piped output degrades to frames.
+            stream.write("\x1b[2J\x1b[H" if stream.isatty() else "")
+        stream.write(frame + "\n")
+        stream.flush()
+        if once:
+            return 0 if state is not None else 1
+        if state is not None and state.get("finished"):
+            return 0
+        try:
+            sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return 0

@@ -12,6 +12,9 @@ Layers, from the hot path outward:
 * :mod:`repro.telemetry.events` — typed :class:`AccessEvent` /
   :class:`PhaseEvent` records with seeded probabilistic sampling.
 * :mod:`repro.telemetry.sinks` — ring buffer, JSONL, CSV destinations.
+* :mod:`repro.telemetry.spans` — hierarchical span tracing with
+  cross-process propagation; export with ``repro obs trace-export``
+  (see ``docs/observability.md``).
 * :mod:`repro.telemetry.recorder` — the :class:`Recorder` facade the
   engine consults via a single ``is not None`` branch per access.
 * :mod:`repro.telemetry.report` — render a telemetry file back into
@@ -40,9 +43,13 @@ from repro.telemetry.sinks import (
     Sink,
     read_jsonl,
 )
+from repro.telemetry.spans import Span, SpanContext, SpanTracer
 from repro.telemetry.windows import WindowedSeries, WindowRow
 
 __all__ = [
+    "Span",
+    "SpanContext",
+    "SpanTracer",
     "AccessEvent",
     "PhaseEvent",
     "EventSampler",

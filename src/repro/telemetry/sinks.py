@@ -67,17 +67,31 @@ class RingBufferSink(Sink):
 
 
 class JSONLSink(Sink):
-    """Append one compact JSON object per line to ``path``."""
+    """Write one compact JSON object per line to ``path``.
 
-    def __init__(self, path: str | Path) -> None:
+    ``mode="a"`` joins an existing file instead of truncating it, and
+    ``line_flush=True`` flushes after every record — together they let
+    multiple processes (the span tracer's campaign workers) share one
+    file: each emit is a single buffered write followed by a flush, so
+    lines from concurrent appenders interleave whole, never torn.
+    """
+
+    def __init__(
+        self, path: str | Path, mode: str = "w", line_flush: bool = False
+    ) -> None:
+        if mode not in ("w", "a"):
+            raise ValueError(f"JSONL sink mode must be 'w' or 'a', got {mode!r}")
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh: Optional[IO[str]] = self.path.open("w")
+        self._fh: Optional[IO[str]] = self.path.open(mode)
+        self._line_flush = line_flush
 
     def emit(self, record: Dict) -> None:
         if self._fh is None:
             raise ValueError(f"JSONL sink {self.path} already closed")
         self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        if self._line_flush:
+            self._fh.flush()
 
     def close(self) -> None:
         if self._fh is not None:

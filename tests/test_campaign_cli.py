@@ -245,3 +245,165 @@ class TestOrchestratorCrash:
         out = run_cli(capsys, "resume", str(directory))
         assert "4/4 cells done" in out
         assert "0 memoized, 4 computed" in out
+
+
+class TestQuarantineStatus:
+    """`campaign status` must surface stuck cells and exit nonzero."""
+
+    BAD_ARGS = [
+        "--policy",
+        "item-lru,no-such-policy",
+        "--capacity",
+        "16",
+        "--workload",
+        "uniform",
+        "--length",
+        "400",
+        "--universe",
+        "32",
+        "--block-size",
+        "4",
+        "--max-attempts",
+        "2",
+        "--backoff",
+        "0.01",
+    ]
+
+    def test_status_exits_nonzero_with_quarantined_cells(
+        self, tmp_path, capsys
+    ):
+        directory = str(tmp_path / "camp")
+        # The run itself reports and exits 0 (partial results are
+        # durable and resumable); *status* is the CI-facing gate.
+        assert main(["campaign", "run", directory, *self.BAD_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "1 quarantined" in out
+
+        assert main(["campaign", "status", directory]) == 1
+        out = capsys.readouterr().out
+        assert "WARNING: 1 cell(s) quarantined" in out
+        assert "quarantined" in out
+        assert "no-such-policy" in out  # the error excerpt names the cause
+        # Retry counts are visible: max-attempts=2 means 2 attempts.
+        row = next(l for l in out.splitlines() if "quarantined" in l and "2" in l)
+        assert "unknown policy" in row
+
+    def test_status_recovers_after_successful_resume(self, tmp_path, capsys):
+        directory = str(tmp_path / "camp")
+        assert main(["campaign", "run", directory, *RUN_ARGS]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", directory]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined" not in out
+
+
+class TestObservabilityFlags:
+    def test_run_with_spans_and_metrics(self, tmp_path, capsys):
+        directory = str(tmp_path / "camp")
+        spans_path = tmp_path / "spans.jsonl"
+        prom_path = tmp_path / "metrics.prom"
+        out = run_cli(
+            capsys,
+            "run",
+            directory,
+            *RUN_ARGS,
+            "--trace-spans",
+            str(spans_path),
+            "--metrics-out",
+            str(prom_path),
+        )
+        assert "4/4 cells done" in out
+
+        # The span tree: campaign > execute > cell > replay children.
+        from repro.obs.trace_export import load_spans
+
+        spans = load_spans(spans_path)
+        by_name = {}
+        for sp in spans:
+            by_name.setdefault(sp.name, []).append(sp)
+        assert len(by_name["campaign"]) == 1
+        assert len(by_name["cell"]) == 4
+        assert len(by_name["store.put"]) == 4
+        by_id = {sp.span_id: sp for sp in spans}
+        for cell in by_name["cell"]:
+            assert by_id[cell.parent_id].name == "campaign.execute"
+        for put in by_name["store.put"]:
+            assert by_id[put.parent_id].name == "cell"
+        assert len({sp.trace_id for sp in spans}) == 1
+
+        # Chrome trace export round-trips through the CLI.
+        trace_out = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "obs",
+                    "trace-export",
+                    str(spans_path),
+                    "--out",
+                    str(trace_out),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        doc = json.loads(trace_out.read_text())
+        assert {e["name"] for e in doc["traceEvents"]} >= {"campaign", "cell"}
+
+        # The heartbeat left a final watch state and Prometheus file.
+        from repro.obs.watch import read_watch_state
+
+        state = read_watch_state(Path(directory) / "watch.json")
+        assert state["finished"] is True
+        assert state["done"] == 4
+        prom = prom_path.read_text()
+        assert "# TYPE repro_campaign_cells gauge" in prom
+        assert "repro_campaign_cells_done 4" in prom
+
+    def test_parallel_run_with_spans(self, tmp_path, capsys):
+        directory = str(tmp_path / "camp")
+        spans_path = tmp_path / "spans.jsonl"
+        out = run_cli(
+            capsys,
+            "run",
+            directory,
+            *RUN_ARGS,
+            "--parallel",
+            "--workers",
+            "2",
+            "--trace-spans",
+            str(spans_path),
+        )
+        assert "4/4 cells done" in out
+        from repro.obs.trace_export import load_spans
+
+        spans = load_spans(spans_path)
+        cells = [sp for sp in spans if sp.name == "cell"]
+        orchestrator_pid = next(
+            sp.pid for sp in spans if sp.name == "campaign"
+        )
+        assert len(cells) == 4
+        # Worker cell spans were recorded in other processes yet still
+        # parent into the orchestrator's tree.
+        assert all(sp.pid != orchestrator_pid for sp in cells)
+        by_id = {sp.span_id: sp for sp in spans}
+        assert {by_id[sp.parent_id].name for sp in cells} == {
+            "campaign.execute"
+        }
+
+    def test_memoized_rerun_with_spans(self, tmp_path, capsys):
+        directory = str(tmp_path / "camp")
+        run_cli(capsys, "run", directory, *RUN_ARGS)
+        spans_path = tmp_path / "rerun_spans.jsonl"
+        out = run_cli(
+            capsys,
+            "run",
+            directory,
+            *RUN_ARGS,
+            "--trace-spans",
+            str(spans_path),
+        )
+        assert "4 memoized" in out
+        from repro.obs.trace_export import load_spans
+
+        names = {sp.name for sp in load_spans(spans_path)}
+        assert names == {"campaign", "campaign.plan", "campaign.execute"}

@@ -1,0 +1,291 @@
+"""The observability layer: bench-compare gate, watch state file,
+Prometheus rendering, and the ``obs`` CLI exit codes."""
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.obs.bench_compare import compare_benchmarks, load_bench, render_compare
+from repro.obs.promfile import render_prometheus, write_prometheus
+from repro.obs.watch import (
+    read_watch_state,
+    render_board,
+    watch_loop,
+    write_watch_state,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def bench_payload(metrics, bench="demo", node="m1", sha="abc123"):
+    return {
+        "bench": bench,
+        "schema": 1,
+        "git_sha": sha,
+        "machine": {"node": node},
+        "metrics": metrics,
+    }
+
+
+def seconds_metric(value):
+    return {"value": value, "unit": "s", "direction": "lower"}
+
+
+def speedup_metric(value):
+    return {"value": value, "unit": "x", "direction": "higher"}
+
+
+class TestBenchCompare:
+    def test_identical_pair_passes(self):
+        base = bench_payload({"wall": seconds_metric(1.0), "speedup": speedup_metric(8.0)})
+        report = compare_benchmarks(base, base, tolerance=0.15)
+        assert report["regressions"] == []
+        assert {r["status"] for r in report["results"]} == {"ok"}
+        assert "ok: no metric regressed" in render_compare(report)
+
+    def test_two_x_slowdown_is_flagged(self):
+        base = bench_payload({"wall": seconds_metric(1.0)})
+        cand = bench_payload({"wall": seconds_metric(2.0)}, sha="def456")
+        report = compare_benchmarks(base, cand, tolerance=0.15)
+        assert report["regressions"] == ["wall"]
+        text = render_compare(report)
+        assert "REGRESSION in 1 metric(s): wall" in text
+        assert "+100.0%" in text
+
+    def test_direction_higher_regresses_downward(self):
+        base = bench_payload({"speedup": speedup_metric(8.0)})
+        halved = bench_payload({"speedup": speedup_metric(4.0)})
+        improved = bench_payload({"speedup": speedup_metric(16.0)})
+        assert compare_benchmarks(base, halved)["regressions"] == ["speedup"]
+        # Improvement in the good direction never fails, however large.
+        assert compare_benchmarks(base, improved)["regressions"] == []
+
+    def test_improvement_on_lower_metric_passes(self):
+        base = bench_payload({"wall": seconds_metric(2.0)})
+        cand = bench_payload({"wall": seconds_metric(0.5)})
+        assert compare_benchmarks(base, cand)["regressions"] == []
+
+    def test_within_tolerance_passes(self):
+        base = bench_payload({"wall": seconds_metric(1.0)})
+        cand = bench_payload({"wall": seconds_metric(1.1)})
+        assert compare_benchmarks(base, cand, tolerance=0.15)["regressions"] == []
+        assert compare_benchmarks(base, cand, tolerance=0.05)["regressions"] == [
+            "wall"
+        ]
+
+    def test_one_sided_metrics_are_skipped(self):
+        base = bench_payload({"wall": seconds_metric(1.0), "old": seconds_metric(1.0)})
+        cand = bench_payload({"wall": seconds_metric(1.0), "new": seconds_metric(1.0)})
+        report = compare_benchmarks(base, cand)
+        assert sorted(report["skipped"]) == ["new", "old"]
+        assert report["regressions"] == []
+
+    def test_metrics_filter(self):
+        base = bench_payload(
+            {"wall": seconds_metric(1.0), "speedup": speedup_metric(8.0)}
+        )
+        cand = bench_payload(
+            {"wall": seconds_metric(9.0), "speedup": speedup_metric(8.0)}
+        )
+        report = compare_benchmarks(base, cand, metrics=["speedup"])
+        assert report["regressions"] == []  # the 9x wall slowdown is excluded
+        assert "wall" in report["skipped"]
+        with pytest.raises(ConfigurationError, match="not present"):
+            compare_benchmarks(base, cand, metrics=["nope"])
+
+    def test_load_bench_validates(self, tmp_path):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(bench_payload({"wall": seconds_metric(1.0)})))
+        assert load_bench(good)["bench"] == "demo"
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_bench(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_bench(bad)
+        no_metrics = tmp_path / "no_metrics.json"
+        no_metrics.write_text(json.dumps({"bench": "x"}))
+        with pytest.raises(ConfigurationError, match="no 'metrics'"):
+            load_bench(no_metrics)
+        bad_dir = tmp_path / "bad_dir.json"
+        bad_dir.write_text(
+            json.dumps(
+                bench_payload({"wall": {"value": 1.0, "direction": "sideways"}})
+            )
+        )
+        with pytest.raises(ConfigurationError, match="direction"):
+            load_bench(bad_dir)
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        slow = tmp_path / "slow.json"
+        base.write_text(json.dumps(bench_payload({"wall": seconds_metric(1.0)})))
+        slow.write_text(json.dumps(bench_payload({"wall": seconds_metric(2.0)})))
+        assert main(["obs", "bench-compare", str(base), str(base)]) == 0
+        assert "ok: no metric regressed" in capsys.readouterr().out
+        assert main(["obs", "bench-compare", str(base), str(slow)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # A looser tolerance waves the same pair through.
+        assert (
+            main(
+                ["obs", "bench-compare", str(base), str(slow), "--tolerance", "1.5"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+
+class TestWatchState:
+    def test_roundtrip_and_missing(self, tmp_path):
+        path = tmp_path / "watch.json"
+        assert read_watch_state(path) is None
+        write_watch_state(path, {"cells": 4, "done": 1})
+        assert read_watch_state(path) == {"cells": 4, "done": 1}
+        path.write_text("{torn")
+        assert read_watch_state(path) is None
+
+    def test_no_leftover_temp_files(self, tmp_path):
+        path = tmp_path / "watch.json"
+        write_watch_state(path, {"done": 1})
+        assert [p.name for p in tmp_path.iterdir()] == ["watch.json"]
+
+    def test_atomic_under_concurrent_writers(self, tmp_path):
+        """Hammer the file from several threads while reading it
+        continuously: every read must be a complete document."""
+        path = tmp_path / "watch.json"
+        writes_per_thread = 80
+        stop = threading.Event()
+        torn = []
+
+        def writer(worker):
+            for i in range(writes_per_thread):
+                write_watch_state(
+                    path, {"worker": worker, "i": i, "pad": "x" * 256}
+                )
+
+        def reader():
+            while not stop.is_set():
+                state = read_watch_state(path)
+                if state is not None and set(state) != {"worker", "i", "pad"}:
+                    torn.append(state)
+
+        threads = [threading.Thread(target=writer, args=(w,)) for w in range(4)]
+        observer = threading.Thread(target=reader)
+        observer.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        observer.join()
+        assert torn == []
+        final = read_watch_state(path)
+        assert final["i"] == writes_per_thread - 1
+
+    def test_render_board(self):
+        state = {
+            "name": "grid",
+            "run": 2,
+            "ts": 100.0,
+            "finished": False,
+            "cells": 10,
+            "done": 4,
+            "memo_hits": 1,
+            "computed": 3,
+            "attempts": 5,
+            "failures": 2,
+            "quarantined": 1,
+            "accesses_per_sec": 123456.0,
+            "store_hit_ratio": 0.25,
+            "elapsed_seconds": 65.0,
+            "eta_seconds": 130.0,
+            "running": [
+                {
+                    "pid": 99,
+                    "index": 7,
+                    "policy": "iblp",
+                    "capacity": 256,
+                    "trace": "zipf",
+                    "attempt": 1,
+                    "seconds": 3.0,
+                }
+            ],
+        }
+        board = render_board(state, now=101.5)
+        assert "campaign 'grid' · run 2 · running (heartbeat 1.5s ago)" in board
+        assert "4/10 cells done · 1 quarantined" in board
+        assert "123,456 accesses/s" in board
+        assert "elapsed 1m05s · ETA 2m10s" in board
+        assert "pid 99: cell #7 iblp/k=256 trace=zipf attempt 1 · 3s" in board
+
+    def test_watch_loop_once(self, tmp_path, capsys):
+        assert main(["campaign", "watch", str(tmp_path), "--once"]) == 1
+        assert "no heartbeat yet" in capsys.readouterr().out
+        write_watch_state(
+            tmp_path / "watch.json",
+            {"name": "g", "cells": 2, "done": 2, "finished": True},
+        )
+        assert main(["campaign", "watch", str(tmp_path), "--once"]) == 0
+        assert "2/2 cells done" in capsys.readouterr().out
+
+    def test_watch_loop_follows_until_finished(self, tmp_path):
+        path = tmp_path / "watch.json"
+        write_watch_state(path, {"cells": 2, "done": 1, "finished": False})
+        frames = []
+
+        class FakeStream:
+            def write(self, text):
+                frames.append(text)
+
+            def flush(self):
+                pass
+
+            def isatty(self):
+                return False
+
+        ticks = iter(range(10))
+
+        def fake_sleep(_interval):
+            if next(ticks) >= 1:
+                write_watch_state(path, {"cells": 2, "done": 2, "finished": True})
+
+        code = watch_loop(
+            tmp_path, interval=0.01, stream=FakeStream(), sleep=fake_sleep
+        )
+        assert code == 0
+        joined = "".join(frames)
+        assert "1/2 cells done" in joined
+        assert "2/2 cells done" in joined
+
+
+class TestPromfile:
+    def test_render_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("cells_total").inc(5)
+        registry.gauge("eta_seconds").set(12.5)
+        hist = registry.histogram("cell_seconds", edges=[0.1, 1.0])
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_cells_total counter" in text
+        assert "repro_cells_total 5" in text
+        assert "# TYPE repro_eta_seconds gauge" in text
+        assert "repro_eta_seconds 12.5" in text
+        assert "# TYPE repro_cell_seconds histogram" in text
+        assert 'repro_cell_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_cell_seconds_bucket{le="1"} 2' in text
+        assert 'repro_cell_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_cell_seconds_count 3" in text
+        assert text.endswith("\n")
+
+    def test_write_is_atomic_and_sanitizes_names(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.gauge("weird-name.dots").set(1)
+        out = tmp_path / "metrics.prom"
+        write_prometheus(registry, out)
+        text = out.read_text()
+        assert "repro_weird_name_dots 1" in text
+        assert [p.name for p in tmp_path.iterdir()] == ["metrics.prom"]

@@ -1,0 +1,234 @@
+"""Hierarchical span tracing: nesting, cross-process propagation,
+Chrome trace export, and the ambient no-op path."""
+
+import json
+import os
+import pickle
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.obs.trace_export import export_chrome_trace, load_spans, to_chrome_trace
+from repro.telemetry import spans
+from repro.telemetry.spans import Span, SpanContext, SpanTracer
+
+
+def read_records(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+def by_name(records):
+    out = {}
+    for record in records:
+        out.setdefault(record["name"], []).append(record)
+    return out
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_tracer():
+    """Every test starts and ends with the ambient tracer off."""
+    spans.disable()
+    yield
+    spans.disable()
+
+
+class TestNesting:
+    def test_parent_ids_follow_lexical_nesting(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with SpanTracer.to_path(path) as tracer:
+            with tracer.span("a") as a:
+                with tracer.span("b") as b:
+                    with tracer.span("c") as c:
+                        pass
+                with tracer.span("b2") as b2:
+                    pass
+        names = by_name(read_records(path))
+        assert set(names) == {"a", "b", "c", "b2"}
+        assert names["a"][0]["parent_id"] is None
+        assert names["b"][0]["parent_id"] == a.span_id
+        assert names["c"][0]["parent_id"] == b.span_id
+        # A sibling opened after b closed parents to a, not to b.
+        assert names["b2"][0]["parent_id"] == a.span_id
+        assert {r["trace_id"] for rs in names.values() for r in rs} == {
+            tracer.trace_id
+        }
+        assert c.seconds >= 0
+
+    def test_attributes_and_error_recording(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with SpanTracer.to_path(path) as tracer:
+            with tracer.span("ok", policy="item-lru") as sp:
+                sp.set("misses", 7)
+            with pytest.raises(ValueError):
+                with tracer.span("boom"):
+                    raise ValueError("nope")
+        names = by_name(read_records(path))
+        assert names["ok"][0]["attrs"] == {"policy": "item-lru", "misses": 7}
+        assert names["boom"][0]["attrs"]["error"] == "ValueError: nope"
+
+    def test_explicit_parent_and_pinned_span_id(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with SpanTracer.to_path(path) as tracer:
+            remote = SpanContext(trace_id=tracer.trace_id, span_id="feed" * 4)
+            with tracer.span("pinned", parent=remote, span_id="beef" * 4):
+                pass
+        record = read_records(path)[0]
+        assert record["span_id"] == "beef" * 4
+        assert record["parent_id"] == "feed" * 4
+
+    def test_thread_gets_its_own_stack(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        seen = {}
+        with SpanTracer.to_path(path) as tracer:
+            with tracer.span("main-span"):
+
+                def worker():
+                    with tracer.span("thread-span") as sp:
+                        seen["parent"] = sp.parent_id
+
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+        # The thread did not inherit the main thread's open span.
+        assert seen["parent"] is None
+
+    def test_span_roundtrip(self):
+        sp = Span(
+            name="x",
+            trace_id="t" * 16,
+            span_id="s" * 16,
+            parent_id=None,
+            start=12.5,
+            seconds=0.25,
+            pid=1,
+            tid=2,
+            attributes={"k": 3},
+        )
+        assert Span.from_record(sp.as_record()) == sp
+
+
+def _pool_worker(payload):
+    """Joins the parent's trace from another process (args are pickled
+    by the executor even under the fork start method)."""
+    path, ctx_dict = payload
+    context = SpanContext.from_dict(ctx_dict)
+    spans.enable(path, root=context, append=True)
+    try:
+        with spans.span("pool-work", worker=os.getpid()):
+            with spans.span("pool-inner"):
+                pass
+    finally:
+        spans.disable()
+    return os.getpid()
+
+
+class TestProcessPropagation:
+    def test_span_context_pickles(self):
+        ctx = SpanContext(trace_id="a" * 16, span_id="b" * 16)
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+
+    def test_parent_ids_survive_the_worker_boundary(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = spans.enable(path)
+        with spans.span("orchestrate") as parent:
+            ctx = spans.current_context()
+            assert ctx == parent.context
+            payload = (str(path), ctx.as_dict())
+            with ProcessPoolExecutor(max_workers=2) as pool:
+                pids = list(pool.map(_pool_worker, [payload] * 3))
+        spans.disable()
+
+        names = by_name(read_records(path))
+        assert len(names["pool-work"]) == 3
+        assert len(names["pool-inner"]) == 3
+        for record in names["pool-work"]:
+            assert record["parent_id"] == parent.span_id
+            assert record["trace_id"] == tracer.trace_id
+            assert record["pid"] in pids
+        inner_parents = {r["parent_id"] for r in names["pool-inner"]}
+        assert inner_parents == {r["span_id"] for r in names["pool-work"]}
+        # Concurrent appenders never tear lines: every record parsed.
+        assert names["orchestrate"][0]["parent_id"] is None
+
+
+class TestAmbient:
+    def test_disabled_is_a_noop(self):
+        assert not spans.enabled()
+        assert spans.get_tracer() is None
+        assert spans.current_context() is None
+        with spans.span("nothing", k=1) as sp:
+            assert sp is None
+        spans.annotate(ignored=True)  # must not raise
+
+    def test_enable_records_and_annotate_reaches_open_span(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        spans.enable(path)
+        assert spans.enabled()
+        with spans.span("work") as sp:
+            spans.annotate(extra="yes")
+            assert sp.attributes["extra"] == "yes"
+        spans.disable()
+        assert read_records(path)[0]["attrs"] == {"extra": "yes"}
+
+    def test_enable_does_not_close_the_previous_tracer(self, tmp_path):
+        first = spans.enable(tmp_path / "one.jsonl")
+        spans.enable(tmp_path / "two.jsonl")
+        assert not first._closed
+        first.close()
+        spans.disable()
+
+
+class TestChromeExport:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with SpanTracer.to_path(path) as tracer:
+            with tracer.span("outer", policy="iblp"):
+                with tracer.span("inner"):
+                    pass
+
+        loaded = load_spans(path)
+        assert [s.name for s in loaded] == ["inner", "outer"]
+
+        trace = to_chrome_trace(loaded)
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert {e["name"] for e in events} == {"outer", "inner"}
+        assert meta and meta[0]["name"] == "process_name"
+        # Timestamps are rebased to the earliest span and in µs.
+        assert min(e["ts"] for e in events) == 0.0
+        outer = next(e for e in events if e["name"] == "outer")
+        inner = next(e for e in events if e["name"] == "inner")
+        assert outer["args"]["parent_id"] is None
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        assert outer["args"]["policy"] == "iblp"
+        assert outer["dur"] >= inner["dur"] >= 0
+
+    def test_export_writes_loadable_json(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with SpanTracer.to_path(path) as tracer:
+            with tracer.span("only"):
+                pass
+        out = tmp_path / "trace.json"
+        text = export_chrome_trace(path, out=out)
+        assert json.loads(text) == json.loads(out.read_text())
+        assert json.loads(text)["displayTimeUnit"] == "ms"
+
+    def test_telemetry_records_are_ignored(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(
+            json.dumps({"type": "window", "miss_ratio": 0.5})
+            + "\n"
+            + json.dumps(
+                Span(
+                    name="real",
+                    trace_id="t" * 16,
+                    span_id="s" * 16,
+                    parent_id=None,
+                    start=1.0,
+                    seconds=0.1,
+                ).as_record()
+            )
+            + "\n"
+        )
+        assert [s.name for s in load_spans(path)] == ["real"]
