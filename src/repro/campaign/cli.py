@@ -319,6 +319,7 @@ def collect_rows(directory: str | Path) -> List[Dict[str, Any]]:
                 fast=cell.fast,
                 policy_kwargs=cell.policy_kwargs,
                 version=spec.version,
+                serving=cell.serving,
             )
             stored = store.get(digest)
             if stored is None:
@@ -360,6 +361,7 @@ def _status(directory: str) -> tuple:
                 fast=cell.fast,
                 policy_kwargs=cell.policy_kwargs,
                 version=spec.version,
+                serving=cell.serving,
             )
             stored = digest in store
             done += stored

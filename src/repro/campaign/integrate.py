@@ -93,6 +93,50 @@ class CampaignCache:
         self.computed += 1
         return result
 
+    def serve(
+        self,
+        policy: str,
+        capacity: int,
+        trace: Trace,
+        serving: Any,
+        **policy_kwargs: Any,
+    ):
+        """Memoized equivalent of ``serve(make_policy(...), trace, config)``.
+
+        ``serving`` is a :class:`repro.serving.ServingConfig` (or its
+        dict form); its canonical dict joins the content address, so a
+        changed arrival rate, service model, or queue knob can never be
+        served from a stale cell.  Returns a
+        :class:`repro.serving.ServingResult`, bit-identical whether
+        computed now or replayed from the store.
+        """
+        from repro.serving import ServingConfig, serve_policy
+
+        config = (
+            serving
+            if isinstance(serving, ServingConfig)
+            else ServingConfig.from_dict(serving)
+        )
+        digest = cell_hash(
+            policy=policy,
+            capacity=capacity,
+            trace_fingerprint=trace.fingerprint(),
+            fast=False,
+            policy_kwargs=policy_kwargs,
+            serving=config.as_dict(),
+        )
+        stored = self.store.get(digest)
+        if stored is not None:
+            self.hits += 1
+            return result_from_fields(stored)
+        result = serve_policy(policy, capacity, trace, config, **policy_kwargs)
+        self.store.put(digest, result.fields())
+        self.journal.append(
+            "done", hash=digest, attempt=1, memo=False, source="cache"
+        )
+        self.computed += 1
+        return result
+
     @property
     def hit_ratio(self) -> float:
         total = self.hits + self.computed

@@ -83,8 +83,20 @@ def result_fields(result: SimResult) -> Dict[str, Any]:
     }
 
 
-def result_from_fields(fields: Dict[str, Any]) -> SimResult:
-    """Rebuild the exact :class:`SimResult` stored by :func:`result_fields`."""
+def result_from_fields(fields: Dict[str, Any]):
+    """Rebuild the exact result object a worker stored.
+
+    Offline cells stored :func:`result_fields` payloads and round-trip
+    to :class:`SimResult`; serving cells are tagged ``"kind":
+    "serving"`` and round-trip to
+    :class:`repro.serving.ServingResult` (which carries its offline
+    ``SimResult`` inside).  Both expose ``as_row()``, which is all the
+    report/CSV layers rely on.
+    """
+    if fields.get("kind") == "serving":
+        from repro.serving import ServingResult
+
+        return ServingResult.from_fields(fields)
     return SimResult(
         accesses=int(fields["accesses"]),
         misses=int(fields["misses"]),
@@ -99,13 +111,23 @@ def result_from_fields(fields: Dict[str, Any]) -> SimResult:
 
 
 def execute_cell(cell: CellSpec, trace: Trace) -> Dict[str, Any]:
-    """Run one cell (same replay path as ``sweep``'s ``simulate_cell``)."""
+    """Run one cell (same replay path as ``sweep``'s ``simulate_cell``).
+
+    A cell with a ``serving`` config runs the request-level simulator
+    instead; its payload is :meth:`repro.serving.ServingResult.fields`
+    (self-tagged, so :func:`result_from_fields` rebuilds the right
+    type).
+    """
     from repro.core.engine import simulate
     from repro.policies import make_policy
 
     instance = make_policy(
         cell.policy, cell.capacity, trace.mapping, **dict(cell.policy_kwargs)
     )
+    if cell.serving is not None:
+        from repro.serving import ServingConfig, serve
+
+        return serve(instance, trace, ServingConfig.from_dict(cell.serving)).fields()
     return result_fields(simulate(instance, trace, fast=cell.fast))
 
 
@@ -215,7 +237,9 @@ class CellOutcome:
     attempts: int = 0
     memo: bool = False
     error: Optional[str] = None
-    result: Optional[SimResult] = None
+    #: ``SimResult`` (offline cell) or ``repro.serving.ServingResult``
+    #: (serving cell); both expose ``as_row()``.
+    result: Optional[Any] = None
 
 
 @dataclass
@@ -422,6 +446,7 @@ class CampaignRunner:
                 fast=cell.fast,
                 policy_kwargs=cell.policy_kwargs,
                 version=self.spec.version,
+                serving=cell.serving,
             )
             stored = self.store.get(digest)
             if stored is not None:

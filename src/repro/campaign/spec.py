@@ -148,31 +148,45 @@ class TraceSpec:
 
 @dataclass(frozen=True)
 class CellSpec:
-    """One grid cell: a policy replayed over one trace at one size."""
+    """One grid cell: a policy replayed over one trace at one size.
+
+    ``serving`` (a :meth:`repro.serving.ServingConfig.as_dict` mapping,
+    or ``None``) turns the cell into a request-level serving run: the
+    worker calls :func:`repro.serving.serve` instead of offline
+    ``simulate`` and the row carries latency columns.  Offline cells
+    omit the key entirely, so pre-serving ``spec.json`` files load
+    unchanged and keep their cell hashes.
+    """
 
     policy: str
     capacity: int
     trace: str  #: key into :attr:`CampaignSpec.traces`
     fast: bool = True
     policy_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    serving: Optional[Mapping[str, Any]] = None
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "policy": self.policy,
             "capacity": self.capacity,
             "trace": self.trace,
             "fast": self.fast,
             "policy_kwargs": dict(self.policy_kwargs),
         }
+        if self.serving is not None:
+            out["serving"] = dict(self.serving)
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CellSpec":
+        serving = data.get("serving")
         return cls(
             policy=data["policy"],
             capacity=int(data["capacity"]),
             trace=data["trace"],
             fast=bool(data.get("fast", True)),
             policy_kwargs=dict(data.get("policy_kwargs", {})),
+            serving=dict(serving) if serving is not None else None,
         )
 
     def params_row(self) -> Dict[str, Any]:
@@ -194,18 +208,28 @@ def cell_hash(
     fast: bool = True,
     policy_kwargs: Optional[Mapping[str, Any]] = None,
     version: Optional[str] = None,
+    serving: Optional[Mapping[str, Any]] = None,
 ) -> str:
-    """The content address of one cell (see the module docstring)."""
-    payload = canonical_json(
-        {
-            "policy": policy,
-            "capacity": int(capacity),
-            "policy_kwargs": dict(policy_kwargs or {}),
-            "trace_fingerprint": trace_fingerprint,
-            "fast": bool(fast),
-            "version": version if version is not None else repro.__version__,
-        }
-    )
+    """The content address of one cell (see the module docstring).
+
+    ``serving`` — the cell's serving config dict, when it is a
+    request-level cell — is part of the address: changing any arrival,
+    service, or queue parameter yields a different hash, so serving
+    rows can never be served from cells computed under other load
+    parameters.  Offline cells (``serving=None``) hash exactly as they
+    did before the serving layer existed, keeping old stores valid.
+    """
+    body: Dict[str, Any] = {
+        "policy": policy,
+        "capacity": int(capacity),
+        "policy_kwargs": dict(policy_kwargs or {}),
+        "trace_fingerprint": trace_fingerprint,
+        "fast": bool(fast),
+        "version": version if version is not None else repro.__version__,
+    }
+    if serving is not None:
+        body["serving"] = dict(serving)
+    payload = canonical_json(body)
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
@@ -241,12 +265,24 @@ class CampaignSpec:
         traces: Mapping[str, TraceSpec],
         fast: bool = True,
         policy_kwargs: Optional[Mapping[str, Any]] = None,
+        servings: Optional[Sequence[Mapping[str, Any]]] = None,
     ) -> "CampaignSpec":
-        """Cartesian (trace × policy × capacity) grid, sweep-ordered."""
+        """Cartesian (trace × policy × capacity) grid, sweep-ordered.
+
+        ``servings`` (optional) adds a fourth axis of serving-config
+        dicts, making every cell a request-level serving cell — the
+        ``latency_vs_load`` experiment grids over arrival rates this
+        way.  ``None`` keeps the classic offline grid.
+        """
         if not policies or not capacities or not traces:
             raise ConfigurationError(
                 "a campaign grid needs at least one policy, capacity, and trace"
             )
+        serving_axis: Sequence[Optional[Mapping[str, Any]]] = (
+            [None] if servings is None else list(servings)
+        )
+        if not serving_axis:
+            raise ConfigurationError("servings, when given, must be non-empty")
         cells = [
             CellSpec(
                 policy=p,
@@ -254,10 +290,12 @@ class CampaignSpec:
                 trace=t,
                 fast=fast,
                 policy_kwargs=dict(policy_kwargs or {}),
+                serving=dict(s) if s is not None else None,
             )
             for t in traces
             for p in policies
             for c in capacities
+            for s in serving_axis
         ]
         return cls(name=name, traces=dict(traces), cells=cells)
 

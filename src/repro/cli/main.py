@@ -159,6 +159,86 @@ def build_parser() -> argparse.ArgumentParser:
         "(with --telemetry; 1.0 = full trace)",
     )
 
+    p_srv = sub.add_parser(
+        "serve",
+        help="request-level serving simulation: latency, not just misses",
+    )
+    p_srv.add_argument("--policy", choices=sorted(policy_names()), required=True)
+    p_srv.add_argument("--workload", choices=sorted(_WORKLOADS), required=True)
+    p_srv.add_argument("--capacity", type=int, required=True)
+    p_srv.add_argument("--block-size", type=int, default=8)
+    p_srv.add_argument("--length", type=int, default=50_000)
+    p_srv.add_argument("--universe", type=int, default=4096)
+    p_srv.add_argument("--alpha", type=float, default=1.0)
+    p_srv.add_argument("--stay", type=float, default=0.8)
+    p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.add_argument(
+        "--process",
+        choices=("poisson", "mmpp", "constant", "closed"),
+        default="poisson",
+        help="arrival process (closed = fixed client population)",
+    )
+    p_srv.add_argument(
+        "--rate",
+        type=float,
+        default=0.01,
+        help="open-loop arrival rate (requests per simulated time unit)",
+    )
+    p_srv.add_argument("--clients", type=int, default=1, help="closed-loop clients")
+    p_srv.add_argument(
+        "--think", type=float, default=0.0, help="closed-loop mean think time"
+    )
+    p_srv.add_argument("--arrival-seed", type=int, default=0)
+    p_srv.add_argument("--t-hit", type=float, default=1.0)
+    p_srv.add_argument("--t-miss", type=float, default=100.0)
+    p_srv.add_argument(
+        "--t-item",
+        type=float,
+        default=0.0,
+        help="transfer cost per extra item in a spatial load",
+    )
+    p_srv.add_argument(
+        "--dist", choices=("deterministic", "exponential"), default="deterministic"
+    )
+    p_srv.add_argument("--concurrency", type=int, default=1)
+    p_srv.add_argument("--queue", choices=("fifo", "sjf"), default="fifo")
+    p_srv.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        help="admission bound on waiting requests (default unbounded)",
+    )
+    p_srv.add_argument(
+        "--queue-timeout",
+        type=float,
+        default=None,
+        help="drop requests whose queue wait exceeds this",
+    )
+
+    p_lvl = sub.add_parser(
+        "latency-vs-load",
+        help="IBLP vs item-LRU tail latency across offered loads",
+    )
+    p_lvl.add_argument("--capacity", type=int, default=256)
+    p_lvl.add_argument(
+        "--loads",
+        type=lambda s: [float(x) for x in s.split(",")],
+        default=None,
+        help="comma-separated loads as fractions of all-miss capacity",
+    )
+    p_lvl.add_argument(
+        "--policies",
+        type=lambda s: [p.strip() for p in s.split(",") if p.strip()],
+        default=None,
+        help="comma-separated registry policy names",
+    )
+    p_lvl.add_argument(
+        "--campaign-dir",
+        default=None,
+        help="memoize serving cells in this campaign directory "
+        "(content-addressed incl. the serving config; resumable)",
+    )
+
     p_rep = sub.add_parser(
         "report", help="render a telemetry file written by simulate --telemetry"
     )
@@ -320,6 +400,75 @@ def _dispatch(ns: argparse.Namespace):
                 f"({len(recorder.window_rows)} windows of {ns.window}{hint})"
             )
         return out
+    if ns.command == "serve":
+        from repro.serving import (
+            ArrivalSpec,
+            ServiceModel,
+            ServingConfig,
+            serve_policy,
+        )
+
+        trace = _WORKLOADS[ns.workload](ns)
+        config = ServingConfig(
+            arrival=ArrivalSpec(
+                process=ns.process,
+                rate=ns.rate,
+                seed=ns.arrival_seed,
+                clients=ns.clients,
+                think=ns.think,
+            ),
+            service=ServiceModel(
+                t_hit=ns.t_hit,
+                t_miss=ns.t_miss,
+                t_item=ns.t_item,
+                dist=ns.dist,
+                seed=ns.seed,
+            ),
+            concurrency=ns.concurrency,
+            queue=ns.queue,
+            queue_limit=ns.queue_limit,
+            timeout=ns.queue_timeout,
+        )
+        result = serve_policy(ns.policy, ns.capacity, trace, config)
+        row = result.as_row()
+        cache_cols = {
+            k: row[k]
+            for k in ("policy", "capacity", "miss_ratio", "spatial_fraction")
+        }
+        serve_cols = {
+            k: row[k]
+            for k in (
+                "arrivals",
+                "completions",
+                "dropped_admission",
+                "dropped_timeout",
+                "throughput",
+                "utilization",
+                "mean_latency",
+                "p50",
+                "p99",
+                "p999",
+            )
+        }
+        return (
+            format_table([cache_cols], title="cache behaviour")
+            + "\n"
+            + format_table([serve_cols], title="serving behaviour")
+        )
+    if ns.command == "latency-vs-load":
+        from repro.campaign import open_cache
+        from repro.experiments import latency_vs_load
+
+        kwargs = {"capacity": ns.capacity}
+        if ns.loads:
+            kwargs["loads"] = ns.loads
+        if ns.policies:
+            kwargs["policies"] = ns.policies
+        cache = open_cache(ns.campaign_dir)
+        if cache is None:
+            return latency_vs_load.render(**kwargs)
+        with cache:
+            return latency_vs_load.render(cache=cache, **kwargs)
     if ns.command == "report":
         from repro.telemetry.report import load_telemetry, render_report
 

@@ -16,6 +16,7 @@ for figures, an ASCII rendering), so the same code backs the CLI
 ``ablation``       §4.4/§5.1/§6 design-choice ablations
 ``schematics``     Executable Figures 1 & 4 semantics checks
 ``size_dependence`` §5.3/§6.2: competitiveness depends on comparison size
+``latency_vs_load`` Request-level p50/p99/p999 latency at offered load
 =================  ======================================================
 """
 
@@ -27,6 +28,7 @@ from repro.experiments import (  # noqa: F401 (re-export modules)
     figure5,
     figure6,
     gcm_analysis,
+    latency_vs_load,
     locality_exp,
     scale_check,
     schematics,
@@ -49,4 +51,5 @@ __all__ = [
     "size_dependence",
     "scale_check",
     "gcm_analysis",
+    "latency_vs_load",
 ]

@@ -1,0 +1,711 @@
+"""Request-level serving: from cache decisions to request latency.
+
+This is the layer ROADMAP item 1 asks for: the offline simulator
+answers *"what is the miss ratio"*; :func:`serve` answers *"what does
+a user feel at this offered load"*.  Every policy plugs in unchanged —
+the serving loop drives the same referee :class:`~repro.core.engine.
+Engine` (validation, spatial/temporal taxonomy, ``on_access``
+contract) that :func:`~repro.core.engine.simulate` uses, so the cache
+decision stream is exactly the offline one; serving only adds *time*:
+
+* **Arrivals** (open-loop Poisson / bursty MMPP / constant, or a
+  closed-loop client population) timestamp each trace request.
+* **Service**: a hit costs ``t_hit``; a miss additionally pays the
+  backing-store delay ``t_miss`` **once** plus ``t_item`` per *extra*
+  loaded item — a spatial load amortizes one backing fetch across the
+  loaded subset, which is precisely the paper's granularity-change
+  payoff translated into latency.  Spatial hits then cost only
+  ``t_hit``: the fetch they would have needed was already paid for.
+* **Queueing**: bounded server ``concurrency`` with a FIFO (default)
+  or shortest-expected-job-first queue, optional admission bound
+  (``queue_limit``) and queue-wait ``timeout``.
+
+Determinism: simulated time comes from the seeded event heap
+(:mod:`repro.serving.events`) and seeded NumPy generators only — no
+wall clock anywhere — so a (policy, trace, config) triple maps to a
+bit-identical :class:`ServingResult`, including histogram payloads,
+which is what lets the campaign layer content-address serving cells.
+
+Conformance invariant (pinned by ``tests/test_serving_conformance.py``):
+with the FIFO queue and no drops (the defaults), requests start
+service in arrival order, so the hit/miss/spatial stream — and the
+embedded :class:`~repro.types.SimResult` — is bit-identical to
+``simulate()`` on the same policy and trace.  The SJF queue and drop
+knobs deliberately trade that equivalence for scheduling realism.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.engine import Engine
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError, ProtocolViolation
+from repro.serving.arrivals import ArrivalSpec, generate_arrivals
+from repro.serving.events import EventLoop
+from repro.serving.histograms import LatencyHistogram
+from repro.telemetry import spans
+from repro.types import HitKind, SimResult
+
+__all__ = [
+    "ServiceModel",
+    "ServingConfig",
+    "ServingResult",
+    "serve",
+    "serve_policy",
+    "serving_cell",
+]
+
+#: HitKind → per-class histogram key (stable across payloads).
+KIND_KEYS: Dict[HitKind, str] = {
+    HitKind.MISS: "miss",
+    HitKind.TEMPORAL_HIT: "temporal",
+    HitKind.SPATIAL_HIT: "spatial",
+}
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """Per-request service-time model (simulated time units).
+
+    ``t_hit`` is the base cost every request pays (lookup + response).
+    A miss adds ``t_miss`` — one backing-store round trip regardless of
+    how many items the policy chose to load — plus ``t_item`` per
+    loaded item beyond the requested one (transfer cost of the spatial
+    subset).  ``dist="exponential"`` replaces the deterministic time
+    with an exponential draw of that mean (the M/M/1-testable mode);
+    ``"deterministic"`` is the default.
+    """
+
+    t_hit: float = 1.0
+    t_miss: float = 100.0
+    t_item: float = 0.0
+    dist: str = "deterministic"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.t_hit < 0 or self.t_miss < 0 or self.t_item < 0:
+            raise ConfigurationError("service times must be >= 0")
+        if self.t_hit + self.t_miss <= 0:
+            raise ConfigurationError("t_hit + t_miss must be > 0")
+        if self.dist not in ("deterministic", "exponential"):
+            raise ConfigurationError(
+                f"service dist must be 'deterministic' or 'exponential', "
+                f"got {self.dist!r}"
+            )
+
+    def mean_time(self, kind: HitKind, loaded: int) -> float:
+        """Mean service time for one classified access."""
+        if kind is HitKind.MISS:
+            return self.t_hit + self.t_miss + self.t_item * max(0, loaded - 1)
+        return self.t_hit
+
+    def sample(self, kind: HitKind, loaded: int, rng: np.random.Generator) -> float:
+        mean = self.mean_time(kind, loaded)
+        if self.dist == "deterministic":
+            return mean
+        return float(rng.exponential(mean)) if mean > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "t_hit": self.t_hit,
+            "t_miss": self.t_miss,
+            "t_item": self.t_item,
+            "dist": self.dist,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServiceModel":
+        known = set(cls.__dataclass_fields__)  # type: ignore[attr-defined]
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown service model fields: {sorted(unknown)}"
+            )
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Everything that shapes request latency besides the policy/trace.
+
+    The dict form (:meth:`as_dict`) is JSON-scalar and canonical — the
+    campaign layer hashes it into the cell's content address, so any
+    arrival/service/queue change recomputes cells instead of reusing
+    stale ones.
+    """
+
+    arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+    service: ServiceModel = field(default_factory=ServiceModel)
+    concurrency: int = 1
+    queue: str = "fifo"
+    queue_limit: Optional[int] = None
+    timeout: Optional[float] = None
+    hist_lo: float = 1e-3
+    hist_per_decade: int = 20
+    hist_decades: int = 12
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ConfigurationError(
+                f"concurrency must be >= 1, got {self.concurrency}"
+            )
+        if self.queue not in ("fifo", "sjf"):
+            raise ConfigurationError(
+                f"queue must be 'fifo' or 'sjf', got {self.queue!r}"
+            )
+        if self.queue_limit is not None and self.queue_limit < 0:
+            raise ConfigurationError(
+                f"queue_limit must be >= 0, got {self.queue_limit}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError(f"timeout must be > 0, got {self.timeout}")
+
+    def new_histogram(self) -> LatencyHistogram:
+        return LatencyHistogram(
+            lo=self.hist_lo,
+            per_decade=self.hist_per_decade,
+            decades=self.hist_decades,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "arrival": self.arrival.as_dict(),
+            "service": self.service.as_dict(),
+            "concurrency": self.concurrency,
+            "queue": self.queue,
+            "queue_limit": self.queue_limit,
+            "timeout": self.timeout,
+            "hist_lo": self.hist_lo,
+            "hist_per_decade": self.hist_per_decade,
+            "hist_decades": self.hist_decades,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServingConfig":
+        known = set(cls.__dataclass_fields__)  # type: ignore[attr-defined]
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown serving config fields: {sorted(unknown)}"
+            )
+        payload = dict(data)
+        if "arrival" in payload:
+            payload["arrival"] = ArrivalSpec.from_dict(payload["arrival"])
+        if "service" in payload:
+            payload["service"] = ServiceModel.from_dict(payload["service"])
+        return cls(**payload)
+
+
+@dataclass
+class ServingResult:
+    """One serving run: cache statistics plus the latency story.
+
+    ``sim`` is the referee's :class:`~repro.types.SimResult` — with the
+    default FIFO/no-drop config it is bit-identical to what
+    ``simulate()`` returns for the same policy/trace.  Everything else
+    is time: conservation counters (``arrivals = completions +
+    dropped_admission + dropped_timeout`` once the loop drains),
+    latency/wait histograms with per-class breakdowns, and the
+    Little's-law integrals (``area_in_system`` is ∫N(t)dt, so
+    ``little_l == little_lambda * little_w`` exactly on no-drop runs).
+    """
+
+    sim: SimResult
+    serving: Dict[str, Any]
+    arrivals: int = 0
+    completions: int = 0
+    dropped_admission: int = 0
+    dropped_timeout: int = 0
+    duration: float = 0.0
+    sojourn_sum: float = 0.0
+    wait_sum: float = 0.0
+    service_sum: float = 0.0
+    area_in_system: float = 0.0
+    area_busy: float = 0.0
+    queue_peak: int = 0
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    latency_by_kind: Dict[str, LatencyHistogram] = field(default_factory=dict)
+    wait: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    # -- headline latency --------------------------------------------------
+    @property
+    def p50(self) -> float:
+        return self.latency.p50
+
+    @property
+    def p99(self) -> float:
+        return self.latency.p99
+
+    @property
+    def p999(self) -> float:
+        return self.latency.p999
+
+    @property
+    def mean_latency(self) -> float:
+        return self.sojourn_sum / self.completions if self.completions else 0.0
+
+    @property
+    def mean_wait(self) -> float:
+        return self.wait_sum / self.completions if self.completions else 0.0
+
+    @property
+    def mean_service(self) -> float:
+        return self.service_sum / self.completions if self.completions else 0.0
+
+    # -- load / conservation ----------------------------------------------
+    @property
+    def dropped(self) -> int:
+        return self.dropped_admission + self.dropped_timeout
+
+    @property
+    def drop_ratio(self) -> float:
+        return self.dropped / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def offered_rate(self) -> Optional[float]:
+        """Configured open-loop rate (``None`` for closed loop)."""
+        return self.serving.get("arrival", {}).get("rate")
+
+    @property
+    def throughput(self) -> float:
+        """Achieved completions per simulated time unit."""
+        return self.completions / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Busy-server time over total server time."""
+        denom = self.duration * int(self.serving.get("concurrency", 1))
+        return self.area_busy / denom if denom > 0 else 0.0
+
+    # -- Little's law -------------------------------------------------------
+    @property
+    def little_l(self) -> float:
+        """Time-average number of requests in the system (∫N dt / T)."""
+        return self.area_in_system / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def little_lambda(self) -> float:
+        return self.throughput
+
+    @property
+    def little_w(self) -> float:
+        return self.mean_latency
+
+    # -- interchange -------------------------------------------------------
+    def as_row(self) -> Dict[str, Any]:
+        """Flat row for tables/sweeps: cache columns + latency columns."""
+        row = self.sim.as_row()
+        arrival = self.serving.get("arrival", {})
+        row.update(
+            {
+                "arrival_process": arrival.get("process", ""),
+                "offered_rate": self.offered_rate,
+                "concurrency": self.serving.get("concurrency", 1),
+                "arrivals": self.arrivals,
+                "completions": self.completions,
+                "dropped_admission": self.dropped_admission,
+                "dropped_timeout": self.dropped_timeout,
+                "duration": self.duration,
+                "throughput": self.throughput,
+                "utilization": self.utilization,
+                "mean_latency": self.mean_latency,
+                "mean_wait": self.mean_wait,
+                "p50": self.p50,
+                "p99": self.p99,
+                "p999": self.p999,
+            }
+        )
+        for key, hist in sorted(self.latency_by_kind.items()):
+            row[f"p99_{key}"] = hist.p99
+            row[f"mean_{key}"] = hist.mean
+        return row
+
+    def fields(self) -> Dict[str, Any]:
+        """Lossless JSON-safe payload (campaign-store interchange).
+
+        The ``"kind": "serving"`` marker is what
+        :func:`repro.campaign.runner.result_from_fields` dispatches on;
+        top-level ``accesses`` feeds the executor's progress counters.
+        """
+        from repro.campaign.runner import result_fields
+
+        return {
+            "kind": "serving",
+            "accesses": self.sim.accesses,
+            "sim": result_fields(self.sim),
+            "serving": dict(self.serving),
+            "arrivals": self.arrivals,
+            "completions": self.completions,
+            "dropped_admission": self.dropped_admission,
+            "dropped_timeout": self.dropped_timeout,
+            "duration": self.duration,
+            "sojourn_sum": self.sojourn_sum,
+            "wait_sum": self.wait_sum,
+            "service_sum": self.service_sum,
+            "area_in_system": self.area_in_system,
+            "area_busy": self.area_busy,
+            "queue_peak": self.queue_peak,
+            "latency": self.latency.as_dict(),
+            "latency_by_kind": {
+                key: hist.as_dict()
+                for key, hist in sorted(self.latency_by_kind.items())
+            },
+            "wait": self.wait.as_dict(),
+        }
+
+    @classmethod
+    def from_fields(cls, data: Mapping[str, Any]) -> "ServingResult":
+        from repro.campaign.runner import result_from_fields
+
+        return cls(
+            sim=result_from_fields(data["sim"]),
+            serving=dict(data["serving"]),
+            arrivals=int(data["arrivals"]),
+            completions=int(data["completions"]),
+            dropped_admission=int(data["dropped_admission"]),
+            dropped_timeout=int(data["dropped_timeout"]),
+            duration=float(data["duration"]),
+            sojourn_sum=float(data["sojourn_sum"]),
+            wait_sum=float(data["wait_sum"]),
+            service_sum=float(data["service_sum"]),
+            area_in_system=float(data["area_in_system"]),
+            area_busy=float(data["area_busy"]),
+            queue_peak=int(data["queue_peak"]),
+            latency=LatencyHistogram.from_dict(data["latency"]),
+            latency_by_kind={
+                key: LatencyHistogram.from_dict(payload)
+                for key, payload in data["latency_by_kind"].items()
+            },
+            wait=LatencyHistogram.from_dict(data["wait"]),
+        )
+
+
+class _ServeState:
+    """Mutable loop state (kept off the hot path's attribute lookups)."""
+
+    __slots__ = (
+        "queue",
+        "busy",
+        "n_system",
+        "last_t",
+        "area_system",
+        "area_busy",
+        "queue_peak",
+    )
+
+    def __init__(self) -> None:
+        self.queue: deque = deque()
+        self.busy = 0
+        self.n_system = 0
+        self.last_t = 0.0
+        self.area_system = 0.0
+        self.area_busy = 0.0
+        self.queue_peak = 0
+
+    def advance(self, now: float) -> None:
+        """Accumulate the Little's-law integrals up to ``now``."""
+        dt = now - self.last_t
+        if dt > 0:
+            self.area_system += self.n_system * dt
+            self.area_busy += self.busy * dt
+            self.last_t = now
+
+
+def serve(
+    policy,
+    trace: Trace,
+    config: Optional[ServingConfig] = None,
+    *,
+    validate: bool = True,
+    on_access: Optional[Callable[[int, int, HitKind], None]] = None,
+    on_event: Optional[Callable[[str, float, int], None]] = None,
+    recorder=None,
+) -> ServingResult:
+    """Serve ``trace`` through ``policy`` under a serving config.
+
+    Parameters mirror :func:`~repro.core.engine.simulate` where they
+    overlap: ``validate`` referee-checks every cache action,
+    ``on_access(pos, item, kind)`` observes the classified access
+    stream (same contract; ``pos`` is the trace position), and an
+    optional telemetry ``recorder`` sees every access plus a
+    ``"serve"`` phase.  ``on_event(name, time, index)`` additionally
+    observes the serving events (``arrival`` / ``start`` / ``done`` /
+    ``drop_admission`` / ``drop_timeout``) in simulated-time order —
+    the hook the invariant tests use to check monotone time.
+
+    Returns a :class:`ServingResult`; the run always drains (every
+    admitted request completes or is dropped before the loop ends).
+    """
+    config = config if config is not None else ServingConfig()
+    if trace.mapping is not policy.mapping and (
+        trace.mapping.universe != policy.mapping.universe
+        or trace.mapping.max_block_size != policy.mapping.max_block_size
+    ):
+        raise ProtocolViolation("trace and policy use different block mappings")
+    if policy.is_offline:
+        policy.prepare(trace)
+    engine = Engine(policy, trace.mapping, validate=validate, recorder=recorder)
+    engine.result.metadata.update(
+        {k: v for k, v in trace.metadata.items() if isinstance(v, (str, int, float))}
+    )
+    items: List[int] = trace.items.tolist()
+    n = len(items)
+    model = config.service
+    service_rng = np.random.default_rng(
+        np.random.SeedSequence([model.seed, 0x53455256])
+    )
+    think_rng = np.random.default_rng(
+        np.random.SeedSequence([config.arrival.seed, 0x434C4F53])
+    )
+
+    result = ServingResult(
+        sim=engine.result,
+        serving=config.as_dict(),
+        latency=config.new_histogram(),
+        latency_by_kind={key: config.new_histogram() for key in KIND_KEYS.values()},
+        wait=config.new_histogram(),
+    )
+    loop = EventLoop()
+    state = _ServeState()
+    arrival_time: List[float] = [0.0] * n
+    kinds: List[Optional[HitKind]] = [None] * n
+    closed = not config.arrival.open_loop
+    open_times: Optional[np.ndarray] = None
+
+    def _sample_think() -> float:
+        think = config.arrival.think
+        if think <= 0:
+            return 0.0
+        return float(think_rng.exponential(think))
+
+    phase = (
+        recorder.phase("serve") if recorder is not None else contextlib.nullcontext()
+    )
+    with spans.span("serve", policy=result.sim.policy, requests=n):
+        with spans.span("serve.arrivals", process=config.arrival.process):
+            if not closed and n:
+                open_times = generate_arrivals(config.arrival, n)
+        with phase:
+            _run_loop(
+                loop,
+                state,
+                config,
+                engine,
+                items,
+                arrival_time,
+                kinds,
+                result,
+                model,
+                service_rng,
+                _sample_think,
+                open_times,
+                on_access,
+                on_event,
+            )
+    result.duration = state.last_t
+    result.area_in_system = state.area_system
+    result.area_busy = state.area_busy
+    result.queue_peak = state.queue_peak
+    if recorder is not None:
+        recorder.finalize(engine.result)
+    return result
+
+
+def _run_loop(
+    loop: EventLoop,
+    state: _ServeState,
+    config: ServingConfig,
+    engine: Engine,
+    items: List[int],
+    arrival_time: List[float],
+    kinds: List[Optional[HitKind]],
+    result: ServingResult,
+    model: ServiceModel,
+    service_rng: np.random.Generator,
+    sample_think: Callable[[], float],
+    open_times: Optional[np.ndarray],
+    on_access: Optional[Callable[[int, int, HitKind], None]],
+    on_event: Optional[Callable[[str, float, int], None]],
+) -> None:
+    """The event loop body (split out to keep :func:`serve` readable)."""
+    n = len(items)
+    closed = not config.arrival.open_loop
+    # Closed loop: clients are interchangeable consumers of "the next
+    # workload request", so the trace cursor is assigned when an
+    # arrival is *processed*, not when it is scheduled — think-time
+    # randomness can reorder issue events, and assigning at processing
+    # time keeps cache accesses in trace order (the conformance
+    # invariant) regardless.  ``issued`` counts scheduled arrivals so
+    # exactly ``n`` ever enter the system.
+    cursor = 0
+    issued = 0
+
+    def start_service(index: int, wait: float) -> None:
+        state.busy += 1
+        loaded_before = engine.result.loaded_items
+        kind = engine.access(items[index])
+        kinds[index] = kind
+        if on_access is not None:
+            on_access(index, items[index], kind)
+        loaded = engine.result.loaded_items - loaded_before
+        service_time = model.sample(kind, loaded, service_rng)
+        result.wait_sum += wait
+        result.wait.record(wait)
+        result.service_sum += service_time
+        if on_event is not None:
+            on_event("start", loop.now, index)
+        loop.schedule(loop.now + service_time, "done", index)
+
+    def expected_service(index: int) -> float:
+        # SJF key: peek shadow residency (read-only) for the likely kind.
+        if items[index] in engine.resident:
+            return model.t_hit
+        return model.t_hit + model.t_miss
+
+    def next_from_queue() -> Tuple[int, float]:
+        if config.queue == "fifo":
+            return state.queue.popleft()
+        best_pos = 0
+        best_key: Optional[Tuple[float, float]] = None
+        for pos, (index, enq_t) in enumerate(state.queue):
+            key = (expected_service(index), enq_t, index)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_pos = pos
+        index, enq_t = state.queue[best_pos]
+        del state.queue[best_pos]
+        return index, enq_t
+
+    def drain_queue() -> None:
+        while state.queue and state.busy < config.concurrency:
+            index, enq_t = next_from_queue()
+            wait = loop.now - enq_t
+            if config.timeout is not None and wait > config.timeout:
+                result.dropped_timeout += 1
+                state.n_system -= 1
+                if on_event is not None:
+                    on_event("drop_timeout", loop.now, index)
+                continue
+            start_service(index, wait)
+
+    def issue_closed_arrival() -> None:
+        nonlocal issued
+        if issued < n:
+            issued += 1
+            loop.schedule(loop.now + sample_think(), "arr", None)
+
+    def handle_arrival(payload: Optional[int]) -> None:
+        nonlocal cursor
+        state.advance(loop.now)
+        if closed:
+            index = cursor
+            cursor += 1
+        else:
+            assert payload is not None
+            index = payload
+        arrival_time[index] = loop.now
+        result.arrivals += 1
+        if on_event is not None:
+            on_event("arrival", loop.now, index)
+        # Next arrival is scheduled lazily: keeps the heap O(in-flight).
+        if not closed and index + 1 < n:
+            assert open_times is not None
+            loop.schedule(float(open_times[index + 1]), "arr", index + 1)
+        if (
+            config.queue_limit is not None
+            and state.busy >= config.concurrency
+            and len(state.queue) >= config.queue_limit
+        ):
+            result.dropped_admission += 1
+            if on_event is not None:
+                on_event("drop_admission", loop.now, index)
+            if closed:
+                issue_closed_arrival()
+            return
+        state.n_system += 1
+        if state.busy < config.concurrency:
+            start_service(index, 0.0)
+        else:
+            state.queue.append((index, loop.now))
+            if len(state.queue) > state.queue_peak:
+                state.queue_peak = len(state.queue)
+
+    def handle_done(index: int) -> None:
+        state.advance(loop.now)
+        state.busy -= 1
+        state.n_system -= 1
+        result.completions += 1
+        sojourn = loop.now - arrival_time[index]
+        result.sojourn_sum += sojourn
+        result.latency.record(sojourn)
+        kind = kinds[index]
+        assert kind is not None
+        result.latency_by_kind[KIND_KEYS[kind]].record(sojourn)
+        if on_event is not None:
+            on_event("done", loop.now, index)
+        drain_queue()
+        if closed:
+            issue_closed_arrival()
+
+    # Seed the loop.
+    if n:
+        if closed:
+            for _ in range(min(config.arrival.clients, n)):
+                issued += 1
+                loop.schedule(sample_think(), "arr", None)
+        else:
+            assert open_times is not None
+            loop.schedule(float(open_times[0]), "arr", 0)
+
+    with spans.span("serve.loop", requests=n):
+        while True:
+            event = loop.pop()
+            if event is None:
+                break
+            _, tag, payload = event
+            if tag == "arr":
+                handle_arrival(payload)
+            else:
+                handle_done(payload)
+
+
+def serve_policy(
+    policy: str,
+    capacity: int,
+    trace: Trace,
+    config: Optional[ServingConfig] = None,
+    **policy_kwargs: Any,
+) -> ServingResult:
+    """Build a registry policy and :func:`serve` the trace through it."""
+    from repro.policies import make_policy
+
+    instance = make_policy(policy, capacity, trace.mapping, **policy_kwargs)
+    return serve(instance, trace, config)
+
+
+def serving_cell(
+    policy: str,
+    capacity: int,
+    trace: Trace,
+    serving: Mapping[str, Any],
+    **policy_kwargs: Any,
+) -> Dict[str, Any]:
+    """Picklable sweep worker: one (policy, capacity, trace, serving) cell.
+
+    The serving counterpart of
+    :func:`repro.analysis.sweep.simulate_cell`: ``serving`` is a plain
+    config dict (:meth:`ServingConfig.as_dict` form, so it pickles and
+    hashes), and the row is :meth:`ServingResult.as_row`.  Grids over
+    arrival rate become grids over ``serving`` dicts.
+    """
+    config = ServingConfig.from_dict(serving)
+    return serve_policy(
+        policy, capacity, trace, config, **policy_kwargs
+    ).as_row()
