@@ -1,0 +1,123 @@
+"""E-CLUSTER: cluster replay overhead + the degradation separation.
+
+Times one 4-shard block-aware cluster replay of IBLP on a spatial
+Markov trace against the sum of the four per-shard single-cache
+``simulate()`` calls over the same sub-traces.  The cluster engine
+adds the vectorized routing pass, sub-trace construction, derived
+fingerprints, and the merge on top of work that is otherwise identical,
+so the machine-independent ``cluster_overhead`` ratio
+``cluster_seconds / sum(per-shard referee seconds)`` is the cost of the
+sharding layer itself — the number the CI gate pins at ≤2×.
+
+The run also re-asserts the conservation invariant (merged taxonomy ==
+per-shard sums) and records the paper-facing headline as a
+machine-independent ratio: the IBLP-vs-item-LRU miss gap under
+block-aware hashing divided by the gap under item-striped hashing at
+the same shard count (``gap_retention`` > 1 means striping destroys
+granularity-change value that block-aware hashing keeps).
+
+Writes ``BENCH_cluster.json`` through the flight-recorder harness.
+
+Knobs (env vars, so CI can shrink the run):
+
+* ``REPRO_CLUSTER_BENCH_LEN`` — trace length (default 300_000)
+* ``REPRO_CLUSTER_GATE``      — max overhead ratio (default 2.0)
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_cluster.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from _harness import metric, write_bench
+from repro.cluster import ClusterSpec, replay_cluster
+from repro.core.engine import simulate
+from repro.policies import make_policy
+from repro.workloads import markov_spatial
+
+LENGTH = int(os.environ.get("REPRO_CLUSTER_BENCH_LEN", "300000"))
+GATE = float(os.environ.get("REPRO_CLUSTER_GATE", "2.0"))
+CAPACITY = 256
+N_SHARDS = 4
+
+
+@pytest.fixture(scope="module")
+def bench_trace():
+    return markov_spatial(
+        length=LENGTH, universe=4096, block_size=8, stay=0.85, seed=7
+    )
+
+
+def _miss_gap(trace, scheme):
+    """item-LRU minus IBLP miss ratio on a 4-shard cluster."""
+    spec = ClusterSpec(n_shards=N_SHARDS, scheme=scheme)
+    lru = replay_cluster("item-lru", CAPACITY, trace, spec, fast=True)
+    iblp = replay_cluster("iblp", CAPACITY, trace, spec, fast=True)
+    return lru.sim.miss_ratio - iblp.sim.miss_ratio
+
+
+def test_cluster_overhead_gate(bench_trace, out_dir):
+    spec = ClusterSpec(n_shards=N_SHARDS, scheme="block")
+
+    t0 = time.perf_counter()
+    clustered = replay_cluster("iblp", CAPACITY, bench_trace, spec, fast=False)
+    t_cluster = time.perf_counter() - t0
+
+    # The comparison floor: the same four sub-traces through plain
+    # single-cache referee replays (no routing, no merge).
+    plan = spec.router().split(bench_trace)
+    shard_capacity = spec.shard_capacity(CAPACITY)
+    t_shards = 0.0
+    for sub in plan.subtraces:
+        policy = make_policy("iblp", shard_capacity, sub.mapping)
+        t0 = time.perf_counter()
+        simulate(policy, sub, fast=False)
+        t_shards += time.perf_counter() - t0
+
+    # Conservation must hold on the timed run itself.
+    assert clustered.sim.accesses == LENGTH
+    assert clustered.sim.misses == sum(s.misses for s in clustered.shards)
+
+    block_gap = _miss_gap(bench_trace, "block")
+    item_gap = _miss_gap(bench_trace, "item")
+    gap_retention = block_gap / max(item_gap, 1e-9)
+
+    overhead = t_cluster / t_shards
+    path = write_bench(
+        "cluster",
+        metrics={
+            "cluster_seconds": metric(t_cluster, "s", "lower"),
+            "per_shard_seconds": metric(t_shards, "s", "lower"),
+            "accesses_per_second": metric(
+                LENGTH / t_cluster, "acc/s", "higher"
+            ),
+            "cluster_overhead": metric(overhead, "x", "lower"),
+            "gap_retention": metric(gap_retention, "x", "higher"),
+        },
+        extra={
+            "trace_length": LENGTH,
+            "capacity": CAPACITY,
+            "n_shards": N_SHARDS,
+            "block_scheme_miss_gap": block_gap,
+            "item_scheme_miss_gap": item_gap,
+            "gate": GATE,
+        },
+    )
+    print(
+        f"\ncluster: {LENGTH} accesses x {N_SHARDS} shards in "
+        f"{t_cluster:.2f}s vs {t_shards:.2f}s per-shard floor, "
+        f"overhead {overhead:.2f}x, gap retention {gap_retention:.2f}x "
+        f"-> {path}"
+    )
+    assert overhead <= GATE, (
+        f"cluster overhead {overhead:.2f}x above the {GATE:.1f}x gate "
+        f"(cluster {t_cluster:.2f}s vs per-shard floor {t_shards:.2f}s)"
+    )
+    assert gap_retention > 1.0, (
+        f"block-aware hashing kept a smaller miss gap ({block_gap:.3f}) "
+        f"than item striping ({item_gap:.3f})"
+    )

@@ -320,6 +320,7 @@ def collect_rows(directory: str | Path) -> List[Dict[str, Any]]:
                 policy_kwargs=cell.policy_kwargs,
                 version=spec.version,
                 serving=cell.serving,
+                cluster=cell.cluster,
             )
             stored = store.get(digest)
             if stored is None:
@@ -362,6 +363,7 @@ def _status(directory: str) -> tuple:
                 policy_kwargs=cell.policy_kwargs,
                 version=spec.version,
                 serving=cell.serving,
+                cluster=cell.cluster,
             )
             stored = digest in store
             done += stored
@@ -381,6 +383,7 @@ def _status(directory: str) -> tuple:
                     "policy": cell.policy,
                     "capacity": cell.capacity,
                     "trace": cell.trace,
+                    "mode": cell.mode_label(),
                     "status": status,
                     "attempts": attempts.get(digest, 0),
                     "last_error": error[:48],

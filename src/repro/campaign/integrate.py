@@ -137,6 +137,151 @@ class CampaignCache:
         self.computed += 1
         return result
 
+    def cluster(
+        self,
+        policy: str,
+        capacity: int,
+        trace: Trace,
+        cluster: Any,
+        serving: Any = None,
+        fast: bool = True,
+        **policy_kwargs: Any,
+    ):
+        """Memoized N-shard cluster replay (or cluster serving run).
+
+        ``cluster`` is a :class:`repro.cluster.ClusterSpec` (or its
+        dict form); its canonical dict joins the content address, so a
+        different shard count, hash scheme, seed, or capacity mode can
+        never reuse another configuration's cell.  With ``serving``
+        given the cell runs through
+        :func:`repro.cluster.serving_bridge.serve_cluster` and returns
+        a :class:`repro.serving.ServingResult`; otherwise it replays
+        offline and returns a :class:`repro.cluster.ClusterResult`.
+        """
+        from repro.cluster import ClusterSpec, replay_cluster
+
+        spec = (
+            cluster
+            if isinstance(cluster, ClusterSpec)
+            else ClusterSpec.from_dict(cluster)
+        )
+        serving_dict = None
+        config = None
+        if serving is not None:
+            from repro.serving import ServingConfig
+
+            config = (
+                serving
+                if isinstance(serving, ServingConfig)
+                else ServingConfig.from_dict(serving)
+            )
+            serving_dict = config.as_dict()
+        digest = cell_hash(
+            policy=policy,
+            capacity=capacity,
+            trace_fingerprint=trace.fingerprint(),
+            fast=fast if serving is None else False,
+            policy_kwargs=policy_kwargs,
+            serving=serving_dict,
+            cluster=spec.as_dict(),
+        )
+        stored = self.store.get(digest)
+        if stored is not None:
+            self.hits += 1
+            return result_from_fields(stored)
+        if config is not None:
+            from repro.cluster.serving_bridge import serve_cluster
+
+            result = serve_cluster(
+                policy,
+                capacity,
+                trace,
+                spec,
+                config,
+                policy_kwargs=policy_kwargs,
+            )
+        else:
+            result = replay_cluster(
+                policy,
+                capacity,
+                trace,
+                spec,
+                policy_kwargs=policy_kwargs,
+                fast=fast,
+            )
+        self.store.put(digest, result.fields())
+        self.journal.append(
+            "done", hash=digest, attempt=1, memo=False, source="cache"
+        )
+        self.computed += 1
+        return result
+
+    def cluster_multitenant(
+        self,
+        tenant_traces: Any,
+        mode: str,
+        policy: str,
+        capacity: int,
+        cluster: Any,
+        policies: Any = None,
+        shares: Any = None,
+        fast: bool = True,
+    ):
+        """Memoized multi-tenant partitioning run (isolation configs).
+
+        The content address is the *combined* tenant trace's
+        fingerprint (:func:`repro.cluster.combine_tenants` is
+        deterministic, so it names the tenant mix exactly) plus the
+        cluster dict extended with the tenancy configuration — mode,
+        per-tenant policies, and capacity shares — so every one of the
+        four isolation configurations stores under its own cell.
+        """
+        from repro.cluster import (
+            ClusterSpec,
+            combine_tenants,
+            replay_multitenant,
+        )
+
+        spec = (
+            cluster
+            if isinstance(cluster, ClusterSpec)
+            else ClusterSpec.from_dict(cluster)
+        )
+        combined, _ids, names = combine_tenants(tenant_traces)
+        tenancy = {
+            "mode": mode,
+            "tenants": names,
+            "policies": dict(policies or {}),
+            "shares": dict(shares or {}),
+        }
+        digest = cell_hash(
+            policy=policy,
+            capacity=capacity,
+            trace_fingerprint=combined.fingerprint(),
+            fast=fast,
+            cluster={**spec.as_dict(), "tenancy": tenancy},
+        )
+        stored = self.store.get(digest)
+        if stored is not None:
+            self.hits += 1
+            return result_from_fields(stored)
+        result = replay_multitenant(
+            tenant_traces,
+            mode,
+            policy,
+            capacity,
+            spec,
+            policies=policies,
+            shares=shares,
+            fast=fast,
+        )
+        self.store.put(digest, result.fields())
+        self.journal.append(
+            "done", hash=digest, attempt=1, memo=False, source="cache"
+        )
+        self.computed += 1
+        return result
+
     @property
     def hit_ratio(self) -> float:
         total = self.hits + self.computed

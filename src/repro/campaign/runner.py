@@ -90,13 +90,19 @@ def result_from_fields(fields: Dict[str, Any]):
     to :class:`SimResult`; serving cells are tagged ``"kind":
     "serving"`` and round-trip to
     :class:`repro.serving.ServingResult` (which carries its offline
-    ``SimResult`` inside).  Both expose ``as_row()``, which is all the
-    report/CSV layers rely on.
+    ``SimResult`` inside); cluster cells are tagged ``"kind":
+    "cluster"`` and round-trip to
+    :class:`repro.cluster.ClusterResult`.  All three expose
+    ``as_row()``, which is all the report/CSV layers rely on.
     """
     if fields.get("kind") == "serving":
         from repro.serving import ServingResult
 
         return ServingResult.from_fields(fields)
+    if fields.get("kind") == "cluster":
+        from repro.cluster import ClusterResult
+
+        return ClusterResult.from_fields(fields)
     return SimResult(
         accesses=int(fields["accesses"]),
         misses=int(fields["misses"]),
@@ -114,13 +120,37 @@ def execute_cell(cell: CellSpec, trace: Trace) -> Dict[str, Any]:
     """Run one cell (same replay path as ``sweep``'s ``simulate_cell``).
 
     A cell with a ``serving`` config runs the request-level simulator
-    instead; its payload is :meth:`repro.serving.ServingResult.fields`
-    (self-tagged, so :func:`result_from_fields` rebuilds the right
-    type).
+    instead; a cell with a ``cluster`` spec replays (or serves)
+    through an N-shard cluster.  Either payload is self-tagged, so
+    :func:`result_from_fields` rebuilds the right type.
     """
     from repro.core.engine import simulate
     from repro.policies import make_policy
 
+    if cell.cluster is not None:
+        from repro.cluster import ClusterSpec, replay_cluster
+
+        cluster = ClusterSpec.from_dict(cell.cluster)
+        if cell.serving is not None:
+            from repro.cluster.serving_bridge import serve_cluster
+            from repro.serving import ServingConfig
+
+            return serve_cluster(
+                cell.policy,
+                cell.capacity,
+                trace,
+                cluster,
+                ServingConfig.from_dict(cell.serving),
+                policy_kwargs=cell.policy_kwargs,
+            ).fields()
+        return replay_cluster(
+            cell.policy,
+            cell.capacity,
+            trace,
+            cluster,
+            policy_kwargs=cell.policy_kwargs,
+            fast=cell.fast,
+        ).fields()
     instance = make_policy(
         cell.policy, cell.capacity, trace.mapping, **dict(cell.policy_kwargs)
     )
@@ -447,6 +477,7 @@ class CampaignRunner:
                 policy_kwargs=cell.policy_kwargs,
                 version=self.spec.version,
                 serving=cell.serving,
+                cluster=cell.cluster,
             )
             stored = self.store.get(digest)
             if stored is not None:
@@ -906,6 +937,7 @@ class CampaignRunner:
                     "policy": cell_state.cell.policy,
                     "capacity": cell_state.cell.capacity,
                     "trace": cell_state.cell.trace,
+                    "mode": cell_state.cell.mode_label(),
                     "attempt": cell_state.attempts,
                     "pid": proc.pid,
                     "seconds": now_perf - t0,

@@ -75,6 +75,7 @@ def _workload_registry() -> Dict[str, Callable[..., Trace]]:
         "hot_and_stream": w.hot_and_stream,
         "dram": w.dram_cache_workload,
         "pagecache": w.page_cache_workload,
+        "etc": w.etc_kv_workload,
     }
 
 
@@ -153,9 +154,14 @@ class CellSpec:
     ``serving`` (a :meth:`repro.serving.ServingConfig.as_dict` mapping,
     or ``None``) turns the cell into a request-level serving run: the
     worker calls :func:`repro.serving.serve` instead of offline
-    ``simulate`` and the row carries latency columns.  Offline cells
-    omit the key entirely, so pre-serving ``spec.json`` files load
-    unchanged and keep their cell hashes.
+    ``simulate`` and the row carries latency columns.
+
+    ``cluster`` (a :meth:`repro.cluster.ClusterSpec.as_dict` mapping,
+    or ``None``) replays the cell through an N-shard cluster instead
+    of one cache — combinable with ``serving`` (cluster dispatch under
+    the request-level simulator).  Single-cache cells omit both keys
+    entirely, so pre-cluster ``spec.json`` files load unchanged and
+    keep their cell hashes.
     """
 
     policy: str
@@ -164,6 +170,7 @@ class CellSpec:
     fast: bool = True
     policy_kwargs: Mapping[str, Any] = field(default_factory=dict)
     serving: Optional[Mapping[str, Any]] = None
+    cluster: Optional[Mapping[str, Any]] = None
 
     def as_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -175,11 +182,14 @@ class CellSpec:
         }
         if self.serving is not None:
             out["serving"] = dict(self.serving)
+        if self.cluster is not None:
+            out["cluster"] = dict(self.cluster)
         return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CellSpec":
         serving = data.get("serving")
+        cluster = data.get("cluster")
         return cls(
             policy=data["policy"],
             capacity=int(data["capacity"]),
@@ -187,6 +197,7 @@ class CellSpec:
             fast=bool(data.get("fast", True)),
             policy_kwargs=dict(data.get("policy_kwargs", {})),
             serving=dict(serving) if serving is not None else None,
+            cluster=dict(cluster) if cluster is not None else None,
         )
 
     def params_row(self) -> Dict[str, Any]:
@@ -197,8 +208,29 @@ class CellSpec:
             "trace": self.trace,
             "fast": self.fast,
         }
+        if self.cluster is not None:
+            out["n_shards"] = self.cluster.get("n_shards")
+            out["hash_scheme"] = self.cluster.get("scheme")
         out.update(self.policy_kwargs)
         return out
+
+    def mode_label(self) -> str:
+        """Short human label for status/watch boards.
+
+        Offline single-cache cells label as ``"offline"``; serving and
+        cluster dimensions compose, e.g. ``"cluster[4×block]+serving"``.
+        """
+        parts: List[str] = []
+        if self.cluster is not None:
+            parts.append(
+                "cluster[{}×{}]".format(
+                    self.cluster.get("n_shards", "?"),
+                    self.cluster.get("scheme", "?"),
+                )
+            )
+        if self.serving is not None:
+            parts.append("serving")
+        return "+".join(parts) if parts else "offline"
 
 
 def cell_hash(
@@ -209,6 +241,7 @@ def cell_hash(
     policy_kwargs: Optional[Mapping[str, Any]] = None,
     version: Optional[str] = None,
     serving: Optional[Mapping[str, Any]] = None,
+    cluster: Optional[Mapping[str, Any]] = None,
 ) -> str:
     """The content address of one cell (see the module docstring).
 
@@ -216,8 +249,12 @@ def cell_hash(
     request-level cell — is part of the address: changing any arrival,
     service, or queue parameter yields a different hash, so serving
     rows can never be served from cells computed under other load
-    parameters.  Offline cells (``serving=None``) hash exactly as they
-    did before the serving layer existed, keeping old stores valid.
+    parameters.  ``cluster`` — the cell's
+    :meth:`repro.cluster.ClusterSpec.as_dict` mapping — joins the
+    address the same way, so shard count / hash scheme / capacity-mode
+    changes always recompute.  Single-cache cells (both ``None``) hash
+    exactly as they did before either layer existed, keeping old
+    stores valid.
     """
     body: Dict[str, Any] = {
         "policy": policy,
@@ -229,6 +266,8 @@ def cell_hash(
     }
     if serving is not None:
         body["serving"] = dict(serving)
+    if cluster is not None:
+        body["cluster"] = dict(cluster)
     payload = canonical_json(body)
     return hashlib.sha256(payload.encode()).hexdigest()
 
@@ -266,13 +305,17 @@ class CampaignSpec:
         fast: bool = True,
         policy_kwargs: Optional[Mapping[str, Any]] = None,
         servings: Optional[Sequence[Mapping[str, Any]]] = None,
+        clusters: Optional[Sequence[Mapping[str, Any]]] = None,
     ) -> "CampaignSpec":
         """Cartesian (trace × policy × capacity) grid, sweep-ordered.
 
         ``servings`` (optional) adds a fourth axis of serving-config
         dicts, making every cell a request-level serving cell — the
         ``latency_vs_load`` experiment grids over arrival rates this
-        way.  ``None`` keeps the classic offline grid.
+        way.  ``clusters`` (optional) adds a fifth axis of
+        :meth:`repro.cluster.ClusterSpec.as_dict` mappings, so one
+        resumable campaign can sweep shard count × hash scheme ×
+        policy × capacity.  ``None`` keeps the classic offline grid.
         """
         if not policies or not capacities or not traces:
             raise ConfigurationError(
@@ -283,6 +326,11 @@ class CampaignSpec:
         )
         if not serving_axis:
             raise ConfigurationError("servings, when given, must be non-empty")
+        cluster_axis: Sequence[Optional[Mapping[str, Any]]] = (
+            [None] if clusters is None else list(clusters)
+        )
+        if not cluster_axis:
+            raise ConfigurationError("clusters, when given, must be non-empty")
         cells = [
             CellSpec(
                 policy=p,
@@ -291,11 +339,13 @@ class CampaignSpec:
                 fast=fast,
                 policy_kwargs=dict(policy_kwargs or {}),
                 serving=dict(s) if s is not None else None,
+                cluster=dict(cl) if cl is not None else None,
             )
             for t in traces
             for p in policies
             for c in capacities
             for s in serving_axis
+            for cl in cluster_axis
         ]
         return cls(name=name, traces=dict(traces), cells=cells)
 

@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional
 import repro
 from repro.analysis.tables import format_table
 from repro.campaign.cli import add_campaign_parser, run_campaign_command
+from repro.cluster.cli import add_cluster_parser, run_cluster_command
 from repro.core.engine import simulate as run_simulation
 from repro.errors import ConfigurationError
 from repro.obs.cli import add_obs_parser, run_obs_command
@@ -36,6 +37,7 @@ from repro.policies import make_policy, policy_names
 from repro.workloads import (
     block_runs,
     dram_cache_workload,
+    etc_kv_workload,
     hot_and_stream,
     markov_spatial,
     page_cache_workload,
@@ -71,6 +73,9 @@ _WORKLOADS: Dict[str, Callable] = {
     ),
     "dram": lambda ns: dram_cache_workload(length=ns.length, seed=ns.seed),
     "pagecache": lambda ns: page_cache_workload(length=ns.length, seed=ns.seed),
+    "etc": lambda ns: etc_kv_workload(
+        ns.length, ns.universe, ns.block_size, alpha=ns.alpha, seed=ns.seed
+    ),
 }
 
 
@@ -238,6 +243,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="memoize serving cells in this campaign directory "
         "(content-addressed incl. the serving config; resumable)",
     )
+    p_lvl.add_argument(
+        "--shards",
+        type=lambda s: [int(x) for x in s.split(",")],
+        default=None,
+        help="comma-separated shard counts: dispatch requests across an "
+        "N-shard cluster at every load point (with --schemes)",
+    )
+    p_lvl.add_argument(
+        "--schemes",
+        type=lambda s: [x.strip() for x in s.split(",") if x.strip()],
+        default=None,
+        help="comma-separated hash schemes for --shards "
+        "(default block,item)",
+    )
 
     p_rep = sub.add_parser(
         "report", help="render a telemetry file written by simulate --telemetry"
@@ -300,6 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_mrc.add_argument("--seed", type=int, default=0)
 
     add_campaign_parser(sub)
+    add_cluster_parser(sub)
     add_obs_parser(sub)
 
     sub.add_parser("schematics", help="executable Figures 1 & 4 demo")
@@ -464,6 +484,15 @@ def _dispatch(ns: argparse.Namespace):
             kwargs["loads"] = ns.loads
         if ns.policies:
             kwargs["policies"] = ns.policies
+        if ns.shards:
+            from repro.cluster import ClusterSpec
+
+            schemes = ns.schemes or ["block", "item"]
+            kwargs["clusters"] = [
+                ClusterSpec(n_shards=n, scheme=scheme)
+                for scheme in schemes
+                for n in ns.shards
+            ]
         cache = open_cache(ns.campaign_dir)
         if cache is None:
             return latency_vs_load.render(**kwargs)
@@ -534,6 +563,8 @@ def _dispatch(ns: argparse.Namespace):
         )
     if ns.command == "campaign":
         return run_campaign_command(ns)
+    if ns.command == "cluster":
+        return run_cluster_command(ns)
     if ns.command == "obs":
         return run_obs_command(ns)
     if ns.command == "schematics":

@@ -1,0 +1,36 @@
+"""Sharded multi-tenant GC cache cluster.
+
+Scales the single granularity-change cache to an N-shard cluster:
+deterministic shard routing with block-aware vs item-striped hashing
+(:mod:`repro.cluster.router`), a single-pass replay engine that drives
+per-shard policy instances through the fast kernels and merges their
+taxonomies exactly (:mod:`repro.cluster.replay`), multi-tenant capacity
+partitioning for isolation experiments, and a serving bridge so the
+request-level simulator can dispatch across shards
+(:mod:`repro.cluster.serving_bridge`).  Results round-trip through the
+campaign store as :class:`~repro.cluster.result.ClusterResult`.
+"""
+
+from repro.cluster.replay import (
+    CAPACITY_MODES,
+    TENANCY_MODES,
+    ClusterSpec,
+    combine_tenants,
+    replay_cluster,
+    replay_multitenant,
+)
+from repro.cluster.result import ClusterResult
+from repro.cluster.router import SCHEMES, RoutingPlan, ShardRouter
+
+__all__ = [
+    "CAPACITY_MODES",
+    "SCHEMES",
+    "TENANCY_MODES",
+    "ClusterResult",
+    "ClusterSpec",
+    "RoutingPlan",
+    "ShardRouter",
+    "combine_tenants",
+    "replay_cluster",
+    "replay_multitenant",
+]

@@ -1,0 +1,167 @@
+"""Aggregated results of an N-shard cluster replay.
+
+:class:`ClusterResult` wraps the merged :class:`~repro.types.SimResult`
+taxonomy (accesses/misses/temporal/spatial summed across shards — exact,
+because each access is served by exactly one shard) with the
+cluster-only signals a single cache cannot have: per-shard taxonomies,
+load-imbalance statistics, the router's block-split counters, and —
+when the trace is tenant-tagged — a per-tenant taxonomy for isolation
+experiments.
+
+Like :class:`repro.serving.ServingResult` it stores losslessly into the
+campaign store via a self-tagged :meth:`fields` payload
+(``"kind": "cluster"``) that
+:func:`repro.campaign.runner.result_from_fields` dispatches on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping
+
+from repro.types import SimResult
+
+__all__ = ["ClusterResult"]
+
+
+def _taxonomy_row(sim: SimResult) -> Dict[str, Any]:
+    return {
+        "accesses": sim.accesses,
+        "misses": sim.misses,
+        "temporal_hits": sim.temporal_hits,
+        "spatial_hits": sim.spatial_hits,
+        "miss_ratio": sim.miss_ratio,
+        "spatial_fraction": sim.spatial_fraction,
+    }
+
+
+@dataclass
+class ClusterResult:
+    """One cluster replay: merged + per-shard + per-tenant taxonomies.
+
+    Attributes
+    ----------
+    sim:
+        Cross-shard merged result; ``sim.metadata`` keeps scalar
+        experiment context exactly like a single-cache result, so the
+        report/CSV layers need no special casing.
+    shards:
+        Per-shard :class:`SimResult`, index = shard id.  Empty shards
+        (no routed accesses) appear as zero rows, preserving positions.
+    cluster:
+        The :class:`~repro.cluster.replay.ClusterSpec` dict this was
+        run under (router identity + capacity/tenancy modes).
+    tenants:
+        Optional per-tenant taxonomy (tenant name → counter dict with
+        accesses/misses/temporal_hits/spatial_hits), filled when the
+        replay was given tenant tags.
+    block_stats:
+        Router block-split counters for the driving trace:
+        blocks_referenced / blocks_split / mean_shards_per_block.
+    """
+
+    sim: SimResult
+    shards: List[SimResult]
+    cluster: Dict[str, Any]
+    tenants: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    block_stats: Dict[str, Any] = field(default_factory=dict)
+
+    # -- cluster-level signals ---------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def scheme(self) -> str:
+        return str(self.cluster.get("scheme", ""))
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max shard accesses over mean shard accesses (1.0 = perfect).
+
+        The standard "hot shard" factor: a value of 1.3 means the
+        busiest shard serves 30 % more traffic than a perfectly even
+        split would give it.
+        """
+        counts = [s.accesses for s in self.shards]
+        if not counts or sum(counts) == 0:
+            return 0.0
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean
+
+    @property
+    def blocks_split(self) -> int:
+        return int(self.block_stats.get("blocks_split", 0))
+
+    def tenant_spatial_fraction(self, tenant: str) -> float:
+        row = self.tenants.get(tenant, {})
+        hits = row.get("temporal_hits", 0) + row.get("spatial_hits", 0)
+        return row.get("spatial_hits", 0) / hits if hits else 0.0
+
+    def tenant_miss_ratio(self, tenant: str) -> float:
+        row = self.tenants.get(tenant, {})
+        accesses = row.get("accesses", 0)
+        return row.get("misses", 0) / accesses if accesses else 0.0
+
+    # -- interchange -------------------------------------------------------
+    def as_row(self) -> Dict[str, Any]:
+        """Flat row: the merged cache columns + cluster columns."""
+        row = self.sim.as_row()
+        row.update(
+            {
+                "n_shards": self.n_shards,
+                "hash_scheme": self.scheme,
+                "load_imbalance": self.load_imbalance,
+                "blocks_split": self.blocks_split,
+                "mean_shards_per_block": float(
+                    self.block_stats.get("mean_shards_per_block", 0.0)
+                ),
+            }
+        )
+        for name in sorted(self.tenants):
+            row[f"miss_ratio_{name}"] = self.tenant_miss_ratio(name)
+            row[f"spatial_fraction_{name}"] = self.tenant_spatial_fraction(name)
+        return row
+
+    def per_shard_rows(self) -> List[Dict[str, Any]]:
+        """One taxonomy row per shard (for reports and imbalance plots)."""
+        return [
+            {"shard": idx, **_taxonomy_row(sim)}
+            for idx, sim in enumerate(self.shards)
+        ]
+
+    def fields(self) -> Dict[str, Any]:
+        """Lossless JSON-safe payload (campaign-store interchange).
+
+        ``"kind": "cluster"`` is the dispatch marker for
+        :func:`repro.campaign.runner.result_from_fields`; top-level
+        ``accesses`` feeds the executor's progress counters.
+        """
+        from repro.campaign.runner import result_fields
+
+        return {
+            "kind": "cluster",
+            "accesses": self.sim.accesses,
+            "sim": result_fields(self.sim),
+            "shards": [result_fields(sim) for sim in self.shards],
+            "cluster": dict(self.cluster),
+            "tenants": {
+                name: dict(row) for name, row in sorted(self.tenants.items())
+            },
+            "block_stats": dict(self.block_stats),
+        }
+
+    @classmethod
+    def from_fields(cls, data: Mapping[str, Any]) -> "ClusterResult":
+        from repro.campaign.runner import result_from_fields
+
+        return cls(
+            sim=result_from_fields(data["sim"]),
+            shards=[result_from_fields(row) for row in data["shards"]],
+            cluster=dict(data["cluster"]),
+            tenants={
+                name: {k: int(v) for k, v in row.items()}
+                for name, row in data.get("tenants", {}).items()
+            },
+            block_stats=dict(data.get("block_stats", {})),
+        )

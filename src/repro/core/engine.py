@@ -72,6 +72,12 @@ class Engine:
         #: the access path uninstrumented (one branch per access).
         self.recorder = recorder
         self.resident: Set[int] = set()
+        #: The :class:`AccessOutcome` of the most recent :meth:`access`
+        #: (``None`` before the first).  Lets per-access observers —
+        #: e.g. size-aware serving, which weighs each loaded item by
+        #: its value size — see the exact load set without the engine
+        #: growing a heavier callback surface.
+        self.last_outcome: Optional[AccessOutcome] = None
         #: items currently resident that were loaded as a side effect of
         #: another item's miss and have not been hit since.
         self._spatial_pending: Set[int] = set()
@@ -84,6 +90,7 @@ class Engine:
         """Serve one request; update statistics; return the hit kind."""
         shadow_hit = item in self.resident
         outcome: AccessOutcome = self.policy.access(item)
+        self.last_outcome = outcome
         if self.validate:
             self._validate(item, outcome, shadow_hit)
         self._apply(outcome)

@@ -17,6 +17,8 @@ for figures, an ASCII rendering), so the same code backs the CLI
 ``schematics``     Executable Figures 1 & 4 semantics checks
 ``size_dependence`` §5.3/§6.2: competitiveness depends on comparison size
 ``latency_vs_load`` Request-level p50/p99/p999 latency at offered load
+``spatial_degradation`` Cluster sharding vs spatial locality (hash schemes)
+``isolation``      Multi-tenant partitioning configurations on a cluster
 =================  ======================================================
 """
 
@@ -28,11 +30,13 @@ from repro.experiments import (  # noqa: F401 (re-export modules)
     figure5,
     figure6,
     gcm_analysis,
+    isolation,
     latency_vs_load,
     locality_exp,
     scale_check,
     schematics,
     size_dependence,
+    spatial_degradation,
     table1,
     table2,
 )
@@ -52,4 +56,6 @@ __all__ = [
     "scale_check",
     "gcm_analysis",
     "latency_vs_load",
+    "spatial_degradation",
+    "isolation",
 ]

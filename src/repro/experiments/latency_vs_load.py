@@ -23,6 +23,8 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.tables import format_table
 from repro.campaign.integrate import CampaignCache
+from repro.cluster import ClusterSpec
+from repro.cluster.serving_bridge import serve_cluster
 from repro.core.trace import Trace
 from repro.serving import ArrivalSpec, ServiceModel, ServingConfig, serve_policy
 from repro.workloads import markov_spatial
@@ -82,17 +84,28 @@ def run(
     t_item: float = 1.0,
     concurrency: int = 4,
     arrival_seed: int = 1,
+    clusters: Optional[Sequence[ClusterSpec]] = None,
     cache: Optional[CampaignCache] = None,
 ) -> List[Dict[str, Any]]:
-    """Latency-vs-load grid: one row per (load × policy).
+    """Latency-vs-load grid: one row per (load × policy [× cluster]).
 
     ``loads`` are occupancies relative to the worst-case (all-miss)
     service rate ``concurrency / (t_hit + t_miss)``; the actual
     utilization each policy sees is lower in proportion to the latency
     it saves, and is reported in the row.
+
+    With ``clusters`` given, every (load × policy) point additionally
+    runs once per :class:`~repro.cluster.ClusterSpec` with requests
+    dispatched across that cluster's shards
+    (:func:`~repro.cluster.serving_bridge.serve_cluster`) — arrivals
+    and servers are identical, so the tail-latency difference between
+    hash schemes is purely the cache behaviour they produce.
     """
     trace = trace if trace is not None else default_trace()
     worst_case_rate = concurrency / (t_hit + t_miss)
+    variants: List[Optional[ClusterSpec]] = (
+        [None] if not clusters else list(clusters)
+    )
     rows: List[Dict[str, Any]] = []
     for load in loads:
         rate = load * worst_case_rate
@@ -105,12 +118,21 @@ def run(
             seed=arrival_seed,
         )
         for policy in policies:
-            if cache is not None:
-                result = cache.serve(policy, capacity, trace, config)
-            else:
-                result = serve_policy(policy, capacity, trace, config)
-            rows.append(
-                {
+            for spec in variants:
+                if spec is None:
+                    if cache is not None:
+                        result = cache.serve(policy, capacity, trace, config)
+                    else:
+                        result = serve_policy(policy, capacity, trace, config)
+                elif cache is not None:
+                    result = cache.cluster(
+                        policy, capacity, trace, spec, serving=config
+                    )
+                else:
+                    result = serve_cluster(
+                        policy, capacity, trace, spec, config
+                    )
+                row = {
                     "load": load,
                     "rate": rate,
                     "policy": policy,
@@ -124,7 +146,10 @@ def run(
                     "p999": result.p999,
                     "p99_miss": result.latency_by_kind["miss"].p99,
                 }
-            )
+                if spec is not None:
+                    row["shards"] = spec.n_shards
+                    row["scheme"] = spec.scheme
+                rows.append(row)
     return rows
 
 
@@ -139,10 +164,16 @@ def render(
     rows = run(
         capacity=capacity, loads=loads, policies=policies, cache=cache, **kwargs
     )
+    clustered = any("shards" in r for r in rows)
     pretty = [
         {
             "load": f"{r['load']:.2f}",
             "policy": r["policy"],
+            **(
+                {"cluster": f"{r['shards']}x{r['scheme']}"}
+                if "shards" in r
+                else ({"cluster": "single"} if clustered else {})
+            ),
             "miss%": f"{100 * r['miss_ratio']:.1f}",
             "spatial%": f"{100 * r['spatial_fraction']:.1f}",
             "util": f"{r['utilization']:.2f}",

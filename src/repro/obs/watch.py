@@ -109,10 +109,14 @@ def render_board(state: Dict[str, Any], now: Optional[float] = None) -> str:
     if running:
         lines.append(f"in flight ({len(running)} worker(s)):")
         for row in running:
+            # Pre-cluster heartbeats have no mode field; label them as
+            # the offline cells they were rather than guessing.
+            mode = row.get("mode", "offline")
+            mode_part = f" [{mode}]" if mode != "offline" else ""
             lines.append(
                 f"  pid {row.get('pid', '?')}: cell #{row.get('index', '?')} "
                 f"{row.get('policy', '?')}/k={row.get('capacity', '?')} "
-                f"trace={row.get('trace', '?')} attempt "
+                f"trace={row.get('trace', '?')}{mode_part} attempt "
                 f"{row.get('attempt', '?')} · "
                 f"{_fmt_duration(row.get('seconds'))}"
             )

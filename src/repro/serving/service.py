@@ -80,6 +80,17 @@ class ServiceModel:
     subset).  ``dist="exponential"`` replaces the deterministic time
     with an exponential draw of that mean (the M/M/1-testable mode);
     ``"deterministic"`` is the default.
+
+    ``size_dist="etc"`` makes the per-item transfer cost *variable*:
+    every item gets a deterministic value size from the Facebook-ETC
+    Generalized Pareto fit (:func:`repro.workloads.etc_item_sizes`,
+    seeded by ``size_seed``, parameters ``size_scale``/``size_shape``),
+    normalized to mean 1.0 so ``t_item`` keeps its meaning as the
+    *average* per-item transfer time — a miss that side-loads
+    heavy-tailed values pays proportionally more.  The default
+    ``"none"`` preserves the fixed-cost model bit-for-bit *and* its
+    :meth:`as_dict` payload (size fields are omitted), so existing
+    serving cell hashes are untouched.
     """
 
     t_hit: float = 1.0
@@ -87,6 +98,10 @@ class ServiceModel:
     t_item: float = 0.0
     dist: str = "deterministic"
     seed: int = 0
+    size_dist: str = "none"
+    size_seed: int = 0
+    size_scale: float = 214.476
+    size_shape: float = 0.348238
 
     def __post_init__(self) -> None:
         if self.t_hit < 0 or self.t_miss < 0 or self.t_item < 0:
@@ -98,6 +113,12 @@ class ServiceModel:
                 f"service dist must be 'deterministic' or 'exponential', "
                 f"got {self.dist!r}"
             )
+        if self.size_dist not in ("none", "etc"):
+            raise ConfigurationError(
+                f"size_dist must be 'none' or 'etc', got {self.size_dist!r}"
+            )
+        if self.size_scale <= 0 or self.size_shape <= 0:
+            raise ConfigurationError("size_scale and size_shape must be > 0")
 
     def mean_time(self, kind: HitKind, loaded: int) -> float:
         """Mean service time for one classified access."""
@@ -111,14 +132,55 @@ class ServiceModel:
             return mean
         return float(rng.exponential(mean)) if mean > 0 else 0.0
 
+    def item_weights(self, universe: int) -> Optional[np.ndarray]:
+        """Per-item transfer weights (mean 1.0), or ``None`` for fixed.
+
+        With ``size_dist="etc"`` the weight of item ``i`` is its ETC
+        value size divided by the universe's mean size, so
+        ``t_item * weight`` is that item's transfer time and the
+        *expected* extra-item cost matches the fixed model's.
+        """
+        if self.size_dist == "none":
+            return None
+        from repro.workloads.etc import etc_item_sizes
+
+        sizes = etc_item_sizes(
+            universe,
+            seed=self.size_seed,
+            scale=self.size_scale,
+            shape=self.size_shape,
+        )
+        return sizes / sizes.mean()
+
+    def sample_weighted(
+        self, kind: HitKind, extra_weight: float, rng: np.random.Generator
+    ) -> float:
+        """Like :meth:`sample`, with the extra-item cost pre-weighted."""
+        if kind is HitKind.MISS:
+            mean = self.t_hit + self.t_miss + self.t_item * extra_weight
+        else:
+            mean = self.t_hit
+        if self.dist == "deterministic":
+            return mean
+        return float(rng.exponential(mean)) if mean > 0 else 0.0
+
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "t_hit": self.t_hit,
             "t_miss": self.t_miss,
             "t_item": self.t_item,
             "dist": self.dist,
             "seed": self.seed,
         }
+        # Size-distribution keys only appear when active: legacy
+        # fixed-cost payloads (and their campaign cell hashes) must
+        # stay byte-identical to the pre-size-model era.
+        if self.size_dist != "none":
+            out["size_dist"] = self.size_dist
+            out["size_seed"] = self.size_seed
+            out["size_scale"] = self.size_scale
+            out["size_shape"] = self.size_shape
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ServiceModel":
@@ -424,6 +486,7 @@ def serve(
     config: Optional[ServingConfig] = None,
     *,
     validate: bool = True,
+    engine=None,
     on_access: Optional[Callable[[int, int, HitKind], None]] = None,
     on_event: Optional[Callable[[str, float, int], None]] = None,
     recorder=None,
@@ -440,24 +503,37 @@ def serve(
     ``drop_admission`` / ``drop_timeout``) in simulated-time order —
     the hook the invariant tests use to check monotone time.
 
+    ``engine`` dispatches the cache stream through a pre-built engine
+    instead of constructing one: anything exposing the referee
+    :class:`~repro.core.engine.Engine` surface the loop touches —
+    ``access(item)``, a live ``result`` :class:`SimResult`, and a
+    ``resident`` membership view — works; this is how
+    :func:`repro.cluster.serving_bridge.serve_cluster` routes requests
+    across an N-shard cluster.  With ``engine`` given, ``policy`` is
+    ignored (pass ``None``) and the caller owns offline preparation.
+
     Returns a :class:`ServingResult`; the run always drains (every
     admitted request completes or is dropped before the loop ends).
     """
     config = config if config is not None else ServingConfig()
-    if trace.mapping is not policy.mapping and (
-        trace.mapping.universe != policy.mapping.universe
-        or trace.mapping.max_block_size != policy.mapping.max_block_size
-    ):
-        raise ProtocolViolation("trace and policy use different block mappings")
-    if policy.is_offline:
-        policy.prepare(trace)
-    engine = Engine(policy, trace.mapping, validate=validate, recorder=recorder)
+    if engine is None:
+        if trace.mapping is not policy.mapping and (
+            trace.mapping.universe != policy.mapping.universe
+            or trace.mapping.max_block_size != policy.mapping.max_block_size
+        ):
+            raise ProtocolViolation(
+                "trace and policy use different block mappings"
+            )
+        if policy.is_offline:
+            policy.prepare(trace)
+        engine = Engine(policy, trace.mapping, validate=validate, recorder=recorder)
     engine.result.metadata.update(
         {k: v for k, v in trace.metadata.items() if isinstance(v, (str, int, float))}
     )
     items: List[int] = trace.items.tolist()
     n = len(items)
     model = config.service
+    item_weights = model.item_weights(trace.mapping.universe)
     service_rng = np.random.default_rng(
         np.random.SeedSequence([model.seed, 0x53455256])
     )
@@ -508,6 +584,7 @@ def serve(
                 open_times,
                 on_access,
                 on_event,
+                item_weights,
             )
     result.duration = state.last_t
     result.area_in_system = state.area_system
@@ -533,6 +610,7 @@ def _run_loop(
     open_times: Optional[np.ndarray],
     on_access: Optional[Callable[[int, int, HitKind], None]],
     on_event: Optional[Callable[[str, float, int], None]],
+    item_weights: Optional[np.ndarray] = None,
 ) -> None:
     """The event loop body (split out to keep :func:`serve` readable)."""
     n = len(items)
@@ -554,8 +632,20 @@ def _run_loop(
         kinds[index] = kind
         if on_access is not None:
             on_access(index, items[index], kind)
-        loaded = engine.result.loaded_items - loaded_before
-        service_time = model.sample(kind, loaded, service_rng)
+        if item_weights is None:
+            loaded = engine.result.loaded_items - loaded_before
+            service_time = model.sample(kind, loaded, service_rng)
+        else:
+            # Size-aware transfer cost: weigh each side-loaded item by
+            # its (normalized) value size instead of counting it as 1.
+            extra = 0.0
+            outcome = engine.last_outcome
+            if kind is HitKind.MISS and outcome is not None:
+                requested = items[index]
+                for loaded_item in outcome.loaded:
+                    if loaded_item != requested:
+                        extra += float(item_weights[loaded_item])
+            service_time = model.sample_weighted(kind, extra, service_rng)
         result.wait_sum += wait
         result.wait.record(wait)
         result.service_sum += service_time

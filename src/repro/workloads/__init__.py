@@ -30,8 +30,11 @@ from repro.workloads.spatial import (
 )
 from repro.workloads.mixtures import hot_and_stream, interleave, phase_mixture
 from repro.workloads.scenarios import dram_cache_workload, page_cache_workload
+from repro.workloads.etc import etc_item_sizes, etc_kv_workload
 
 __all__ = [
+    "etc_item_sizes",
+    "etc_kv_workload",
     "uniform_random",
     "zipf_items",
     "sequential_scan",

@@ -1,0 +1,98 @@
+"""Facebook-ETC-style key popularity and value-size distributions.
+
+Atikoglu et al., *Workload Analysis of a Large-Scale Key-Value Store*
+(SIGMETRICS 2012), characterized Facebook's memcached **ETC** pool —
+the general-purpose, most-cited cache workload: key popularity is
+Zipf-like (exponent ≈ 1 over most of the range), and value sizes
+follow a Generalized Pareto distribution (their fitted tail:
+scale ≈ 214.48 bytes, shape ≈ 0.3482), i.e. most values are tiny but
+the size tail is heavy.
+
+Two pieces here:
+
+* :func:`etc_item_sizes` — a deterministic per-item size table drawn
+  from that Generalized Pareto fit.  :class:`repro.serving.ServiceModel`
+  consumes it (``size_dist="etc"``) to make the per-item transfer cost
+  ``t_item`` *variable*: a miss that side-loads a heavy-tailed value
+  pays proportionally more backing-store transfer time.
+* :func:`etc_kv_workload` — a key-request trace with the ETC Zipf-like
+  popularity over a block-partitioned universe (hot keys scattered
+  across blocks, as hashes scatter them in a real store).
+
+Both are pure functions of their seeds — same arguments, same arrays —
+which is what lets serving cells using them stay content-addressable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError
+from repro.workloads.synthetic import _mapping, zipf_items
+
+__all__ = ["etc_item_sizes", "etc_kv_workload", "ETC_SCALE", "ETC_SHAPE"]
+
+#: Generalized Pareto fit of ETC value sizes (Atikoglu et al., Table 5).
+ETC_SCALE = 214.476
+ETC_SHAPE = 0.348238
+
+
+def etc_item_sizes(
+    universe: int,
+    seed: int = 0,
+    scale: float = ETC_SCALE,
+    shape: float = ETC_SHAPE,
+    min_size: float = 1.0,
+) -> np.ndarray:
+    """Deterministic per-item value sizes (bytes), Generalized Pareto.
+
+    Inverse-CDF sampling: ``size = min_size + (scale/shape) *
+    ((1-u)^(-shape) - 1)`` for uniform ``u`` — heavy-tailed for
+    ``shape > 0``.  The RNG is derived from ``seed`` alone, so item
+    ``i`` always gets the same size for a given seed (the property the
+    seeded-determinism test pins): sizes are an attribute of the item,
+    not of the trace that happens to reference it.
+    """
+    if universe < 1:
+        raise ConfigurationError(f"universe must be >= 1, got {universe}")
+    if scale <= 0 or shape <= 0:
+        raise ConfigurationError("scale and shape must be > 0")
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0x45544353]))
+    u = rng.random(universe)
+    return min_size + (scale / shape) * ((1.0 - u) ** (-shape) - 1.0)
+
+
+def etc_kv_workload(
+    length: int,
+    universe: int = 16384,
+    block_size: int = 8,
+    alpha: float = 0.99,
+    seed: int = 0,
+) -> Trace:
+    """ETC-style key-request trace: Zipf-like popularity, hashed layout.
+
+    Popularity follows the ETC Zipf fit (``alpha ≈ 0.99``); ranks are
+    shuffled across the universe so hot keys land in unrelated blocks —
+    the layout a hashed key space gives a block-granular backing store.
+    The block partition models the store's fetch granularity (e.g. one
+    SSTable/page region holding ``block_size`` adjacent keys).
+    """
+    base = zipf_items(
+        length,
+        universe,
+        alpha=alpha,
+        block_size=block_size,
+        seed=seed,
+        shuffle_ranks=True,
+    )
+    return Trace(
+        base.items,
+        _mapping(universe, block_size),
+        {
+            "generator": "etc_kv_workload",
+            "alpha": alpha,
+            "universe": universe,
+            "seed": seed,
+        },
+    )

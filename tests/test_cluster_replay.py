@@ -1,0 +1,220 @@
+"""Cluster replay conformance and the degradation/isolation invariants.
+
+The anchor is **single-shard bit-identity**: an ``n_shards=1`` cluster
+— under either hash scheme, fast or referee path — must reproduce the
+single-cache :func:`simulate` :class:`SimResult` exactly, across
+policy families (item-granularity, granularity-aware, block-
+granularity, offline-prepared).  On top of that: exact cross-shard
+conservation, the paper-facing monotonicity of spatial degradation
+under item-striping (and its *absence* under block-aware hashing), the
+JSON interchange round-trip, and the multi-tenant attribution
+accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign.runner import result_fields
+from repro.cluster import (
+    ClusterResult,
+    ClusterSpec,
+    combine_tenants,
+    replay_cluster,
+    replay_multitenant,
+)
+from repro.core.engine import simulate
+from repro.errors import ConfigurationError
+from repro.policies import make_policy
+from repro.workloads import markov_spatial, zipf_items
+
+CAPACITY = 128
+
+#: Policy families: item-granularity, granularity-aware, block-
+#: granularity (all fast-kernel-backed), plus referee-only gcm.
+POLICIES = ["item-lru", "iblp", "block-fifo", "gcm"]
+
+
+def spatial_trace(length=8000, universe=1024, seed=5):
+    return markov_spatial(
+        length=length, universe=universe, block_size=8, stay=0.85, seed=seed
+    )
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("scheme", ["block", "item"])
+@pytest.mark.parametrize("fast", [True, False])
+def test_single_shard_cluster_is_bit_identical_to_simulate(
+    policy, scheme, fast
+):
+    tr = spatial_trace(length=4000, universe=512)
+    reference = simulate(
+        make_policy(policy, CAPACITY, tr.mapping), tr, fast=fast
+    )
+    cl = replay_cluster(
+        policy, CAPACITY, tr, ClusterSpec(n_shards=1, scheme=scheme), fast=fast
+    )
+    assert result_fields(cl.sim) == result_fields(reference)
+    assert cl.load_imbalance == 1.0
+    assert cl.blocks_split == 0
+
+
+@pytest.mark.parametrize("scheme", ["block", "item", "modulo"])
+def test_shard_taxonomies_merge_exactly(scheme):
+    tr = spatial_trace()
+    cl = replay_cluster(
+        "iblp", CAPACITY, tr, ClusterSpec(n_shards=4, scheme=scheme)
+    )
+    assert len(cl.shards) == 4
+    for field in (
+        "accesses",
+        "misses",
+        "temporal_hits",
+        "spatial_hits",
+        "loaded_items",
+        "evicted_items",
+    ):
+        assert getattr(cl.sim, field) == sum(
+            getattr(s, field) for s in cl.shards
+        )
+    assert cl.sim.accesses == len(tr)
+    assert cl.sim.misses + cl.sim.temporal_hits + cl.sim.spatial_hits == len(tr)
+
+
+def test_item_striping_degrades_spatial_locality_monotonically():
+    """The headline invariant: striping a spatial workload across more
+    shards strictly erodes the spatial fraction (side-loads land on
+    items other shards own), while block-aware hashing preserves it to
+    within noise at every shard count."""
+    tr = spatial_trace()
+    shard_counts = [1, 2, 4, 8, 16]
+    striped = [
+        replay_cluster(
+            "iblp", 256, tr, ClusterSpec(n_shards=n, scheme="item")
+        ).sim.spatial_fraction
+        for n in shard_counts
+    ]
+    assert all(a > b for a, b in zip(striped, striped[1:])), striped
+    aware = [
+        replay_cluster(
+            "iblp", 256, tr, ClusterSpec(n_shards=n, scheme="block")
+        ).sim.spatial_fraction
+        for n in shard_counts
+    ]
+    assert max(aware) - min(aware) < 0.01, aware
+    assert min(aware) > striped[-1]
+
+
+def test_per_shard_capacity_mode_gives_full_capacity_to_each_shard():
+    spec = ClusterSpec(n_shards=4, scheme="block", capacity_mode="per-shard")
+    assert spec.shard_capacity(256) == 256
+    assert ClusterSpec(n_shards=4, scheme="block").shard_capacity(256) == 64
+    tr = spatial_trace(length=4000, universe=512)
+    scaled = replay_cluster("iblp", 64, tr, spec)
+    split = replay_cluster(
+        "iblp", 64, tr, ClusterSpec(n_shards=4, scheme="block")
+    )
+    assert scaled.sim.miss_ratio <= split.sim.miss_ratio
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(n_shards=2, capacity_mode="elastic")
+
+
+def test_cluster_result_round_trips_through_fields():
+    tr = spatial_trace(length=4000, universe=512)
+    cl = replay_cluster(
+        "iblp", CAPACITY, tr, ClusterSpec(n_shards=3, scheme="item")
+    )
+    back = ClusterResult.from_fields(cl.fields())
+    assert back.fields() == cl.fields()
+    assert back.n_shards == 3
+    assert back.scheme == "item"
+    assert back.as_row() == cl.as_row()
+
+
+def test_combine_tenants_is_deterministic_and_disjoint():
+    tenants = {
+        "temporal": zipf_items(
+            length=3000, universe=512, alpha=1.1, block_size=8, seed=1
+        ),
+        "spatial": spatial_trace(length=3000, universe=512, seed=2),
+    }
+    combined, ids, names = combine_tenants(tenants)
+    again, ids2, _ = combine_tenants(tenants)
+    assert combined.fingerprint() == again.fingerprint()
+    np.testing.assert_array_equal(ids, ids2)
+    assert names == ["temporal", "spatial"]
+    assert len(combined) == 6000
+    assert combined.universe == 1024
+    # Offsets preserve block boundaries and keep item spaces disjoint.
+    assert (combined.items[ids == 0] < 512).all()
+    assert (combined.items[ids == 1] >= 512).all()
+
+
+@pytest.mark.parametrize("mode", ["shared", "static", "per-tenant"])
+def test_multitenant_attribution_sums_to_merged(mode):
+    tenants = {
+        "temporal": zipf_items(
+            length=3000, universe=512, alpha=1.1, block_size=8, seed=1
+        ),
+        "spatial": spatial_trace(length=3000, universe=512, seed=2),
+    }
+    cl = replay_multitenant(
+        tenants,
+        mode,
+        "item-lru",
+        CAPACITY,
+        ClusterSpec(n_shards=4, scheme="block"),
+        policies={"spatial": "iblp"} if mode == "per-tenant" else None,
+    )
+    assert set(cl.tenants) == {"temporal", "spatial"}
+    for field in ("accesses", "misses", "temporal_hits", "spatial_hits"):
+        assert getattr(cl.sim, field) == sum(
+            t[field] for t in cl.tenants.values()
+        )
+    assert cl.sim.metadata["tenancy"] == mode
+
+
+def test_per_tenant_policy_split_beats_shared_for_the_spatial_tenant():
+    """The cache_ext-style argument in one assertion: giving the
+    spatial tenant its own granularity-aware policy cuts its miss
+    ratio far below what any shared item-LRU pool gives it."""
+    tenants = {
+        "temporal": zipf_items(
+            length=4000, universe=512, alpha=1.1, block_size=8, seed=1
+        ),
+        "spatial": markov_spatial(
+            length=4000, universe=512, block_size=8, stay=0.9, seed=2
+        ),
+    }
+    spec = ClusterSpec(n_shards=4, scheme="block")
+    shared = replay_multitenant(tenants, "shared", "item-lru", 128, spec)
+    split = replay_multitenant(
+        tenants,
+        "per-tenant",
+        "item-lru",
+        128,
+        spec,
+        policies={"spatial": "iblp"},
+    )
+    assert (
+        split.tenant_miss_ratio("spatial")
+        < 0.5 * shared.tenant_miss_ratio("spatial")
+    )
+    assert split.tenant_spatial_fraction("spatial") > 0.2
+    assert shared.tenant_spatial_fraction("spatial") == 0.0
+
+
+def test_tenant_tag_validation():
+    tr = spatial_trace(length=1000, universe=512)
+    with pytest.raises(ConfigurationError):
+        replay_cluster(
+            "item-lru",
+            CAPACITY,
+            tr,
+            ClusterSpec(n_shards=2),
+            tenant_ids=np.zeros(5, dtype=np.int64),
+            tenant_names=["only"],
+        )
+    with pytest.raises(ConfigurationError):
+        replay_multitenant(
+            {"a": tr}, "dynamic", "item-lru", CAPACITY, ClusterSpec(n_shards=2)
+        )

@@ -1,0 +1,114 @@
+"""Facebook-ETC key/size model: determinism and serving integration.
+
+The generator follows the SIGMETRICS'12 ETC characterization: Zipf
+key popularity (α≈0.99) and Generalized-Pareto value sizes.  Pins:
+
+* seeded determinism — identical arrays and trace fingerprints per
+  seed, different across seeds (the satellite-1 acceptance test);
+* the inverse-CDF size distribution's basic shape (support, heavy
+  tail);
+* the :class:`ServiceModel` size hook: legacy fixed-cost payloads are
+  byte-identical (no size keys ⇒ old campaign hashes stand), while
+  ``size_dist="etc"`` reweights per-item transfer cost without
+  touching the cache decision stream — sizes change *latency*, never
+  *policy behaviour*.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving import ArrivalSpec, ServiceModel, ServingConfig, serve_policy
+from repro.workloads import etc_item_sizes, etc_kv_workload
+
+
+def test_sizes_are_seed_deterministic():
+    a = etc_item_sizes(4096, seed=3)
+    b = etc_item_sizes(4096, seed=3)
+    np.testing.assert_array_equal(a, b)
+    c = etc_item_sizes(4096, seed=4)
+    assert (a != c).any()
+
+
+def test_sizes_follow_generalized_pareto_shape():
+    sizes = etc_item_sizes(50_000, seed=0)
+    assert (sizes >= 1.0).all()
+    # Heavy tail: the mean sits far above the median, and the ETC fit's
+    # mean value size is a few hundred bytes.
+    assert np.median(sizes) < sizes.mean() < 2000
+    assert 100 < sizes.mean()
+    assert sizes.max() > 10 * sizes.mean()
+
+
+def test_workload_is_seed_deterministic():
+    a = etc_kv_workload(5000, universe=1024, seed=11)
+    b = etc_kv_workload(5000, universe=1024, seed=11)
+    assert a.fingerprint() == b.fingerprint()
+    np.testing.assert_array_equal(a.items, b.items)
+    assert a.metadata["generator"] == "etc_kv_workload"
+    c = etc_kv_workload(5000, universe=1024, seed=12)
+    assert a.fingerprint() != c.fingerprint()
+
+
+def test_service_model_legacy_payload_is_untouched():
+    model = ServiceModel(t_hit=1, t_miss=100, t_item=2)
+    assert model.as_dict() == {
+        "t_hit": 1,
+        "t_miss": 100,
+        "t_item": 2,
+        "dist": "deterministic",
+        "seed": 0,
+    }
+    assert model.item_weights(1024) is None
+    sized = ServiceModel(t_hit=1, t_miss=100, t_item=2, size_dist="etc")
+    payload = sized.as_dict()
+    assert payload["size_dist"] == "etc"
+    assert ServiceModel.from_dict(payload) == sized
+    with pytest.raises(ConfigurationError):
+        ServiceModel(size_dist="pareto")
+
+
+def test_item_weights_normalize_to_mean_one():
+    model = ServiceModel(size_dist="etc", size_seed=5)
+    weights = model.item_weights(8192)
+    assert weights.shape == (8192,)
+    assert weights.min() > 0
+    assert abs(weights.mean() - 1.0) < 1e-12
+    np.testing.assert_array_equal(weights, model.item_weights(8192))
+
+
+def config(size_dist="none"):
+    return ServingConfig(
+        arrival=ArrivalSpec(process="poisson", rate=0.02, seed=2),
+        service=ServiceModel(
+            t_hit=1.0, t_miss=50.0, t_item=2.0, size_dist=size_dist
+        ),
+        concurrency=3,
+    )
+
+
+def test_size_aware_serving_changes_latency_not_decisions():
+    trace = etc_kv_workload(4000, universe=512, seed=3)
+    fixed = serve_policy("iblp", 128, trace, config("none"))
+    sized = serve_policy("iblp", 128, trace, config("etc"))
+    # The cache stream is identical — sizes weigh transfers, they do
+    # not alter hits, misses, or load sets.
+    from repro.campaign.runner import result_fields
+
+    assert result_fields(sized.sim) == result_fields(fixed.sim)
+    assert sized.completions == fixed.completions
+    # Heavy-tailed sizes fatten the latency tail relative to its mean
+    # (p999 sits in the histograms' coarse top buckets, so p99 is the
+    # robust tail probe).
+    assert sized.p99 != fixed.p99
+    assert (
+        sized.p99 / max(sized.mean_latency, 1e-9)
+        > fixed.p99 / max(fixed.mean_latency, 1e-9)
+    )
+
+
+def test_size_aware_serving_is_deterministic():
+    trace = etc_kv_workload(3000, universe=512, seed=9)
+    a = serve_policy("item-lru", 128, trace, config("etc"))
+    b = serve_policy("item-lru", 128, trace, config("etc"))
+    assert a.fields() == b.fields()
