@@ -20,6 +20,13 @@ rows are bit-identical with them on or off):
   non-stack policy, ``fast=False``, ``timing=True``, or an unsupported
   trace/capacity combination silently falls back to per-cell replay
   (see ``docs/fastpath.md``).  ``batch="never"`` disables it.
+* **Multi-policy batching** (also ``batch="auto"``): cells the Mattson
+  collapse leaves behind that are still plain fast-path cells over
+  kernel-covered policies collapse per trace into one
+  :func:`repro.core.fast.multi_policy_replay` traversal — the whole
+  policy axis of an ablation matrix costs one pass over the compiled
+  trace instead of one replay per policy.  The same conservative
+  gating applies; ineligible cells replay per-cell as before.
 * **Shared-memory trace arenas**: a parallel sweep publishes each
   distinct trace once via :mod:`repro.core.arena` and ships workers a
   small handle instead of pickling the trace per cell; workers attach
@@ -316,6 +323,63 @@ def _run_batches(
             rows[i] = row
 
 
+def _run_policy_batches(
+    cell_list: List[Dict[str, Any]],
+    rows: List[Optional[Dict[str, Any]]],
+) -> None:
+    """Collapse remaining pure policy/capacity cells per trace.
+
+    After the Mattson collapse, any unfilled :func:`simulate_cell`
+    cells that are plain fast-path cells over a kernel-covered policy
+    are grouped by trace object and advanced together by one
+    :func:`repro.core.fast.multi_policy_replay` traversal — the
+    compile/decode work is shared across the whole policy axis.  A
+    single-cell group is left alone (``fast_simulate`` already covers
+    it at the same cost), and any :class:`ConfigurationError` from the
+    batched engine silently defers to per-cell replay.
+    """
+    from repro.core.fast import FAST_POLICY_NAMES, multi_policy_replay
+    from repro.core.trace import Trace
+    from repro.telemetry import spans
+
+    groups: Dict[int, List[int]] = {}
+    traces: Dict[int, Any] = {}
+    for i, cell in enumerate(cell_list):
+        if rows[i] is not None or not _BATCHABLE_KEYS.issuperset(cell):
+            continue
+        policy = cell.get("policy")
+        capacity = cell.get("capacity")
+        trace = cell.get("trace")
+        if cell.get("fast", True) is not True:
+            continue
+        if policy not in FAST_POLICY_NAMES:
+            continue
+        if not isinstance(capacity, int) or isinstance(capacity, bool):
+            continue
+        if capacity < 1 or not isinstance(trace, Trace):
+            continue
+        groups.setdefault(id(trace), []).append(i)
+        traces[id(trace)] = trace
+    for trace_id, indices in groups.items():
+        if len(indices) < 2:
+            continue
+        trace = traces[trace_id]
+        batch_cells = [
+            (cell_list[i]["policy"], int(cell_list[i]["capacity"]))
+            for i in indices
+        ]
+        with spans.span("sweep.policy_batch", cells=len(indices)):
+            try:
+                results = multi_policy_replay(batch_cells, trace)
+            except ConfigurationError:
+                continue
+        for i, result in zip(indices, results):
+            row = result.as_row()
+            for key, value in cell_list[i].items():
+                row.setdefault(key, value)
+            rows[i] = row
+
+
 def sweep(
     fn: Callable[..., Mapping[str, Any]],
     cells: Iterable[Dict[str, Any]],
@@ -357,8 +421,10 @@ def sweep(
         load-balancing.
     batch:
         ``"auto"`` collapses pure capacity sweeps over stack policies
-        into one multi-capacity replay (bit-identical rows, see module
-        docstring); ``"never"`` forces per-cell replay.
+        into one multi-capacity replay and the remaining pure
+        policy/capacity cells into one multi-policy traversal per
+        trace (bit-identical rows, see module docstring); ``"never"``
+        forces per-cell replay.
     """
     cell_list = list(cells)
     if not cell_list:
@@ -372,6 +438,7 @@ def sweep(
     # replay is cheaper than shipping its cells anywhere.
     if batch == "auto" and not timing and fn is simulate_cell:
         _run_batches(cell_list, rows)
+        _run_policy_batches(cell_list, rows)
     pending = [i for i in range(len(cell_list)) if rows[i] is None]
     if not pending:
         return rows  # type: ignore[return-value]

@@ -29,7 +29,7 @@ from repro.campaign.runner import result_fields, result_from_fields
 from repro.core.trace import Trace
 from repro.types import SimResult
 
-__all__ = ["CampaignCache", "cached_simulate", "open_cache"]
+__all__ = ["CampaignCache", "cached_simulate", "cached_serve", "open_cache"]
 
 
 class CampaignCache:
@@ -92,6 +92,74 @@ class CampaignCache:
         )
         self.computed += 1
         return result
+
+    def simulate_many(
+        self,
+        cells: Any,
+        trace: Trace,
+        fast: bool = True,
+    ) -> list:
+        """Memoized batch of :meth:`simulate` cells over one trace.
+
+        ``cells`` is a sequence of ``(policy, capacity)`` or
+        ``(policy, capacity, policy_kwargs)``.  Each cell keeps its own
+        content address (the same ``cell_hash`` :meth:`simulate` uses,
+        so previously stored cells are served unchanged and cells
+        computed here are visible to later per-cell calls); the cells
+        the store cannot answer are computed in one
+        :func:`repro.core.fast.multi_policy_replay` traversal when
+        every missing cell has a kernel, and per-cell otherwise.
+        Returns results in input order.
+        """
+        from repro.core.fast import multi_policy_replay, multi_policy_supported
+
+        norm = []
+        for cell in cells:
+            parts = tuple(cell)
+            name, capacity = parts[0], parts[1]
+            kwargs = dict(parts[2]) if len(parts) == 3 and parts[2] else {}
+            norm.append((name, capacity, kwargs))
+        results: list = [None] * len(norm)
+        digests = []
+        for i, (name, capacity, kwargs) in enumerate(norm):
+            digest = cell_hash(
+                policy=name,
+                capacity=capacity,
+                trace_fingerprint=trace.fingerprint(),
+                fast=fast,
+                policy_kwargs=kwargs,
+            )
+            digests.append(digest)
+            stored = self.store.get(digest)
+            if stored is not None:
+                self.hits += 1
+                results[i] = result_from_fields(stored)
+        missing = [i for i in range(len(norm)) if results[i] is None]
+        if not missing:
+            return results
+        batch_cells = [norm[i] for i in missing]
+        if fast and multi_policy_supported(batch_cells, trace):
+            computed = multi_policy_replay(batch_cells, trace)
+        else:
+            from repro.core.engine import simulate
+            from repro.policies import make_policy
+
+            computed = [
+                simulate(
+                    make_policy(name, capacity, trace.mapping, **kwargs),
+                    trace,
+                    fast=fast,
+                )
+                for name, capacity, kwargs in batch_cells
+            ]
+        for i, result in zip(missing, computed):
+            self.store.put(digests[i], result_fields(result))
+            self.journal.append(
+                "done", hash=digests[i], attempt=1, memo=False, source="cache"
+            )
+            self.computed += 1
+            results[i] = result
+        return results
 
     def serve(
         self,
@@ -326,6 +394,33 @@ def cached_simulate(
 
     instance = make_policy(policy, capacity, trace.mapping, **policy_kwargs)
     return simulate(instance, trace, fast=fast)
+
+
+def cached_serve(
+    cache: Optional["CampaignCache"],
+    policy: str,
+    capacity: int,
+    trace: Trace,
+    serving: Any,
+    **policy_kwargs: Any,
+):
+    """``cache.serve(...)``, or a plain uncached ``serve_policy`` when
+    ``cache`` is None.
+
+    The serving-column twin of :func:`cached_simulate`: experiments
+    that attach p50/p99 sojourn columns route through this so the
+    request-level runs memoize alongside the offline cells.
+    """
+    if cache is not None:
+        return cache.serve(policy, capacity, trace, serving, **policy_kwargs)
+    from repro.serving import ServingConfig, serve_policy
+
+    config = (
+        serving
+        if isinstance(serving, ServingConfig)
+        else ServingConfig.from_dict(serving)
+    )
+    return serve_policy(policy, capacity, trace, config, **policy_kwargs)
 
 
 def open_cache(

@@ -80,6 +80,13 @@ def result_fields(result: SimResult) -> Dict[str, Any]:
         "policy": result.policy,
         "capacity": result.capacity,
         "metadata": dict(result.metadata),
+        # Telemetry-only; stored when set so reports can show which
+        # cells the fast path actually covered.
+        **(
+            {"fallback_reason": result.fallback_reason}
+            if result.fallback_reason is not None
+            else {}
+        ),
     }
 
 
@@ -113,6 +120,7 @@ def result_from_fields(fields: Dict[str, Any]):
         policy=fields["policy"],
         capacity=int(fields["capacity"]),
         metadata=dict(fields.get("metadata", {})),
+        fallback_reason=fields.get("fallback_reason"),
     )
 
 

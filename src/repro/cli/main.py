@@ -291,6 +291,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="memoize trace-driven simulations in this campaign "
         "directory (rerun after a crash recomputes only missing cells)",
     )
+    p_abl.add_argument(
+        "--serve-rate",
+        type=float,
+        default=None,
+        help="attach p50/p99 sojourn columns from request-level serving "
+        "runs at this Poisson arrival rate (requests per simulated "
+        "time unit)",
+    )
+    p_abl.add_argument(
+        "--serve-concurrency",
+        type=int,
+        default=1,
+        help="server concurrency for --serve-rate runs",
+    )
 
     p_prof = sub.add_parser("profile", help="empirical f(n)/g(n) profile")
     p_prof.add_argument("--workload", choices=sorted(_WORKLOADS), required=True)
@@ -508,11 +522,19 @@ def _dispatch(ns: argparse.Namespace):
     if ns.command == "ablation":
         from repro.campaign import open_cache
 
+        serving = None
+        if ns.serve_rate is not None:
+            from repro.serving import ArrivalSpec, ServingConfig
+
+            serving = ServingConfig(
+                arrival=ArrivalSpec(rate=ns.serve_rate),
+                concurrency=ns.serve_concurrency,
+            )
         cache = open_cache(ns.campaign_dir)
         if cache is None:
-            return ablation.render(k=ns.k, B=ns.B)
+            return ablation.render(k=ns.k, B=ns.B, serving=serving)
         with cache:
-            return ablation.render(k=ns.k, B=ns.B, cache=cache)
+            return ablation.render(k=ns.k, B=ns.B, cache=cache, serving=serving)
     if ns.command == "profile":
         trace = _WORKLOADS[ns.workload](ns)
         profile = profile_trace(trace)

@@ -28,7 +28,12 @@ from repro.core.fast import (
     FAST_POLICY_NAMES,
     CompiledTrace,
     compile_trace,
+    fast_fallback_reason,
     fast_simulate,
+    multi_capacity_replay,
+    multi_capacity_supported,
+    multi_policy_replay,
+    multi_policy_supported,
 )
 from repro.core.conformance import (
     ConformanceReport,
@@ -47,6 +52,11 @@ __all__ = [
     "CompiledTrace",
     "compile_trace",
     "fast_simulate",
+    "fast_fallback_reason",
+    "multi_capacity_replay",
+    "multi_capacity_supported",
+    "multi_policy_replay",
+    "multi_policy_supported",
     "FAST_POLICY_NAMES",
     "ConformanceReport",
     "check_conformance",

@@ -34,6 +34,8 @@ from repro.core.fast import (
     fast_simulate,
     multi_capacity_replay,
     multi_capacity_supported,
+    multi_policy_replay,
+    multi_policy_supported,
 )
 from repro.core.trace import Trace
 from repro.errors import ConfigurationError
@@ -49,6 +51,8 @@ __all__ = [
     "assert_conformant",
     "check_multi_capacity",
     "assert_multi_capacity_conformant",
+    "check_multi_policy",
+    "assert_multi_policy_conformant",
     "conformance_suite",
 ]
 
@@ -245,6 +249,69 @@ def assert_multi_capacity_conformant(
     return reports
 
 
+def _cell_parts(cell) -> Tuple[str, int, Dict[str, object]]:
+    if isinstance(cell, dict):
+        kwargs = dict(cell)
+        return kwargs.pop("policy"), kwargs.pop("capacity"), kwargs
+    parts = tuple(cell)
+    if len(parts) == 3:
+        return parts[0], parts[1], dict(parts[2] or {})
+    return parts[0], parts[1], {}
+
+
+def check_multi_policy(
+    cells,
+    trace: Trace,
+    cross_check_every: int = 16,
+) -> List[ConformanceReport]:
+    """Diff one single-pass multi-policy replay against per-cell referees.
+
+    One :func:`repro.core.fast.multi_policy_replay` call advances every
+    cell over a shared traversal; each returned result is then diffed —
+    all :data:`RESULT_FIELDS` plus the full per-access outcome stream —
+    against a fresh validated referee run of that cell alone, so
+    sharing the pass provably changes nothing.  Raises
+    :class:`ConfigurationError` when a cell has no kernel (gate with
+    :func:`repro.core.fast.multi_policy_supported`).
+    """
+    cells = list(cells)
+    record: Dict[int, List[int]] = {}
+    results = multi_policy_replay(cells, trace, record=record)
+    reports: List[ConformanceReport] = []
+    for i, cell in enumerate(cells):
+        name, capacity, kwargs = _cell_parts(cell)
+        ref_policy = make_policy(name, capacity, trace.mapping, **kwargs)
+        ref_result, ref_codes = referee_outcomes(
+            ref_policy, trace, cross_check_every=cross_check_every
+        )
+        report = ConformanceReport(
+            policy=ref_result.policy,
+            capacity=capacity,
+            accesses=ref_result.accesses,
+        )
+        for fname in RESULT_FIELDS:
+            ref_val = getattr(ref_result, fname)
+            batch_val = getattr(results[i], fname)
+            if ref_val != batch_val:
+                report.mismatches.append(
+                    f"SimResult.{fname}: referee={ref_val!r} "
+                    f"multi-policy={batch_val!r}"
+                )
+        report.mismatches.extend(_diff_streams(ref_codes, record[i]))
+        reports.append(report)
+    return reports
+
+
+def assert_multi_policy_conformant(
+    cells, trace: Trace
+) -> List[ConformanceReport]:
+    """:func:`check_multi_policy`, raising on any divergence."""
+    reports = check_multi_policy(cells, trace)
+    bad = [r for r in reports if not r.ok]
+    assert not bad, "\n".join(str(r) for r in bad)
+    return reports
+
+
 def conformance_suite(
     traces: Dict[str, Trace],
     capacities: Iterable[int],
@@ -254,7 +321,9 @@ def conformance_suite(
 
     Returns one row per cell with an ``ok`` flag and divergence detail;
     callers (CI, benches) assert ``all(row["ok"] ...)``.  The
-    a-threshold family is exercised at ``a ∈ {1, 2}`` per cell.
+    a-threshold family is exercised at ``a ∈ {1, 2}`` per cell and the
+    seeded GCM family at ``seed ∈ {0, 7}`` (deeper seed grids live in
+    ``tests/test_gcm_determinism.py``).
 
     Stack policies additionally get ``mode="batched"`` rows: the whole
     capacity family recomputed by one
@@ -263,14 +332,23 @@ def conformance_suite(
     certified by the same suite as the per-cell kernels.  Capacities a
     trace cannot batch (Block-LRU below its block size) are dropped
     from the batched rows only.
+
+    Finally, every (policy, capacity) default-kwargs cell of a trace is
+    replayed once more through a single
+    :func:`repro.core.fast.multi_policy_replay` pass and diffed
+    per-cell against the referee (``mode="multi"`` rows), certifying
+    the shared-traversal engine over the full policy matrix.
     """
     rows: List[Dict[str, object]] = []
     caps = list(capacities)
+    policies = list(policies)
     for trace_name, trace in traces.items():
         for policy in policies:
             variants = [{}]
             if policy == "athreshold-lru":
                 variants = [{"a": 1}, {"a": 2}]
+            elif policy in ("gcm", "gcm-markall", "gcm-partial"):
+                variants = [{}, {"seed": 7}]
             for kwargs in variants:
                 for capacity in caps:
                     report = check_conformance(policy, capacity, trace, **kwargs)
@@ -301,6 +379,22 @@ def conformance_suite(
                         "trace": trace_name,
                         "policy": policy,
                         "mode": "batched",
+                        "capacity": report.capacity,
+                        "accesses": report.accesses,
+                        "ok": report.ok,
+                        "detail": "; ".join(report.mismatches),
+                    }
+                )
+        multi_cells = [(p, k) for p in policies for k in caps]
+        if multi_cells and multi_policy_supported(multi_cells, trace):
+            for cell, report in zip(
+                multi_cells, check_multi_policy(multi_cells, trace)
+            ):
+                rows.append(
+                    {
+                        "trace": trace_name,
+                        "policy": cell[0],
+                        "mode": "multi",
                         "capacity": report.capacity,
                         "accesses": report.accesses,
                         "ok": report.ok,

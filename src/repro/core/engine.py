@@ -50,6 +50,7 @@ from typing import Callable, Dict, Optional, Set
 
 from repro.core.trace import Trace
 from repro.errors import CapacityExceeded, IllegalLoadSet, ProtocolViolation
+from repro.telemetry import spans
 from repro.types import AccessOutcome, HitKind, SimResult
 
 __all__ = ["Engine", "simulate"]
@@ -231,7 +232,10 @@ def simulate(
         policies, warm policies, or when observation/reconciliation
         (``on_access``, ``recorder``, ``cross_check_every``) is
         requested.  Unlike the referee, the kernel does not mutate
-        ``policy``.
+        ``policy``.  When the fallback happens, the reason is no longer
+        silent: it is emitted as a ``fast.fallback`` span and surfaced
+        on :attr:`SimResult.fallback_reason` (``"unsupported-policy"``,
+        ``"mapping-mismatch"``, ``"warm-policy"``, or ``"observed"``).
 
     Returns
     -------
@@ -242,15 +246,27 @@ def simulate(
         or trace.mapping.max_block_size != policy.mapping.max_block_size
     ):
         raise ProtocolViolation("trace and policy use different block mappings")
-    if fast and on_access is None and recorder is None and not cross_check_every:
-        from repro.core.fast import fast_simulate
+    fallback_reason = None
+    if fast:
+        if on_access is not None or recorder is not None or cross_check_every:
+            fallback_reason = "observed"
+        else:
+            from repro.core.fast import fast_fallback_reason, fast_simulate
 
-        result = fast_simulate(policy, trace)
-        if result is not None:
-            return result
+            result = fast_simulate(policy, trace)
+            if result is not None:
+                return result
+            fallback_reason = fast_fallback_reason(policy, trace)
+        with spans.span(
+            "fast.fallback",
+            policy=policy.name,
+            reason=fallback_reason or "unknown",
+        ):
+            pass
     if policy.is_offline:
         policy.prepare(trace)
     engine = Engine(policy, trace.mapping, validate=validate, recorder=recorder)
+    engine.result.fallback_reason = fallback_reason
     engine.result.metadata.update(
         {k: v for k, v in trace.metadata.items() if isinstance(v, (str, int, float))}
     )

@@ -2,13 +2,17 @@
 
 The referee engine (:mod:`repro.core.engine`) validates every policy
 action with Python sets — correct, but a large constant factor on the
-per-access path.  For the classic deterministic policies the entire
-replay is a pure function of ``(trace, capacity, parameters)``, so this
-module provides *replay kernels*: slotted, array-backed re-implementa-
-tions that produce the exact same :class:`~repro.types.SimResult`
-(temporal/spatial hit taxonomy and load-set statistics included)
-without constructing :class:`~repro.types.AccessOutcome` records,
-frozensets, or shadow validation state.
+per-access path.  For every *online* registered policy the entire
+replay is a pure function of ``(trace, capacity, parameters, seed)``,
+so this module provides *replay kernels*: slotted, array-backed
+re-implementations that produce the exact same
+:class:`~repro.types.SimResult` (temporal/spatial hit taxonomy and
+load-set statistics included) without constructing
+:class:`~repro.types.AccessOutcome` records, frozensets, or shadow
+validation state.  Randomized policies (GCM family, ``item-random``)
+consume the *same* :class:`numpy.random.Generator` method sequence as
+the referee, so seeded runs are bit-identical, not just statistically
+equivalent.
 
 Correctness is not assumed — it is *proven* by the differential
 conformance harness (:mod:`repro.core.conformance` and
@@ -22,10 +26,17 @@ Entry points
 ------------
 * :func:`compile_trace` — integer-encode a :class:`Trace` once
   (item → dense id, per-access block ids, block membership tables);
-  memoized per trace object.
+  memoized per trace fingerprint.
 * :func:`fast_simulate` — replay a supported policy over a trace;
   returns ``None`` when no kernel applies (the caller falls back to
   the referee).  ``simulate(..., fast=True)`` does exactly that.
+* :func:`fast_fallback_reason` — why :func:`fast_simulate` would
+  return ``None`` for a policy/trace pair (``None`` when it wouldn't);
+  surfaced as ``SimResult.fallback_reason`` telemetry by the engine.
+* :func:`multi_policy_replay` — compile the trace once and advance
+  many policy kernels over one chunked traversal (decode, block
+  mapping, and load-set tables shared the way
+  :func:`multi_capacity_replay` shares the Mattson pass).
 * :func:`supports` / :data:`FAST_POLICY_NAMES` — kernel coverage.
 
 Fallback rules (any of these routes the access back to the referee):
@@ -41,11 +52,27 @@ Fallback rules (any of these routes the access back to the referee):
   reconciliation (``cross_check_every``) — referee-only features.
 
 Kernels never mutate the policy object they dispatch on; they read its
-configuration (capacity, layer split, threshold) and replay a replica.
+configuration (capacity, layer split, threshold, seed) and replay a
+replica.
+
+Kernel architecture
+-------------------
+Each kernel is a *stepper factory* ``f(compiled, policy, record) ->
+(run, finish)``: all replay state lives in the factory's closure,
+``run(items, blocks, dense)`` advances the policy over one contiguous
+chunk of accesses (the full trace is just one big chunk), and
+``finish()`` returns the final counters.  :func:`fast_simulate` calls
+``run`` once over the whole compiled trace — the loop body is
+identical to a monolithic kernel, so single-policy replay pays nothing
+for the factoring — while :func:`multi_policy_replay` interleaves many
+``run`` calls over cache-sized chunks of the same compiled arrays,
+which is what makes the single-pass multi-policy traversal possible
+without per-access dispatch overhead.
 """
 
 from __future__ import annotations
 
+import heapq
 import os
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -56,17 +83,22 @@ from repro.telemetry import spans
 from repro.core.mapping import FixedBlockMapping
 from repro.core.trace import Trace
 from repro.errors import ConfigurationError
+from repro.policies.adaptive_iblp import AdaptiveIBLP
 from repro.policies.athreshold import AThresholdLRU
+from repro.policies.base import make_policy, policy_class
 from repro.policies.block_cache import BlockFIFO, BlockLRU
-from repro.policies.iblp import IBLP
-from repro.policies.item_lru import ItemFIFO, ItemLRU
-from repro.policies.item_other import ItemClock
+from repro.policies.iblp import IBLP, BlockFirstIBLP
+from repro.policies.item_lru import ItemFIFO, ItemLRU, ItemMRU
+from repro.policies.item_other import ItemClock, ItemLFU, ItemRandom
+from repro.policies.item_twoq import ItemTwoQ
+from repro.policies.marking import GCM, MarkAllGCM, MarkingLRU, PartialGCM
 from repro.types import SimResult
 
 __all__ = [
     "CompiledTrace",
     "compile_trace",
     "fast_simulate",
+    "fast_fallback_reason",
     "supports",
     "FAST_POLICY_NAMES",
     "KIND_MISS",
@@ -76,6 +108,9 @@ __all__ = [
     "MULTI_CAPACITY_POLICIES",
     "multi_capacity_supported",
     "multi_capacity_replay",
+    "MULTI_POLICY_CHUNK",
+    "multi_policy_supported",
+    "multi_policy_replay",
 ]
 
 #: Integer codes for the per-access outcome stream (the compact form of
@@ -103,9 +138,9 @@ class CompiledTrace:
     unique_items:
         ``int64`` array decoding dense id → original item id.
     block_members:
-        ``block id → ascending tuple of member items`` for every block
-        the trace references (what the referee obtains from
-        ``mapping.items_in`` per miss, computed once here).
+        ``block id → tuple of member items`` (in ``mapping.items_in``
+        order) for every block the trace references — what the referee
+        obtains from ``mapping.items_in`` per miss, computed once here.
     item_block:
         ``item id → block id`` for every member of every referenced
         block (covers side-loaded items that never appear in ``items``).
@@ -191,12 +226,17 @@ def compile_trace(trace: Trace) -> CompiledTrace:
 #: counts = (misses, temporal_hits, spatial_hits, loaded_items, evicted_items)
 _Counts = Tuple[int, int, int, int, int]
 _Record = Optional[List[int]]
+#: ``run(items_chunk, blocks_chunk, dense_chunk)`` advances the kernel
+#: over one contiguous slice of the compiled trace.
+_RunFn = Callable[[List[int], List[int], List[int]], None]
+#: A kernel factory: closure state + (run, finish) steppers.
+_Kernel = Callable[["CompiledTrace", "object", _Record], Tuple[_RunFn, Callable[[], _Counts]]]
 
 
 # -- item-granularity kernels (no spatial hits possible) --------------------
-def _replay_item_recency(
+def _kernel_item_recency(
     ct: CompiledTrace, capacity: int, touch_on_hit: bool, record: _Record
-) -> _Counts:
+):
     """LRU (``touch_on_hit``) / FIFO item cache over dense ids.
 
     Recency is a doubly-linked list over slot arrays: ``nxt``/``prv``
@@ -208,46 +248,90 @@ def _replay_item_recency(
     nxt = [S] * (m + 1)
     prv = [S] * (m + 1)
     resident = bytearray(m)
-    size = 0
-    misses = temporal = evicted = 0
-    for it in ct.dense:
-        if resident[it]:
-            temporal += 1
-            if touch_on_hit:
-                p = prv[it]
-                nx = nxt[it]
-                nxt[p] = nx
-                prv[nx] = p
-                f = nxt[S]
-                nxt[S] = it
-                prv[it] = S
-                nxt[it] = f
-                prv[f] = it
-            if record is not None:
-                record.append(KIND_TEMPORAL)
-        else:
-            misses += 1
-            if size >= capacity:
-                lru = prv[S]
-                p = prv[lru]
-                nxt[p] = S
-                prv[S] = p
-                resident[lru] = 0
-                evicted += 1
+    st = [0, 0, 0, 0]  # size, misses, temporal, evicted
+
+    def run(items: List[int], blocks: List[int], dense: List[int]) -> None:
+        size, misses, temporal, evicted = st
+        _nxt, _prv, _res = nxt, prv, resident
+        for it in dense:
+            if _res[it]:
+                temporal += 1
+                if touch_on_hit:
+                    p = _prv[it]
+                    nx = _nxt[it]
+                    _nxt[p] = nx
+                    _prv[nx] = p
+                    f = _nxt[S]
+                    _nxt[S] = it
+                    _prv[it] = S
+                    _nxt[it] = f
+                    _prv[f] = it
+                if record is not None:
+                    record.append(KIND_TEMPORAL)
             else:
-                size += 1
-            resident[it] = 1
-            f = nxt[S]
-            nxt[S] = it
-            prv[it] = S
-            nxt[it] = f
-            prv[f] = it
-            if record is not None:
-                record.append(KIND_MISS)
-    return misses, temporal, 0, misses, evicted
+                misses += 1
+                if size >= capacity:
+                    lru = _prv[S]
+                    p = _prv[lru]
+                    _nxt[p] = S
+                    _prv[S] = p
+                    _res[lru] = 0
+                    evicted += 1
+                else:
+                    size += 1
+                _res[it] = 1
+                f = _nxt[S]
+                _nxt[S] = it
+                _prv[it] = S
+                _nxt[it] = f
+                _prv[f] = it
+                if record is not None:
+                    record.append(KIND_MISS)
+        st[0], st[1], st[2], st[3] = size, misses, temporal, evicted
+
+    def finish() -> _Counts:
+        return st[1], st[2], 0, st[1], st[3]
+
+    return run, finish
 
 
-def _replay_item_clock(ct: CompiledTrace, capacity: int, record: _Record) -> _Counts:
+def _kernel_item_mru(ct: CompiledTrace, capacity: int, record: _Record):
+    """MRU item cache: insertion-ordered dict, victim = last key.
+
+    :class:`~repro.policies.item_lru.ItemMRU` touches on hits and
+    evicts ``pop_mru()`` — with eviction *before* insertion, the victim
+    is the previous MRU, which is exactly ``dict.popitem()`` on an
+    insertion-ordered dict where touch = pop + reinsert.
+    """
+    order: Dict[int, None] = {}
+    st = [0, 0, 0]  # misses, temporal, evicted
+
+    def run(items: List[int], blocks: List[int], dense: List[int]) -> None:
+        misses, temporal, evicted = st
+        d = order
+        for it in dense:
+            if it in d:
+                d[it] = d.pop(it)
+                temporal += 1
+                if record is not None:
+                    record.append(KIND_TEMPORAL)
+            else:
+                misses += 1
+                if len(d) >= capacity:
+                    d.popitem()
+                    evicted += 1
+                d[it] = None
+                if record is not None:
+                    record.append(KIND_MISS)
+        st[0], st[1], st[2] = misses, temporal, evicted
+
+    def finish() -> _Counts:
+        return st[0], st[1], 0, st[0], st[2]
+
+    return run, finish
+
+
+def _kernel_item_clock(ct: CompiledTrace, capacity: int, record: _Record):
     """CLOCK item cache on flat ring arrays, bit-exact to
     :class:`repro.structs.clock_hand.ClockHand`.
 
@@ -265,76 +349,346 @@ def _replay_item_clock(ct: CompiledTrace, capacity: int, record: _Record) -> _Co
     resident = bytearray(m)
     ring = [0] * capacity  # ring slot -> dense id
     ref = bytearray(capacity)  # ring slot -> reference bit
-    hand = 0
-    size = 0
-    misses = temporal = evicted = 0
-    for it in ct.dense:
-        if resident[it]:
-            ref[pos[it]] = 1
-            temporal += 1
+    st = [0, 0, 0, 0, 0]  # hand, size, misses, temporal, evicted
+
+    def run(items: List[int], blocks: List[int], dense: List[int]) -> None:
+        hand, size, misses, temporal, evicted = st
+        _pos, _res, _ring, _ref = pos, resident, ring, ref
+        for it in dense:
+            if _res[it]:
+                _ref[_pos[it]] = 1
+                temporal += 1
+                if record is not None:
+                    record.append(KIND_TEMPORAL)
+                continue
+            misses += 1
             if record is not None:
-                record.append(KIND_TEMPORAL)
-            continue
-        misses += 1
-        if record is not None:
-            record.append(KIND_MISS)
-        if size >= capacity:
-            h = hand
-            if h >= capacity:
-                h = 0
-            while ref[h]:  # second-chance sweep
-                ref[h] = 0
-                h += 1
+                record.append(KIND_MISS)
+            if size >= capacity:
+                h = hand
                 if h >= capacity:
                     h = 0
-            resident[ring[h]] = 0
-            evicted += 1
-            ring[h] = it
-            ref[h] = 1
-            pos[it] = h
-            resident[it] = 1
-            hand = h + 1
-        elif size == 0:
-            ring[0] = it
-            ref[0] = 1
-            pos[it] = 0
-            resident[it] = 1
-            size = 1
-            # hand stays 0: it rests on this first key until full.
-        else:
-            # Insert just behind the hand at slot size-1; the first key
-            # shifts to slot size and its reference bit moves with it.
-            last = ring[size - 1]
-            ring[size] = last
-            ref[size] = ref[size - 1]
-            pos[last] = size
-            ring[size - 1] = it
-            ref[size - 1] = 1
-            pos[it] = size - 1
-            resident[it] = 1
-            size += 1
-            hand = size - 1
-    return misses, temporal, 0, misses, evicted
+                while _ref[h]:  # second-chance sweep
+                    _ref[h] = 0
+                    h += 1
+                    if h >= capacity:
+                        h = 0
+                _res[_ring[h]] = 0
+                evicted += 1
+                _ring[h] = it
+                _ref[h] = 1
+                _pos[it] = h
+                _res[it] = 1
+                hand = h + 1
+            elif size == 0:
+                _ring[0] = it
+                _ref[0] = 1
+                _pos[it] = 0
+                _res[it] = 1
+                size = 1
+                # hand stays 0: it rests on this first key until full.
+            else:
+                # Insert just behind the hand at slot size-1; the first
+                # key shifts to slot size, its reference bit with it.
+                last = _ring[size - 1]
+                _ring[size] = last
+                _ref[size] = _ref[size - 1]
+                _pos[last] = size
+                _ring[size - 1] = it
+                _ref[size - 1] = 1
+                _pos[it] = size - 1
+                _res[it] = 1
+                size += 1
+                hand = size - 1
+        st[0], st[1], st[2], st[3], st[4] = hand, size, misses, temporal, evicted
+
+    def finish() -> _Counts:
+        return st[2], st[3], 0, st[2], st[4]
+
+    return run, finish
+
+
+def _kernel_item_lfu(ct: CompiledTrace, capacity: int, record: _Record):
+    """In-cache LFU with LRU tie-breaking via a lazy heap.
+
+    The referee (:class:`~repro.policies.item_other.ItemLFU`) picks
+    ``min`` over ``(freq, last_use)``; ``last_use`` ticks are unique
+    and strictly increasing, so the key is unique per entry and a heap
+    with stale-entry skipping pops the exact same victim in O(log k)
+    instead of the referee's O(k) scan.
+    """
+    freq: Dict[int, int] = {}
+    last: Dict[int, int] = {}
+    heap: List[Tuple[int, int, int]] = []  # (freq, last_use, dense id)
+    st = [0, 0, 0, 0]  # tick, misses, temporal, evicted
+
+    def run(items: List[int], blocks: List[int], dense: List[int]) -> None:
+        tick, misses, temporal, evicted = st
+        push, pop = heapq.heappush, heapq.heappop
+        _freq, _last, _heap = freq, last, heap
+        for it in dense:
+            f = _freq.get(it)
+            if f is not None:
+                tick += 1
+                f += 1
+                _freq[it] = f
+                _last[it] = tick
+                push(_heap, (f, tick, it))
+                temporal += 1
+                if record is not None:
+                    record.append(KIND_TEMPORAL)
+            else:
+                misses += 1
+                if len(_freq) >= capacity:
+                    while True:
+                        vf, vt, v = pop(_heap)
+                        if _last.get(v) == vt:
+                            break
+                    del _freq[v]
+                    del _last[v]
+                    evicted += 1
+                tick += 1
+                _freq[it] = 1
+                _last[it] = tick
+                push(_heap, (1, tick, it))
+                if record is not None:
+                    record.append(KIND_MISS)
+        st[0], st[1], st[2], st[3] = tick, misses, temporal, evicted
+
+    def finish() -> _Counts:
+        return st[1], st[2], 0, st[1], st[3]
+
+    return run, finish
+
+
+def _kernel_item_random(ct: CompiledTrace, capacity: int, seed: int, record: _Record):
+    """Seeded random replacement, RNG-identical to
+    :class:`~repro.policies.item_other.ItemRandom`.
+
+    One ``rng.integers(len(slots))`` draw per eviction — the same
+    method on the same :func:`numpy.random.default_rng` stream the
+    referee consumes, so any fixed seed replays bit-identically.  The
+    swap-with-last slot compaction mirrors the referee's.
+    """
+    rng = np.random.default_rng(seed)
+    slots: List[int] = []
+    resident = bytearray(ct.n_distinct)
+    st = [0, 0, 0]  # misses, temporal, evicted
+
+    def run(items: List[int], blocks: List[int], dense: List[int]) -> None:
+        misses, temporal, evicted = st
+        integers = rng.integers
+        _slots, _res = slots, resident
+        for it in dense:
+            if _res[it]:
+                temporal += 1
+                if record is not None:
+                    record.append(KIND_TEMPORAL)
+            else:
+                misses += 1
+                if len(_slots) >= capacity:
+                    idx = int(integers(len(_slots)))
+                    victim = _slots[idx]
+                    last = _slots.pop()
+                    if last != victim:
+                        _slots[idx] = last
+                    _res[victim] = 0
+                    evicted += 1
+                _slots.append(it)
+                _res[it] = 1
+                if record is not None:
+                    record.append(KIND_MISS)
+        st[0], st[1], st[2] = misses, temporal, evicted
+
+    def finish() -> _Counts:
+        return st[0], st[1], 0, st[0], st[2]
+
+    return run, finish
+
+
+def _kernel_item_twoq(
+    ct: CompiledTrace,
+    capacity: int,
+    probation_fraction: float,
+    ghost_fraction: float,
+    record: _Record,
+):
+    """2Q (A1in/Am/A1out) over insertion-ordered dicts, mirroring
+    :class:`~repro.policies.item_twoq.ItemTwoQ` exactly: FIFO probation
+    untouched on hits, ghosts only remember probation victims, ghost
+    hits promote straight into the protected LRU."""
+    a1in_cap = max(1, int(capacity * probation_fraction))
+    ghost_cap = max(1, int(capacity * ghost_fraction))
+    a1in: Dict[int, None] = {}
+    am: Dict[int, None] = {}
+    ghosts: Dict[int, None] = {}
+    st = [0, 0, 0]  # misses, temporal, evicted
+
+    def run(items: List[int], blocks: List[int], dense: List[int]) -> None:
+        misses, temporal, evicted = st
+        _a1in, _am, _ghosts = a1in, am, ghosts
+        for it in dense:
+            if it in _am:
+                _am[it] = _am.pop(it)
+                temporal += 1
+                if record is not None:
+                    record.append(KIND_TEMPORAL)
+            elif it in _a1in:
+                # 2Q leaves probation order untouched on hits (FIFO).
+                temporal += 1
+                if record is not None:
+                    record.append(KIND_TEMPORAL)
+            else:
+                misses += 1
+                if len(_a1in) + len(_am) >= capacity:
+                    # Prefer draining probation past its cap, else the
+                    # protected LRU, else probation anyway (Am empty).
+                    if len(_a1in) > a1in_cap or not _am:
+                        victim = next(iter(_a1in))
+                        del _a1in[victim]
+                        if victim in _ghosts:
+                            _ghosts[victim] = _ghosts.pop(victim)
+                        else:
+                            _ghosts[victim] = None
+                            if len(_ghosts) > ghost_cap:
+                                del _ghosts[next(iter(_ghosts))]
+                    else:
+                        victim = next(iter(_am))
+                        del _am[victim]
+                    evicted += 1
+                if it in _ghosts:
+                    # Recently evicted from probation: straight to Am.
+                    del _ghosts[it]
+                    _am[it] = None
+                else:
+                    _a1in[it] = None
+                if record is not None:
+                    record.append(KIND_MISS)
+        st[0], st[1], st[2] = misses, temporal, evicted
+
+    def finish() -> _Counts:
+        return st[0], st[1], 0, st[0], st[2]
+
+    return run, finish
+
+
+def _kernel_marking_lru(ct: CompiledTrace, capacity: int, record: _Record):
+    """Traditional marking (LRU victim among unmarked), loads only the
+    requested item — mirrors
+    :class:`~repro.policies.marking.MarkingLRU` including the phase
+    reset (clear marks when every resident is marked, checked only when
+    an eviction is needed)."""
+    order: Dict[int, None] = {}  # insertion order = LRU→MRU
+    marked: set = set()
+    st = [0, 0, 0]  # misses, temporal, evicted
+
+    def run(items: List[int], blocks: List[int], dense: List[int]) -> None:
+        misses, temporal, evicted = st
+        d, mk = order, marked
+        for it in dense:
+            if it in d:
+                d[it] = d.pop(it)
+                mk.add(it)
+                temporal += 1
+                if record is not None:
+                    record.append(KIND_TEMPORAL)
+            else:
+                misses += 1
+                if len(d) >= capacity:
+                    if len(mk) >= len(d):
+                        mk.clear()  # new phase
+                    victim = next(k for k in d if k not in mk)
+                    del d[victim]
+                    evicted += 1
+                d[it] = None
+                mk.add(it)
+                if record is not None:
+                    record.append(KIND_MISS)
+        st[0], st[1], st[2] = misses, temporal, evicted
+
+    def finish() -> _Counts:
+        return st[0], st[1], 0, st[0], st[2]
+
+    return run, finish
 
 
 # -- block-granularity kernels (referee hit-taxonomy replicated) ------------
-def _replay_block(
-    ct: CompiledTrace, capacity: int, touch_on_hit: bool, record: _Record
-) -> _Counts:
-    """Whole-block LRU/FIFO mirroring ``_BlockPolicyBase`` + the
-    referee's spatial-pending classification."""
-    blocks_d: Dict[int, Tuple[int, ...]] = {}  # insertion order = LRU→MRU
+def _kernel_gcm(
+    ct: CompiledTrace,
+    capacity: int,
+    seed: int,
+    mark_side_loads: bool,
+    max_load: Optional[int],
+    record: _Record,
+):
+    """Granularity-Change Marking family (§6.1), RNG bit-identical.
+
+    Replays :class:`~repro.policies.marking._GCMBase` verbatim on
+    original item ids: the same ``sorted()`` candidate orderings, the
+    same ``rng.integers``/``rng.shuffle`` call sequence on the same
+    seeded generator, the same churn algebra (a same-block step-1
+    victim can be re-loaded as a neighbour) and the engine's
+    spatial-pending classification.  ``mark_side_loads`` selects
+    gcm vs gcm-markall; ``max_load`` is gcm-partial's dial.
+
+    The referee materialises and sorts the candidate set per eviction
+    (``sorted(res - mk)[rng.integers(n)]`` — O(k log k) per miss).
+    The kernel answers the same query as a *rank selection*: the draw
+    ``idx = rng.integers(n)`` picks the ``(idx+1)``-th smallest
+    candidate id, which two Fenwick trees over original item ids
+    (resident / unmarked-resident membership) select in O(log U).
+    The RNG argument is the candidate *count* and the selected id is
+    the same order statistic, so the draw sequence and every victim
+    are bit-identical to the referee — only the cost changes.
+    """
+    rng = np.random.default_rng(seed)
     resident: set = set()
+    marked: set = set()
     pending: set = set()  # side-loaded residents not yet hit
     members_of = ct.block_members
-    misses = temporal = spatial = loaded_n = evicted_n = 0
-    for it, blk in zip(ct.items, ct.blocks):
-        if blk in blocks_d:
-            if it in resident:
-                if touch_on_hit:
-                    blocks_d[blk] = blocks_d.pop(blk)
-                if it in pending:
-                    pending.discard(it)
+    # Fenwick (binary-indexed) membership trees over original item ids;
+    # ``item_block`` covers every id a GCM replay can ever load.
+    n_ids = (max(ct.item_block) + 1) if ct.item_block else 1
+    rtree = [0] * (n_ids + 1)  # all residents
+    utree = [0] * (n_ids + 1)  # unmarked residents (phase candidates)
+    top = 1
+    while (top << 1) <= n_ids:
+        top <<= 1
+    fw = [0, 0]  # (resident count, unmarked count) across chunks
+
+    def fw_add(tree: List[int], i: int, d: int) -> None:
+        i += 1
+        while i <= n_ids:
+            tree[i] += d
+            i += i & -i
+
+    def fw_select(tree: List[int], k: int) -> int:
+        """The item id holding rank ``k`` (1-based k-th smallest)."""
+        pos = 0
+        bit = top
+        while bit:
+            nxt = pos + bit
+            if nxt <= n_ids and tree[nxt] < k:
+                pos = nxt
+                k -= tree[nxt]
+            bit >>= 1
+        return pos
+
+    st = [0, 0, 0, 0, 0]  # misses, temporal, spatial, loaded_n, evicted_n
+
+    def run(items: List[int], blocks: List[int], dense: List[int]) -> None:
+        misses, temporal, spatial, loaded_n, evicted_n = st
+        rcount, ucount = fw
+        integers, shuffle = rng.integers, rng.shuffle
+        res, mk, pend = resident, marked, pending
+        for it, blk in zip(items, blocks):
+            if it in res:
+                if it not in mk:
+                    mk.add(it)
+                    fw_add(utree, it, -1)
+                    ucount -= 1
+                if it in pend:
+                    pend.discard(it)
                     spatial += 1
                     if record is not None:
                         record.append(KIND_SPATIAL)
@@ -343,58 +697,196 @@ def _replay_block(
                     if record is not None:
                         record.append(KIND_TEMPORAL)
                 continue
-            # Trimmed residue (k < |block|): replace the stale entry.
-            stale = blocks_d.pop(blk)
-            resident.difference_update(stale)
-            evicted = set(stale)
-        else:
-            evicted = set()
-        members = members_of[blk]
-        load = members
-        if len(members) > capacity:
-            keep = [it]
-            for m in members:
-                if m != it and len(keep) < capacity:
-                    keep.append(m)
-            load = tuple(sorted(keep))
-        while len(resident) + len(load) > capacity:
-            victim_block = next(iter(blocks_d))
-            victim_items = blocks_d.pop(victim_block)
-            evicted.update(victim_items)
-            resident.difference_update(victim_items)
-        blocks_d[blk] = load
-        resident.update(load)
-        load_set = set(load)
-        churn = load_set & evicted
-        eff_loaded = load_set - churn
-        eff_evicted = evicted - churn
-        misses += 1
-        loaded_n += len(eff_loaded)
-        evicted_n += len(eff_evicted)
-        pending -= eff_evicted
-        for member in eff_loaded:
-            if member != it:
-                pending.add(member)
+            loaded: set = set()
+            evicted: set = set()
+            # 1. Load and mark the requested item.  The victim is the
+            # referee's ``sorted(res - mk)[idx]`` selected by rank.
+            if rcount >= capacity:
+                if ucount == 0:
+                    mk.clear()  # phase ends: all residents candidates
+                    utree[:] = rtree
+                    ucount = rcount
+                victim = fw_select(utree, int(integers(ucount)) + 1)
+                fw_add(utree, victim, -1)
+                ucount -= 1
+                fw_add(rtree, victim, -1)
+                rcount -= 1
+                res.discard(victim)
+                evicted.add(victim)
+            res.add(it)
+            mk.add(it)
+            loaded.add(it)
+            fw_add(rtree, it, 1)
+            rcount += 1
+            # 2. Bring in the rest of the block, replacing unmarked
+            # items (never this access's own loads).
+            neighbours = [x for x in members_of[blk] if x not in res]
+            if neighbours:
+                shuffle(neighbours)
+            if max_load is not None:
+                neighbours = neighbours[: max_load - 1]
+            side_loaded: List[int] = []
+            for nb in neighbours:
+                if rcount >= capacity:
+                    # Referee candidates = res - mk - loaded.  This
+                    # access's unmarked side loads enter ``utree`` only
+                    # after the loop, so the tree holds exactly that
+                    # set and ``ucount`` is the referee's count.
+                    if ucount == 0:
+                        break
+                    victim = fw_select(utree, int(integers(ucount)) + 1)
+                    fw_add(utree, victim, -1)
+                    ucount -= 1
+                    fw_add(rtree, victim, -1)
+                    rcount -= 1
+                    res.discard(victim)
+                    evicted.add(victim)
+                res.add(nb)
+                loaded.add(nb)
+                fw_add(rtree, nb, 1)
+                rcount += 1
+                if mark_side_loads:
+                    mk.add(nb)
+                else:
+                    side_loaded.append(nb)
+            # Deferred: this access's unmarked side loads become
+            # eviction candidates for later accesses only.
+            for nb in side_loaded:
+                fw_add(utree, nb, 1)
+            ucount += len(side_loaded)
+            # (The referee's ``marked &= resident`` is a no-op: victims
+            # are always unmarked at eviction time.)
+            churn = loaded & evicted
+            eff_loaded = loaded - churn
+            eff_evicted = evicted - churn
+            misses += 1
+            loaded_n += len(eff_loaded)
+            evicted_n += len(eff_evicted)
+            pend -= eff_evicted
+            for member in eff_loaded:
+                if member != it:
+                    pend.add(member)
+                else:
+                    pend.discard(member)
+            if record is not None:
+                record.append(KIND_MISS)
+        st[0], st[1], st[2], st[3], st[4] = (
+            misses,
+            temporal,
+            spatial,
+            loaded_n,
+            evicted_n,
+        )
+        fw[0], fw[1] = rcount, ucount
+
+    def finish() -> _Counts:
+        return st[0], st[1], st[2], st[3], st[4]
+
+    return run, finish
+
+
+def _kernel_block(
+    ct: CompiledTrace, capacity: int, touch_on_hit: bool, record: _Record
+):
+    """Whole-block LRU/FIFO mirroring ``_BlockPolicyBase`` + the
+    referee's spatial-pending classification."""
+    blocks_d: Dict[int, Tuple[int, ...]] = {}  # insertion order = LRU→MRU
+    resident: set = set()
+    pending: set = set()  # side-loaded residents not yet hit
+    members_of = ct.block_members
+    st = [0, 0, 0, 0, 0]  # misses, temporal, spatial, loaded_n, evicted_n
+
+    def run(items: List[int], blocks: List[int], dense: List[int]) -> None:
+        misses, temporal, spatial, loaded_n, evicted_n = st
+        bd, res, pend = blocks_d, resident, pending
+        for it, blk in zip(items, blocks):
+            if blk in bd:
+                if it in res:
+                    if touch_on_hit:
+                        bd[blk] = bd.pop(blk)
+                    if it in pend:
+                        pend.discard(it)
+                        spatial += 1
+                        if record is not None:
+                            record.append(KIND_SPATIAL)
+                    else:
+                        temporal += 1
+                        if record is not None:
+                            record.append(KIND_TEMPORAL)
+                    continue
+                # Trimmed residue (k < |block|): replace the stale entry.
+                stale = bd.pop(blk)
+                res.difference_update(stale)
+                evicted = set(stale)
             else:
-                pending.discard(member)
-        if record is not None:
-            record.append(KIND_MISS)
-    return misses, temporal, spatial, loaded_n, evicted_n
+                evicted = set()
+            members = members_of[blk]
+            load = members
+            if len(members) > capacity:
+                keep = [it]
+                for m in members:
+                    if m != it and len(keep) < capacity:
+                        keep.append(m)
+                load = tuple(sorted(keep))
+            while len(res) + len(load) > capacity:
+                victim_block = next(iter(bd))
+                victim_items = bd.pop(victim_block)
+                evicted.update(victim_items)
+                res.difference_update(victim_items)
+            bd[blk] = load
+            res.update(load)
+            load_set = set(load)
+            churn = load_set & evicted
+            eff_loaded = load_set - churn
+            eff_evicted = evicted - churn
+            misses += 1
+            loaded_n += len(eff_loaded)
+            evicted_n += len(eff_evicted)
+            pend -= eff_evicted
+            for member in eff_loaded:
+                if member != it:
+                    pend.add(member)
+                else:
+                    pend.discard(member)
+            if record is not None:
+                record.append(KIND_MISS)
+        st[0], st[1], st[2], st[3], st[4] = (
+            misses,
+            temporal,
+            spatial,
+            loaded_n,
+            evicted_n,
+        )
+
+    def finish() -> _Counts:
+        return st[0], st[1], st[2], st[3], st[4]
+
+    return run, finish
 
 
-def _replay_iblp(
-    ct: CompiledTrace, capacity: int, item_layer_size: int, record: _Record
-) -> _Counts:
-    """Canonical IBLP (item layer in front) with union refcounting."""
+def _kernel_iblp(
+    ct: CompiledTrace,
+    capacity: int,
+    item_layer_size: int,
+    block_first: bool,
+    record: _Record,
+):
+    """IBLP (canonical and block-first ablation) with union refcounting.
+
+    ``block_first`` reproduces
+    :class:`~repro.policies.iblp.BlockFirstIBLP`: the block layer's
+    recency is refreshed on *every* access to a resident block — §5.1's
+    pollution hazard — before the item layer is consulted.
+    """
     ils = item_layer_size
     bls = capacity - ils
     items_d: Dict[int, None] = {}  # item layer, insertion order = LRU→MRU
     blocks_d: Dict[int, Tuple[int, ...]] = {}  # block layer
     refcount: Dict[int, int] = {}  # item -> number of layers holding it
-    occupancy = 0  # item slots used by the block layer
+    occupancy_cell = [0]  # item slots used by the block layer
     pending: set = set()
     members_of = ct.block_members
-    misses = temporal = spatial = loaded_n = evicted_n = 0
+    st = [0, 0, 0, 0, 0]  # misses, temporal, spatial, loaded_n, evicted_n
 
     def acquire(x: int, loaded: set) -> None:
         n = refcount.get(x, 0)
@@ -424,12 +916,11 @@ def _replay_iblp(
         acquire(x, loaded)
 
     def block_insert(blk: int, x: int, loaded: set, evicted: set) -> None:
-        nonlocal occupancy
         if bls == 0:
             return
         if blk in blocks_d:
             stale = blocks_d.pop(blk)
-            occupancy -= len(stale)
+            occupancy_cell[0] -= len(stale)
             for s in stale:
                 release(s, evicted)
         members = members_of[blk]
@@ -437,73 +928,294 @@ def _replay_iblp(
         if len(members) > bls:
             keep = [x] + [m for m in members if m != x]
             load = tuple(keep[:bls])
-        while occupancy + len(load) > bls:
+        while occupancy_cell[0] + len(load) > bls:
             victim_block = next(iter(blocks_d))
             victim_items = blocks_d.pop(victim_block)
-            occupancy -= len(victim_items)
+            occupancy_cell[0] -= len(victim_items)
             for v in victim_items:
                 release(v, evicted)
         blocks_d[blk] = load
-        occupancy += len(load)
+        occupancy_cell[0] += len(load)
         for member in load:
             acquire(member, loaded)
 
-    for it, blk in zip(ct.items, ct.blocks):
-        if it in items_d:
-            items_d[it] = items_d.pop(it)  # pure item-layer hit
-            if it in pending:
-                pending.discard(it)
-                spatial += 1
-                if record is not None:
-                    record.append(KIND_SPATIAL)
-            else:
-                temporal += 1
-                if record is not None:
-                    record.append(KIND_TEMPORAL)
-            continue
-        loaded: set = set()
-        evicted: set = set()
-        if blk in blocks_d and it in refcount:
-            # Block-layer hit: refresh block recency, promote the item.
-            blocks_d[blk] = blocks_d.pop(blk)
+    def run(items: List[int], blocks: List[int], dense: List[int]) -> None:
+        misses, temporal, spatial, loaded_n, evicted_n = st
+        pend = pending
+        for it, blk in zip(items, blocks):
+            if block_first:
+                block_hit = blk in blocks_d
+                if block_hit:
+                    blocks_d[blk] = blocks_d.pop(blk)  # harmful reordering
+            if it in items_d:
+                items_d[it] = items_d.pop(it)  # pure item-layer hit
+                if it in pend:
+                    pend.discard(it)
+                    spatial += 1
+                    if record is not None:
+                        record.append(KIND_SPATIAL)
+                else:
+                    temporal += 1
+                    if record is not None:
+                        record.append(KIND_TEMPORAL)
+                continue
+            if not block_first:
+                block_hit = blk in blocks_d
+            loaded: set = set()
+            evicted: set = set()
+            if block_hit and it in refcount:
+                # Block-layer hit: refresh recency, promote the item.
+                if not block_first:
+                    blocks_d[blk] = blocks_d.pop(blk)
+                item_insert(it, loaded, evicted)
+                loaded.discard(it)  # promoting a resident is not a load
+                eff_evicted = evicted - (loaded & evicted)
+                evicted_n += len(eff_evicted)
+                pend -= eff_evicted
+                if it in pend:
+                    pend.discard(it)
+                    spatial += 1
+                    if record is not None:
+                        record.append(KIND_SPATIAL)
+                else:
+                    temporal += 1
+                    if record is not None:
+                        record.append(KIND_TEMPORAL)
+                continue
+            # Full miss: both layers load.
             item_insert(it, loaded, evicted)
-            loaded.discard(it)  # promotion of a resident is not a load
-            eff_evicted = evicted - (loaded & evicted)
+            block_insert(blk, it, loaded, evicted)
+            churn = loaded & evicted
+            eff_loaded = loaded - churn
+            eff_evicted = evicted - churn
+            misses += 1
+            loaded_n += len(eff_loaded)
             evicted_n += len(eff_evicted)
-            pending -= eff_evicted
-            if it in pending:
-                pending.discard(it)
-                spatial += 1
-                if record is not None:
-                    record.append(KIND_SPATIAL)
-            else:
-                temporal += 1
-                if record is not None:
-                    record.append(KIND_TEMPORAL)
-            continue
-        # Full miss: both layers load.
-        item_insert(it, loaded, evicted)
-        block_insert(blk, it, loaded, evicted)
-        churn = loaded & evicted
-        eff_loaded = loaded - churn
-        eff_evicted = evicted - churn
-        misses += 1
-        loaded_n += len(eff_loaded)
-        evicted_n += len(eff_evicted)
-        pending -= eff_evicted
-        for member in eff_loaded:
-            if member != it:
-                pending.add(member)
-            else:
-                pending.discard(member)
-        if record is not None:
-            record.append(KIND_MISS)
-    return misses, temporal, spatial, loaded_n, evicted_n
+            pend -= eff_evicted
+            for member in eff_loaded:
+                if member != it:
+                    pend.add(member)
+                else:
+                    pend.discard(member)
+            if record is not None:
+                record.append(KIND_MISS)
+        st[0], st[1], st[2], st[3], st[4] = (
+            misses,
+            temporal,
+            spatial,
+            loaded_n,
+            evicted_n,
+        )
+
+    def finish() -> _Counts:
+        return st[0], st[1], st[2], st[3], st[4]
+
+    return run, finish
 
 
-def _replay_athreshold(
-    ct: CompiledTrace, capacity: int, a: int, record: _Record
-) -> _Counts:
+def _kernel_iblp_adaptive(
+    ct: CompiledTrace,
+    capacity: int,
+    initial_item_fraction: float,
+    ghost_factor: float,
+    max_block_size: int,
+    record: _Record,
+):
+    """Adaptive-split IBLP mirroring
+    :class:`~repro.policies.adaptive_iblp.AdaptiveIBLP`: ARC-style
+    ghost lists move the float layer boundary (+1 per item-ghost hit,
+    -B per block-ghost hit), layers shed lazily, and all victims are
+    remembered in bounded ghosts — exactly the referee's order of
+    operations, so the boundary trajectory is identical.
+    """
+    items_d: Dict[int, None] = {}
+    blocks_d: Dict[int, Tuple[int, ...]] = {}
+    refcount: Dict[int, int] = {}
+    ghost_items: Dict[int, None] = {}
+    ghost_blocks: Dict[int, None] = {}
+    ghost_item_cap = max(1, int(capacity * ghost_factor))
+    ghost_block_cap = max(1, int(capacity * ghost_factor) // max_block_size)
+    pending: set = set()
+    members_of = ct.block_members
+    # target_i (float) and block occupancy live in cells: the helpers
+    # below mutate them across chunk boundaries.
+    target = [capacity * initial_item_fraction]
+    occ = [0]
+    st = [0, 0, 0, 0, 0]  # misses, temporal, spatial, loaded_n, evicted_n
+
+    def acquire(x: int, loaded: set) -> None:
+        n = refcount.get(x, 0)
+        refcount[x] = n + 1
+        if n == 0:
+            loaded.add(x)
+
+    def release(x: int, evicted: set) -> None:
+        n = refcount[x] - 1
+        if n:
+            refcount[x] = n
+        else:
+            del refcount[x]
+            evicted.add(x)
+
+    def remember_item(x: int) -> None:
+        if x in ghost_items:
+            ghost_items[x] = ghost_items.pop(x)
+        else:
+            ghost_items[x] = None
+            if len(ghost_items) > ghost_item_cap:
+                del ghost_items[next(iter(ghost_items))]
+
+    def remember_block(b: int) -> None:
+        if b in ghost_blocks:
+            ghost_blocks[b] = ghost_blocks.pop(b)
+        else:
+            ghost_blocks[b] = None
+            if len(ghost_blocks) > ghost_block_cap:
+                del ghost_blocks[next(iter(ghost_blocks))]
+
+    def shrink_layers(loaded: set, evicted: set) -> None:
+        i_cap = int(target[0])
+        b_cap = capacity - i_cap
+        while len(items_d) > i_cap:
+            victim = next(iter(items_d))
+            del items_d[victim]
+            remember_item(victim)
+            release(victim, evicted)
+        while occ[0] > b_cap and blocks_d:
+            blk = next(iter(blocks_d))
+            members = blocks_d.pop(blk)
+            occ[0] -= len(members)
+            remember_block(blk)
+            for x in members:
+                release(x, evicted)
+
+    def promote(x: int, loaded: set, evicted: set) -> None:
+        i_cap = int(target[0])
+        if i_cap == 0:
+            return
+        if x in items_d:
+            items_d[x] = items_d.pop(x)
+            return
+        while len(items_d) >= i_cap and items_d:
+            victim = next(iter(items_d))
+            del items_d[victim]
+            remember_item(victim)
+            release(victim, evicted)
+        items_d[x] = None
+        acquire(x, loaded)
+
+    def promote_forced(x: int, loaded: set, evicted: set) -> None:
+        if len(items_d) >= max(1, int(target[0])):
+            victim = next(iter(items_d))
+            del items_d[victim]
+            remember_item(victim)
+            release(victim, evicted)
+        items_d[x] = None
+        acquire(x, loaded)
+
+    def insert_block(blk: int, x: int, loaded: set, evicted: set) -> None:
+        b_cap = capacity - int(target[0])
+        if b_cap == 0:
+            # No block layer: ensure the item itself is resident.
+            if x not in refcount:
+                promote_forced(x, loaded, evicted)
+            return
+        if blk in blocks_d:
+            stale = blocks_d.pop(blk)
+            occ[0] -= len(stale)
+            for s in stale:
+                release(s, evicted)
+        members = members_of[blk]
+        load = members
+        if len(members) > b_cap:
+            keep = [x] + [m for m in members if m != x]
+            load = tuple(keep[:b_cap])
+        while occ[0] + len(load) > b_cap and blocks_d:
+            victim_block = next(iter(blocks_d))
+            victim_items = blocks_d.pop(victim_block)
+            occ[0] -= len(victim_items)
+            remember_block(victim_block)
+            for v in victim_items:
+                release(v, evicted)
+        blocks_d[blk] = load
+        occ[0] += len(load)
+        for member in load:
+            acquire(member, loaded)
+
+    def run(items: List[int], blocks: List[int], dense: List[int]) -> None:
+        misses, temporal, spatial, loaded_n, evicted_n = st
+        pend = pending
+        for it, blk in zip(items, blocks):
+            if it in items_d:
+                items_d[it] = items_d.pop(it)
+                if it in pend:
+                    pend.discard(it)
+                    spatial += 1
+                    if record is not None:
+                        record.append(KIND_SPATIAL)
+                else:
+                    temporal += 1
+                    if record is not None:
+                        record.append(KIND_TEMPORAL)
+                continue
+            loaded: set = set()
+            evicted: set = set()
+            if blk in blocks_d and it in refcount:
+                blocks_d[blk] = blocks_d.pop(blk)
+                promote(it, loaded, evicted)
+                loaded.discard(it)
+                eff_evicted = evicted - (loaded & evicted)
+                evicted_n += len(eff_evicted)
+                pend -= eff_evicted
+                if it in pend:
+                    pend.discard(it)
+                    spatial += 1
+                    if record is not None:
+                        record.append(KIND_SPATIAL)
+                else:
+                    temporal += 1
+                    if record is not None:
+                        record.append(KIND_TEMPORAL)
+                continue
+            # Miss: consult the ghosts to move the boundary first.
+            if it in ghost_items:
+                del ghost_items[it]
+                target[0] = min(float(capacity), target[0] + 1.0)
+            elif blk in ghost_blocks:
+                del ghost_blocks[blk]
+                target[0] = max(0.0, target[0] - float(max_block_size))
+            shrink_layers(loaded, evicted)
+            promote(it, loaded, evicted)
+            insert_block(blk, it, loaded, evicted)
+            churn = loaded & evicted
+            eff_loaded = loaded - churn
+            eff_evicted = evicted - churn
+            misses += 1
+            loaded_n += len(eff_loaded)
+            evicted_n += len(eff_evicted)
+            pend -= eff_evicted
+            for member in eff_loaded:
+                if member != it:
+                    pend.add(member)
+                else:
+                    pend.discard(member)
+            if record is not None:
+                record.append(KIND_MISS)
+        st[0], st[1], st[2], st[3], st[4] = (
+            misses,
+            temporal,
+            spatial,
+            loaded_n,
+            evicted_n,
+        )
+
+    def finish() -> _Counts:
+        return st[0], st[1], st[2], st[3], st[4]
+
+    return run, finish
+
+
+def _kernel_athreshold(ct: CompiledTrace, capacity: int, a: int, record: _Record):
     """LRU item eviction; whole-block load on the ``a``-th distinct miss."""
     order: Dict[int, None] = {}  # insertion order = LRU→MRU
     resident: set = set()
@@ -512,87 +1224,129 @@ def _replay_athreshold(
     pending: set = set()
     members_of = ct.block_members
     block_of = ct.item_block
-    misses = temporal = spatial = loaded_n = evicted_n = 0
-    for it, blk in zip(ct.items, ct.blocks):
-        if it in resident:
-            order[it] = order.pop(it)
-            if it in pending:
-                pending.discard(it)
-                spatial += 1
-                if record is not None:
-                    record.append(KIND_SPATIAL)
-            else:
-                temporal += 1
-                if record is not None:
-                    record.append(KIND_TEMPORAL)
-            continue
-        misses_so_far = block_miss_count.get(blk, 0) + 1
-        block_miss_count[blk] = misses_so_far
-        if misses_so_far >= a:
-            want = [m for m in members_of[blk] if m not in resident]
-            if len(want) > capacity:
-                want = [it] + [w for w in want if w != it]
-                want = want[:capacity]
-        else:
-            want = [it]
-        protect = set(want)
-        loaded: set = set()
-        evicted: set = set()
-        for w in want:
-            if len(resident) >= capacity:
-                victim = -1
-                for key in order:
-                    if key not in protect:
-                        victim = key
-                        break
-                if victim < 0:  # pragma: no cover - mirrors referee guard
-                    raise ConfigurationError(
-                        "cannot evict: every resident item is protected"
-                    )
-                del order[victim]
-                resident.discard(victim)
-                vblk = block_of[victim]
-                n = block_resident_count[vblk] - 1
-                if n:
-                    block_resident_count[vblk] = n
+    st = [0, 0, 0, 0, 0]  # misses, temporal, spatial, loaded_n, evicted_n
+
+    def run(items: List[int], blocks: List[int], dense: List[int]) -> None:
+        misses, temporal, spatial, loaded_n, evicted_n = st
+        res, pend = resident, pending
+        for it, blk in zip(items, blocks):
+            if it in res:
+                order[it] = order.pop(it)
+                if it in pend:
+                    pend.discard(it)
+                    spatial += 1
+                    if record is not None:
+                        record.append(KIND_SPATIAL)
                 else:
-                    del block_resident_count[vblk]
-                    block_miss_count.pop(vblk, None)
-                evicted.add(victim)
-            resident.add(w)
-            order[w] = None
-            wblk = block_of[w]
-            block_resident_count[wblk] = block_resident_count.get(wblk, 0) + 1
-            loaded.add(w)
-        misses += 1
-        loaded_n += len(loaded)
-        evicted_n += len(evicted)
-        pending -= evicted
-        for member in loaded:
-            if member != it:
-                pending.add(member)
+                    temporal += 1
+                    if record is not None:
+                        record.append(KIND_TEMPORAL)
+                continue
+            misses_so_far = block_miss_count.get(blk, 0) + 1
+            block_miss_count[blk] = misses_so_far
+            if misses_so_far >= a:
+                want = [m for m in members_of[blk] if m not in res]
+                if len(want) > capacity:
+                    want = [it] + [w for w in want if w != it]
+                    want = want[:capacity]
             else:
-                pending.discard(member)
-        if record is not None:
-            record.append(KIND_MISS)
-    return misses, temporal, spatial, loaded_n, evicted_n
+                want = [it]
+            protect = set(want)
+            loaded: set = set()
+            evicted: set = set()
+            for w in want:
+                if len(res) >= capacity:
+                    victim = -1
+                    for key in order:
+                        if key not in protect:
+                            victim = key
+                            break
+                    if victim < 0:  # pragma: no cover - mirrors referee guard
+                        raise ConfigurationError(
+                            "cannot evict: every resident item is protected"
+                        )
+                    del order[victim]
+                    res.discard(victim)
+                    vblk = block_of[victim]
+                    n = block_resident_count[vblk] - 1
+                    if n:
+                        block_resident_count[vblk] = n
+                    else:
+                        del block_resident_count[vblk]
+                        block_miss_count.pop(vblk, None)
+                    evicted.add(victim)
+                res.add(w)
+                order[w] = None
+                wblk = block_of[w]
+                block_resident_count[wblk] = block_resident_count.get(wblk, 0) + 1
+                loaded.add(w)
+            misses += 1
+            loaded_n += len(loaded)
+            evicted_n += len(evicted)
+            pend -= evicted
+            for member in loaded:
+                if member != it:
+                    pend.add(member)
+                else:
+                    pend.discard(member)
+            if record is not None:
+                record.append(KIND_MISS)
+        st[0], st[1], st[2], st[3], st[4] = (
+            misses,
+            temporal,
+            spatial,
+            loaded_n,
+            evicted_n,
+        )
+
+    def finish() -> _Counts:
+        return st[0], st[1], st[2], st[3], st[4]
+
+    return run, finish
 
 
 # -- dispatch ----------------------------------------------------------------
-_Kernel = Callable[[CompiledTrace, "object", _Record], _Counts]
-
 _DISPATCH: Dict[type, _Kernel] = {
-    ItemLRU: lambda ct, p, rec: _replay_item_recency(ct, p.capacity, True, rec),
-    ItemFIFO: lambda ct, p, rec: _replay_item_recency(ct, p.capacity, False, rec),
-    ItemClock: lambda ct, p, rec: _replay_item_clock(ct, p.capacity, rec),
-    BlockLRU: lambda ct, p, rec: _replay_block(ct, p.capacity, True, rec),
-    BlockFIFO: lambda ct, p, rec: _replay_block(ct, p.capacity, False, rec),
-    IBLP: lambda ct, p, rec: _replay_iblp(ct, p.capacity, p.item_layer_size, rec),
-    AThresholdLRU: lambda ct, p, rec: _replay_athreshold(ct, p.capacity, p.a, rec),
+    ItemLRU: lambda ct, p, rec: _kernel_item_recency(ct, p.capacity, True, rec),
+    ItemFIFO: lambda ct, p, rec: _kernel_item_recency(ct, p.capacity, False, rec),
+    ItemMRU: lambda ct, p, rec: _kernel_item_mru(ct, p.capacity, rec),
+    ItemClock: lambda ct, p, rec: _kernel_item_clock(ct, p.capacity, rec),
+    ItemLFU: lambda ct, p, rec: _kernel_item_lfu(ct, p.capacity, rec),
+    ItemRandom: lambda ct, p, rec: _kernel_item_random(ct, p.capacity, p.seed, rec),
+    ItemTwoQ: lambda ct, p, rec: _kernel_item_twoq(
+        ct, p.capacity, p.probation_fraction, p.ghost_fraction, rec
+    ),
+    MarkingLRU: lambda ct, p, rec: _kernel_marking_lru(ct, p.capacity, rec),
+    GCM: lambda ct, p, rec: _kernel_gcm(ct, p.capacity, p.seed, False, None, rec),
+    MarkAllGCM: lambda ct, p, rec: _kernel_gcm(
+        ct, p.capacity, p.seed, True, None, rec
+    ),
+    PartialGCM: lambda ct, p, rec: _kernel_gcm(
+        ct, p.capacity, p.seed, False, p.max_load, rec
+    ),
+    BlockLRU: lambda ct, p, rec: _kernel_block(ct, p.capacity, True, rec),
+    BlockFIFO: lambda ct, p, rec: _kernel_block(ct, p.capacity, False, rec),
+    IBLP: lambda ct, p, rec: _kernel_iblp(
+        ct, p.capacity, p.item_layer_size, False, rec
+    ),
+    BlockFirstIBLP: lambda ct, p, rec: _kernel_iblp(
+        ct, p.capacity, p.item_layer_size, True, rec
+    ),
+    AdaptiveIBLP: lambda ct, p, rec: _kernel_iblp_adaptive(
+        ct,
+        p.capacity,
+        p.initial_item_fraction,
+        p.ghost_factor,
+        p.mapping.max_block_size,
+        rec,
+    ),
+    AThresholdLRU: lambda ct, p, rec: _kernel_athreshold(ct, p.capacity, p.a, rec),
 }
 
-#: Registry names with a replay kernel (the a-threshold family counts
-#: once: every ``a`` shares the ``athreshold-lru`` kernel).
+#: Registry names with a replay kernel — every *online* registered
+#: policy (parameterized families count once: every ``a`` shares the
+#: ``athreshold-lru`` kernel, every seed its policy's kernel).  Only
+#: the offline Belady policies replay referee-side.
 FAST_POLICY_NAMES: Tuple[str, ...] = tuple(
     sorted(cls.name for cls in _DISPATCH)
 )
@@ -621,6 +1375,25 @@ def supports(policy) -> bool:
     return type(policy) in _DISPATCH
 
 
+def fast_fallback_reason(policy, trace: Trace) -> Optional[str]:
+    """Why :func:`fast_simulate` would fall back for this pair, if so.
+
+    Returns one of ``"unsupported-policy"``, ``"mapping-mismatch"``,
+    ``"warm-policy"``, or ``None`` when a kernel applies.  The engine
+    surfaces this as :attr:`SimResult.fallback_reason` telemetry and a
+    ``fast.fallback`` span whenever ``simulate(fast=True)`` ends up on
+    the referee path (observation requests are reported there as
+    ``"observed"`` — they gate the fast attempt before this check).
+    """
+    if type(policy) not in _DISPATCH:
+        return "unsupported-policy"
+    if not _mappings_equivalent(policy, trace):
+        return "mapping-mismatch"
+    if policy.resident_items():
+        return "warm-policy"
+    return None
+
+
 def fast_simulate(policy, trace: Trace, record: _Record = None) -> Optional[SimResult]:
     """Replay ``policy`` over ``trace`` with a kernel, if one applies.
 
@@ -633,8 +1406,8 @@ def fast_simulate(policy, trace: Trace, record: _Record = None) -> Optional[SimR
     referee's ``on_access`` observations.  The policy object is never
     mutated.
     """
-    kernel = _DISPATCH.get(type(policy))
-    if kernel is None:
+    make = _DISPATCH.get(type(policy))
+    if make is None:
         return None
     if not _mappings_equivalent(policy, trace):
         return None
@@ -648,9 +1421,9 @@ def fast_simulate(policy, trace: Trace, record: _Record = None) -> Optional[SimR
         compiled = compile_trace(trace)
         if sp is not None:
             sp.set("accesses", compiled.n)
-        misses, temporal, spatial, loaded, evicted = kernel(
-            compiled, policy, record
-        )
+        run, finish = make(compiled, policy, record)
+        run(compiled.items, compiled.blocks, compiled.dense)
+        misses, temporal, spatial, loaded, evicted = finish()
     result = SimResult(
         policy=getattr(policy, "name", type(policy).__name__),
         capacity=policy.capacity,
@@ -860,7 +1633,7 @@ def _batch_result(
     loaded: int,
     evicted: int,
 ) -> SimResult:
-    """Assemble one per-capacity result exactly as :func:`fast_simulate`."""
+    """Assemble one batched result exactly as :func:`fast_simulate`."""
     result = SimResult(policy=policy_name, capacity=capacity)
     result.metadata.update(
         {k: v for k, v in trace.metadata.items() if isinstance(v, (str, int, float))}
@@ -1007,3 +1780,196 @@ def multi_capacity_replay(
         if policy_name == "item-lru":
             return _multi_capacity_item_lru(trace, caps, record)
         return _multi_capacity_block_lru(trace, caps, record)
+
+
+# -- single-pass multi-policy replay -----------------------------------------
+
+#: Accesses advanced per kernel per slice in :func:`multi_policy_replay`
+#: — small enough that one slice's items/blocks/dense lists stay
+#: cache-warm while every kernel sweeps them, large enough that the
+#: per-slice Python overhead vanishes.
+MULTI_POLICY_CHUNK = 65536
+
+#: A cell is ``(policy_name, capacity)`` or
+#: ``(policy_name, capacity, policy_kwargs)``.
+_Cell = Tuple[str, int, Dict[str, object]]
+
+
+def _normalize_cells(cells) -> List[_Cell]:
+    norm: List[_Cell] = []
+    for cell in cells:
+        if isinstance(cell, dict):
+            kwargs = dict(cell)
+            try:
+                name = kwargs.pop("policy")
+                cap = kwargs.pop("capacity")
+            except KeyError as exc:
+                raise ConfigurationError(
+                    f"multi-policy cell {cell!r} lacks {exc.args[0]!r}"
+                ) from None
+        else:
+            parts = tuple(cell)
+            if len(parts) == 2:
+                name, cap = parts
+                kwargs = {}
+            elif len(parts) == 3:
+                name, cap, kwargs = parts
+                kwargs = dict(kwargs or {})
+            else:
+                raise ConfigurationError(
+                    "multi-policy cells are (policy, capacity) or "
+                    f"(policy, capacity, kwargs); got {cell!r}"
+                )
+        norm.append((name, cap, kwargs))
+    return norm
+
+
+def multi_policy_supported(cells, trace: Trace) -> bool:
+    """Whether :func:`multi_policy_replay` covers every cell.
+
+    True when each cell names a registered policy whose exact class has
+    a kernel (see :data:`FAST_POLICY_NAMES`) with a valid integer
+    capacity.  Policy kwargs are not validated here — a bad kwarg
+    raises the same :class:`ConfigurationError` the per-cell path
+    would, at replay time.
+    """
+    try:
+        norm = _normalize_cells(cells)
+    except (ConfigurationError, TypeError):
+        return False
+    for name, cap, _kwargs in norm:
+        cls = policy_class(name)
+        if cls is None or cls not in _DISPATCH:
+            return False
+        if not isinstance(cap, int) or isinstance(cap, bool) or cap < 1:
+            return False
+    return True
+
+
+def _copy_result(res: SimResult) -> SimResult:
+    dup = SimResult(policy=res.policy, capacity=res.capacity)
+    dup.metadata.update(res.metadata)
+    dup.accesses = res.accesses
+    dup.misses = res.misses
+    dup.temporal_hits = res.temporal_hits
+    dup.spatial_hits = res.spatial_hits
+    dup.loaded_items = res.loaded_items
+    dup.evicted_items = res.evicted_items
+    return dup
+
+
+def multi_policy_replay(
+    cells,
+    trace: Trace,
+    record: Optional[Dict[int, List[int]]] = None,
+    chunk: int = MULTI_POLICY_CHUNK,
+) -> List[SimResult]:
+    """Replay many policies over ``trace`` in one shared traversal.
+
+    ``cells`` is a sequence of ``(policy_name, capacity)`` or
+    ``(policy_name, capacity, policy_kwargs)``; the returned list holds
+    one :class:`SimResult` per cell, in input order, each bit-identical
+    to ``simulate(make_policy(...), trace, fast=True)`` (proven by
+    :func:`repro.core.conformance.check_multi_policy` and the golden
+    fixtures).  Policy replicas are built from ``trace.mapping``, so
+    every kernel applies by construction.
+
+    The trace is compiled once; kwarg-free ``item-lru``/``block-lru``
+    groups of two or more cells collapse into one Mattson pass
+    (:func:`multi_capacity_replay`) when eligible, and every remaining
+    cell becomes a kernel stepper.  The steppers then advance in
+    lockstep over ``chunk``-sized slices of the compiled arrays — the
+    decode, block-mapping, and load-set tables are shared and each
+    slice stays cache-warm across all kernels, which is what makes a
+    20-policy matrix cost one traversal instead of twenty.
+
+    ``record``, if given, is filled with ``cell index -> per-access
+    outcome codes`` for the conformance harness.  Randomized policies
+    keep their generators in kernel closures, so results do not depend
+    on ``chunk``.
+
+    Raises :class:`ConfigurationError` when a cell is not covered —
+    gate with :func:`multi_policy_supported`.
+    """
+    norm = _normalize_cells(cells)
+    if not multi_policy_supported(norm, trace):
+        bad = [
+            name
+            for name, _c, _k in norm
+            if policy_class(name) is None or policy_class(name) not in _DISPATCH
+        ]
+        raise ConfigurationError(
+            f"multi-policy replay does not cover cells={norm!r} "
+            f"(policies without kernels: {sorted(set(bad))!r}; "
+            f"kernel coverage: {', '.join(FAST_POLICY_NAMES)})"
+        )
+    results: List[Optional[SimResult]] = [None] * len(norm)
+    with spans.span("fast.multi_policy", cells=len(norm)) as sp:
+        compiled = compile_trace(trace)
+        if sp is not None:
+            sp.set("accesses", compiled.n)
+        # Kwarg-free stack-policy groups of >= 2 cells share one
+        # Mattson pass (a single cell is cheaper on its stepper).
+        groups: Dict[str, List[int]] = {}
+        for i, (name, _cap, kwargs) in enumerate(norm):
+            if not kwargs and name in MULTI_CAPACITY_POLICIES:
+                groups.setdefault(name, []).append(i)
+        for name, idxs in groups.items():
+            caps = [norm[i][1] for i in idxs]
+            if len(idxs) < 2 or not multi_capacity_supported(name, trace, caps):
+                continue
+            rec: Optional[Dict[int, List[int]]] = (
+                {} if record is not None else None
+            )
+            batch = multi_capacity_replay(name, trace, caps, record=rec)
+            seen: set = set()
+            for i in idxs:
+                cap = norm[i][1]
+                res = batch[cap]
+                # Duplicate-capacity cells get independent copies so no
+                # two rows alias one mutable result.
+                results[i] = _copy_result(res) if cap in seen else res
+                seen.add(cap)
+                if record is not None:
+                    record[i] = rec[cap]
+        remaining = [i for i in range(len(norm)) if results[i] is None]
+        if sp is not None:
+            sp.set("mattson_cells", len(norm) - len(remaining))
+        # Every remaining cell becomes a stepper over the shared arrays.
+        steppers = []
+        for i in remaining:
+            name, cap, kwargs = norm[i]
+            policy = make_policy(name, cap, trace.mapping, **kwargs)
+            cell_rec: _Record = [] if record is not None else None
+            if cell_rec is not None:
+                record[i] = cell_rec
+            run, finish = _DISPATCH[type(policy)](compiled, policy, cell_rec)
+            steppers.append((i, run, finish))
+        if steppers:
+            items, blocks, dense = compiled.items, compiled.blocks, compiled.dense
+            n = compiled.n
+            if n <= chunk:
+                for _i, run, _f in steppers:
+                    run(items, blocks, dense)
+            else:
+                for lo in range(0, n, chunk):
+                    hi = lo + chunk
+                    ic = items[lo:hi]
+                    bc = blocks[lo:hi]
+                    dc = dense[lo:hi]
+                    for _i, run, _f in steppers:
+                        run(ic, bc, dc)
+        for i, _run, finish in steppers:
+            misses, temporal, spatial, loaded, evicted = finish()
+            results[i] = _batch_result(
+                norm[i][0],
+                norm[i][1],
+                trace,
+                accesses=compiled.n,
+                misses=misses,
+                temporal=temporal,
+                spatial=spatial,
+                loaded=loaded,
+                evicted=evicted,
+            )
+    return results  # type: ignore[return-value]

@@ -12,6 +12,9 @@ Four studies, each pinned to a paper claim:
    IBLP/athreshold (item eviction) on sparse-block traffic.
 4. **GCM marking discipline** (§6): GCM vs a marker that ignores
    blocks vs one that marks side loads, on mixed traffic.
+5. **Full policy matrix** (§5–§6): every registered online policy —
+   20 cells including the parameterized variants — on mixed traffic,
+   replayed in one single-pass ``multi_policy_replay`` traversal.
 
 Every trace-driven study accepts an optional
 :class:`~repro.campaign.CampaignCache`; with one, simulations are
@@ -27,7 +30,7 @@ from typing import Dict, List, Optional
 from repro.adversary import GeneralAdversary
 from repro.analysis.competitive import measure_adversarial
 from repro.analysis.tables import format_table
-from repro.campaign.integrate import CampaignCache, cached_simulate
+from repro.campaign.integrate import CampaignCache, cached_serve, cached_simulate
 from repro.workloads import hot_and_stream
 
 __all__ = [
@@ -36,8 +39,34 @@ __all__ = [
     "eviction_granularity",
     "granularity_sweep",
     "gcm_variants",
+    "policy_matrix",
+    "matrix_cells",
     "render",
 ]
+
+
+def _serving_columns(
+    cache: Optional[CampaignCache],
+    policy: str,
+    capacity: int,
+    trace,
+    serving,
+    **policy_kwargs,
+) -> Dict[str, float]:
+    """Optional p50/p99 sojourn columns for one experiment row.
+
+    ``serving`` is a :class:`repro.serving.ServingConfig` (or dict
+    form) — ``None`` keeps the row offline-only, so existing tables are
+    byte-identical unless serving is requested.  Runs through
+    :func:`cached_serve`, so with a campaign cache the request-level
+    runs memoize alongside the offline cells.
+    """
+    if serving is None:
+        return {}
+    result = cached_serve(
+        cache, policy, capacity, trace, serving, **policy_kwargs
+    )
+    return {"p50_sojourn": result.p50, "p99_sojourn": result.p99}
 
 
 def layer_order(
@@ -45,6 +74,7 @@ def layer_order(
     B: int = 8,
     length: int = 60_000,
     cache: Optional[CampaignCache] = None,
+    serving=None,
 ) -> List[Dict[str, float]]:
     """§5.1: item-first vs block-first layering on pollution traffic.
 
@@ -104,6 +134,7 @@ def layer_order(
                 "spatial_hits": res.spatial_hits,
                 "spatial_fraction": res.spatial_fraction,
                 "mean_load_set_size": res.mean_load_set_size,
+                **_serving_columns(cache, name, k, trace, serving),
             }
         )
     return rows
@@ -137,6 +168,7 @@ def eviction_granularity(
     length: int = 60_000,
     seed: int = 5,
     cache: Optional[CampaignCache] = None,
+    serving=None,
 ) -> List[Dict[str, float]]:
     """§4.4: item-granularity eviction vs block eviction on sparse reuse.
 
@@ -169,6 +201,7 @@ def eviction_granularity(
                 "policy": name,
                 "misses": res.misses,
                 "miss_ratio": res.miss_ratio,
+                **_serving_columns(cache, name, k, trace, serving, **kwargs),
             }
         )
     return rows
@@ -224,6 +257,7 @@ def gcm_variants(
     length: int = 60_000,
     seed: int = 9,
     cache: Optional[CampaignCache] = None,
+    serving=None,
 ) -> List[Dict[str, float]]:
     """§6: GCM vs block-oblivious marking vs mark-everything."""
     trace = hot_and_stream(
@@ -246,29 +280,111 @@ def gcm_variants(
                 "spatial_hits": res.spatial_hits,
                 "spatial_fraction": res.spatial_fraction,
                 "mean_load_set_size": res.mean_load_set_size,
+                **_serving_columns(cache, name, k, trace, serving),
+            }
+        )
+    return rows
+
+
+def matrix_cells(k: int = 256) -> List[tuple]:
+    """The full ablation-matrix cells: every registered online policy.
+
+    One default-kwargs cell per kernel-covered policy plus the
+    parameterized variants the paper's sections call for (a-threshold
+    at ``a=2``, IBLP with a quarter-sized item layer, partial-marking
+    GCM loading 4 neighbours) — 20 cells, all with fast kernels, so the
+    matrix replays in a single :func:`repro.core.fast`
+    ``multi_policy_replay`` traversal.
+    """
+    from repro.core.fast import FAST_POLICY_NAMES
+
+    cells: List[tuple] = [(name, k) for name in FAST_POLICY_NAMES]
+    cells.append(("athreshold-lru", k, {"a": 2}))
+    cells.append(("iblp", k, {"item_layer_size": k // 4}))
+    cells.append(("gcm-partial", k, {"load_count": 4}))
+    return cells
+
+
+def policy_matrix(
+    k: int = 256,
+    B: int = 8,
+    length: int = 60_000,
+    seed: int = 9,
+    cache: Optional[CampaignCache] = None,
+    serving=None,
+) -> List[Dict[str, float]]:
+    """The headline comparison: every policy family on mixed traffic.
+
+    The paper's §5–§6 argument pits GCM/Marking/IBLP against the
+    item/block baselines; this study runs *all* of them (the 20-cell
+    :func:`matrix_cells` grid) over one :func:`hot_and_stream` trace.
+    Every cell has a fast kernel, so the whole matrix advances in a
+    single shared traversal — via :meth:`CampaignCache.simulate_many`
+    when a cache is given (each cell memoized under its own content
+    address) and :func:`repro.core.fast.multi_policy_replay` otherwise.
+    """
+    trace = hot_and_stream(
+        length=length,
+        hot_items=k // 2,
+        stream_blocks=4 * k // B,
+        block_size=B,
+        hot_fraction=0.5,
+        seed=seed,
+    )
+    cells = matrix_cells(k=k)
+    if cache is not None:
+        results = cache.simulate_many(cells, trace, fast=True)
+    else:
+        from repro.core.fast import multi_policy_replay
+
+        results = multi_policy_replay(cells, trace)
+    rows = []
+    for cell, res in zip(cells, results):
+        name = cell[0]
+        kwargs = cell[2] if len(cell) == 3 else {}
+        variant = (
+            name
+            if not kwargs
+            else name + "[" + ",".join(f"{a}={v}" for a, v in kwargs.items()) + "]"
+        )
+        rows.append(
+            {
+                "study": "policy_matrix",
+                "policy": variant,
+                "misses": res.misses,
+                "miss_ratio": res.miss_ratio,
+                "spatial_fraction": res.spatial_fraction,
+                "mean_load_set_size": res.mean_load_set_size,
+                **_serving_columns(cache, name, k, trace, serving, **kwargs),
             }
         )
     return rows
 
 
 def render(
-    k: int = 256, B: int = 8, cache: Optional[CampaignCache] = None
+    k: int = 256,
+    B: int = 8,
+    cache: Optional[CampaignCache] = None,
+    serving=None,
 ) -> str:
-    """All four ablations, formatted.
+    """All ablations, formatted.
 
-    With ``cache``, the three trace-driven studies are memoized (and a
-    rerun after a crash recomputes only what is missing); the
-    adversarial a-threshold sweep always executes live.
+    With ``cache``, the trace-driven studies are memoized (and a rerun
+    after a crash recomputes only what is missing); the adversarial
+    a-threshold sweep always executes live.  With ``serving`` (a
+    :class:`repro.serving.ServingConfig` or dict), the single-capacity
+    studies gain p50/p99 sojourn columns from request-level runs.
     """
     sections = [
         format_table(
-            layer_order(k=k, B=B, cache=cache), title="§5.1 layer order"
+            layer_order(k=k, B=B, cache=cache, serving=serving),
+            title="§5.1 layer order",
         ),
         format_table(
             athreshold_sweep(k=k, B=B), title="\n§4.4 a-threshold sweep"
         ),
         format_table(
-            eviction_granularity(k=k, B=B, cache=cache),
+            eviction_granularity(k=k, B=B, cache=cache, serving=serving),
             title="\n§4.4 eviction granularity",
         ),
         format_table(
@@ -277,7 +393,13 @@ def render(
             "(batched Mattson replay)",
         ),
         format_table(
-            gcm_variants(k=k, B=B, cache=cache), title="\n§6 GCM variants"
+            gcm_variants(k=k, B=B, cache=cache, serving=serving),
+            title="\n§6 GCM variants",
+        ),
+        format_table(
+            policy_matrix(k=k, B=B, cache=cache, serving=serving),
+            title="\n§5–§6 full policy matrix (single-pass multi-policy "
+            "replay)",
         ),
     ]
     return "\n".join(sections)

@@ -36,12 +36,16 @@ def run(
     p: float = 2.0,
     phases: int = 4,
     cache: Optional[CampaignCache] = None,
+    serving=None,
 ) -> List[Dict[str, float]]:
     """Adversarial + generated traces across the three spatial regimes.
 
     The adaptive-adversarial rows always execute live (the adversary
     reacts to the policy, so there is no trace to fingerprint); the
     generated-trace IBLP measurement is memoized through ``cache``.
+    With ``serving`` (a :class:`repro.serving.ServingConfig` or dict),
+    the generated-trace rows gain p50/p99 sojourn columns — adversarial
+    rows stay offline-only, having no replayable trace to serve.
     """
     rows: List[Dict[str, float]] = []
     for label, gamma in (
@@ -89,19 +93,24 @@ def run(
         profile = profile_trace(trace)
         emp = profile.to_bounds()
         res = cached_simulate(cache, "iblp", k, trace, fast=True)
-        rows.append(
-            {
-                "regime": label,
-                "gamma": gamma,
-                "source": "generated",
-                "policy": "iblp",
-                "fault_rate": res.miss_ratio,
-                "thm8_lower": fault_rate_lower(emp, k),
-                "thm11_upper_iblp": iblp_fault_rate_upper(
-                    emp, k // 2, k - k // 2, B
-                ),
-            }
-        )
+        row = {
+            "regime": label,
+            "gamma": gamma,
+            "source": "generated",
+            "policy": "iblp",
+            "fault_rate": res.miss_ratio,
+            "thm8_lower": fault_rate_lower(emp, k),
+            "thm11_upper_iblp": iblp_fault_rate_upper(
+                emp, k // 2, k - k // 2, B
+            ),
+        }
+        if serving is not None:
+            from repro.campaign.integrate import cached_serve
+
+            served = cached_serve(cache, "iblp", k, trace, serving)
+            row["p50_sojourn"] = served.p50
+            row["p99_sojourn"] = served.p99
+        rows.append(row)
     return rows
 
 
@@ -111,9 +120,10 @@ def render(
     p: float = 2.0,
     phases: int = 4,
     cache: Optional[CampaignCache] = None,
+    serving=None,
 ) -> str:
     """Formatted locality-validation table."""
     return format_table(
-        run(k=k, B=B, p=p, phases=phases, cache=cache),
+        run(k=k, B=B, p=p, phases=phases, cache=cache, serving=serving),
         title=f"Locality-model validation (k={k}, B={B}, p={p:g})",
     )

@@ -15,7 +15,7 @@ construct them from strings.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, FrozenSet, Iterable, Type
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Type
 
 from repro.core.mapping import BlockMapping
 from repro.core.trace import Trace
@@ -127,6 +127,11 @@ def register_policy(cls: Type[Policy]) -> Type[Policy]:
 def policy_names() -> Iterable[str]:
     """All registered policy names, sorted."""
     return sorted(_REGISTRY)
+
+
+def policy_class(name: str) -> Optional[Type[Policy]]:
+    """The registered class for ``name``, or ``None`` if unknown."""
+    return _REGISTRY.get(name)
 
 
 def make_policy(

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import FrozenSet, Tuple
+from typing import FrozenSet, Optional, Tuple
 
 __all__ = [
     "ItemId",
@@ -107,6 +107,12 @@ class SimResult:
     policy: str = ""
     capacity: int = 0
     metadata: dict = field(default_factory=dict)
+    #: Why ``simulate(fast=True)`` fell back to the referee
+    #: (``"unsupported-policy"``, ``"mapping-mismatch"``,
+    #: ``"warm-policy"``, ``"observed"``), or ``None`` when the fast
+    #: path ran or was not requested.  Telemetry only: excluded from
+    #: equality so referee and fast runs still compare bit-identical.
+    fallback_reason: Optional[str] = field(default=None, compare=False)
 
     @property
     def hits(self) -> int:
@@ -153,6 +159,8 @@ class SimResult:
             "spatial_fraction": self.spatial_fraction,
             "mean_load_size": self.mean_load_size,
         }
+        if self.fallback_reason is not None:
+            row["fallback_reason"] = self.fallback_reason
         row.update(self.metadata)
         return row
 

@@ -24,7 +24,12 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.engine import simulate
-from repro.core.fast import MULTI_CAPACITY_POLICIES, multi_capacity_supported
+from repro.core.fast import (
+    FAST_POLICY_NAMES,
+    MULTI_CAPACITY_POLICIES,
+    multi_capacity_supported,
+    multi_policy_supported,
+)
 from repro.core.mapping import ExplicitBlockMapping, FixedBlockMapping
 from repro.core.trace import Trace
 from repro.policies import make_policy, policy_names
@@ -137,6 +142,18 @@ def main() -> None:
                 "capacities": caps,
                 "expected": expected_mc,
             }
+        # The single-pass multi-policy engine must reproduce the stored
+        # referee truth for every kernel-covered (policy, capacity) cell
+        # in ONE shared traversal; the cell list is recorded (truth
+        # lives in "expected") so the test replays exactly this matrix.
+        multi_policy_cells = [
+            [policy_name, k]
+            for policy_name in sorted(FAST_POLICY_NAMES)
+            for k in CAPACITIES
+        ]
+        assert multi_policy_supported(
+            [tuple(c) for c in multi_policy_cells], trace
+        ), f"golden trace {name} lost multi-policy coverage"
         payload = {
             "trace": name,
             "mapping": _mapping_payload(trace.mapping),
@@ -144,6 +161,7 @@ def main() -> None:
             "capacities": CAPACITIES,
             "expected": expected,
             "multi_capacity": multi,
+            "multi_policy": {"cells": multi_policy_cells},
         }
         path = HERE / f"{name}.json"
         path.write_text(json.dumps(payload, indent=1) + "\n")

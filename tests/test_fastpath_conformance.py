@@ -167,9 +167,9 @@ def test_outcome_stream_matches_referee_codes(randomized_traces):
 # -- fallback rules ----------------------------------------------------------
 def test_unsupported_policy_returns_none():
     trace = _trace([0, 1, 2, 3], universe=16, B=4)
-    gcm = make_policy("gcm", 4, trace.mapping)
-    assert not supports(gcm)
-    assert fast_simulate(gcm, trace) is None
+    belady = make_policy("belady-item", 4, trace.mapping)
+    assert not supports(belady)
+    assert fast_simulate(belady, trace) is None
 
 
 def test_simulate_fast_falls_back_for_unsupported_policies():
@@ -231,7 +231,7 @@ def test_fast_does_not_mutate_policy():
 def test_check_conformance_rejects_kernel_less_policies():
     trace = _trace([0, 1, 2], universe=16, B=4)
     with pytest.raises(ConfigurationError, match="no fast kernel"):
-        check_conformance("gcm", 4, trace)
+        check_conformance("belady-item", 4, trace)
 
 
 def test_compiled_trace_is_memoized():

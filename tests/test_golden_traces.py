@@ -129,3 +129,31 @@ def test_multi_capacity_replay_matches_golden(path):
         "batched multi-capacity replay drifted from golden truth:\n"
         + "\n".join(mismatches)
     )
+
+
+@pytest.mark.parametrize("path", GOLDEN_FILES, ids=lambda p: p.stem)
+def test_multi_policy_replay_matches_golden(path):
+    """ONE shared traversal reproduces the stored referee truth for the
+    whole kernel-covered policy matrix — the single-pass engine cannot
+    drift even if per-cell ``fast_simulate`` stays correct."""
+    from repro.core.fast import multi_policy_replay, multi_policy_supported
+
+    trace, payload = _load(path)
+    assert "multi_policy" in payload, (
+        f"{path.name} predates the multi-policy payload: regenerate "
+        "with `PYTHONPATH=src python tests/golden/regen.py`"
+    )
+    cells = [tuple(c) for c in payload["multi_policy"]["cells"]]
+    assert len(cells) >= 2
+    assert multi_policy_supported(cells, trace)
+    results = multi_policy_replay(cells, trace)
+    mismatches = []
+    for (policy_name, k), res in zip(cells, results):
+        want = payload["expected"][policy_name][str(k)]
+        got = {f: getattr(res, f) for f in FIELDS}
+        if got != want:
+            mismatches.append(f"{policy_name}/k={k}: {want} -> {got}")
+    assert not mismatches, (
+        "single-pass multi-policy replay drifted from golden truth:\n"
+        + "\n".join(mismatches)
+    )
