@@ -102,6 +102,12 @@ def add_campaign_parser(sub: argparse._SubParsersAction) -> None:
         "--workload", choices=trace_workload_names(), help="trace generator"
     )
     group.add_argument("--trace-file", help="text trace file to replay")
+    group.add_argument(
+        "--trace",
+        metavar="PATH.rtc",
+        help="compiled .rtc trace to replay memory-mapped "
+        "(see `gc-caching trace convert`)",
+    )
     p_run.add_argument("--densify", action="store_true")
     p_run.add_argument("--length", type=int, default=50_000)
     p_run.add_argument("--universe", type=int, default=4096)
@@ -190,7 +196,19 @@ def add_campaign_parser(sub: argparse._SubParsersAction) -> None:
 
 
 def _spec_from_namespace(ns: argparse.Namespace) -> CampaignSpec:
-    if ns.trace_file:
+    if getattr(ns, "trace", None):
+        from repro.core.rtc import rtc_info
+
+        # Key the trace by basename plus a fingerprint prefix so
+        # `status`/`watch` boards and exported rows say *which* compiled
+        # trace ran, not just its (reusable) filename.  rtc_info reads
+        # only the header, so planning stays cheap for huge traces.
+        info = rtc_info(ns.trace)
+        stem = Path(ns.trace).stem
+        key = f"{stem}@{info['fingerprint'][:8]}"
+        traces = {key: TraceSpec(kind="rtc", path=ns.trace)}
+        default_name = f"rtc-{stem}"
+    elif ns.trace_file:
         traces = {
             Path(ns.trace_file).stem: TraceSpec(
                 kind="file",

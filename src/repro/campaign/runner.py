@@ -470,6 +470,12 @@ class CampaignRunner:
             from repro.core import arena
 
             for key, trace in traces.items():
+                # mmap-backed .rtc traces need no shm publication: the
+                # file is the arena, workers map it themselves.
+                handle = arena.mmap_handle(trace)
+                if handle is not None:
+                    self._trace_payloads[key] = handle
+                    continue
                 published = arena.publish(trace)
                 if published is not None:
                     self._arenas.append(published)

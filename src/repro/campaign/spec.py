@@ -91,8 +91,11 @@ class TraceSpec:
     ``kind="workload"`` names a generator from
     :func:`trace_workload_names` with JSON-scalar ``params``;
     ``kind="file"`` names a text trace readable by
-    :func:`repro.workloads.trace_io.read_text_trace`.  Either way the
-    cell hash uses the *materialized* trace's fingerprint, so an
+    :func:`repro.workloads.trace_io.read_text_trace`;
+    ``kind="rtc"`` names a compiled ``.rtc`` trace opened memory-mapped
+    via :func:`repro.core.rtc.open_rtc` — materialization is a header
+    read plus an mmap, so huge traces cost nothing to plan.  Either way
+    the cell hash uses the *materialized* trace's fingerprint, so an
     edited trace file recomputes its cells even though the spec text
     is unchanged.
     """
@@ -122,6 +125,17 @@ class TraceSpec:
             return read_text_trace(
                 self.path, block_size=self.block_size, densify=self.densify
             ).trace
+        if self.kind == "rtc":
+            from repro.core.rtc import open_rtc
+
+            if not self.path:
+                raise ConfigurationError("rtc trace spec needs a path")
+            try:
+                return open_rtc(self.path)
+            except FileNotFoundError as exc:
+                raise ConfigurationError(
+                    f"rtc trace {self.path!r} does not exist"
+                ) from exc
         raise ConfigurationError(f"unknown trace spec kind {self.kind!r}")
 
     def as_dict(self) -> Dict[str, Any]:
@@ -129,6 +143,8 @@ class TraceSpec:
         if self.kind == "workload":
             out["name"] = self.name
             out["params"] = dict(self.params)
+        elif self.kind == "rtc":
+            out["path"] = self.path
         else:
             out["path"] = self.path
             out["block_size"] = self.block_size

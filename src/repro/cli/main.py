@@ -121,8 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--workload", choices=sorted(_WORKLOADS))
     group.add_argument(
         "--trace-file",
-        help="text trace file (see repro.workloads.trace_io); "
-        "items one per line, optional r/w flag",
+        help="trace file to replay: text format (see "
+        "repro.workloads.trace_io; gzip OK) or a compiled .rtc file, "
+        "replayed memory-mapped",
     )
     p_sim.add_argument(
         "--densify",
@@ -332,6 +333,70 @@ def build_parser() -> argparse.ArgumentParser:
     p_mrc.add_argument("--stay", type=float, default=0.8)
     p_mrc.add_argument("--seed", type=int, default=0)
 
+    p_trc = sub.add_parser(
+        "trace",
+        help="compiled-trace toolbox: convert, inspect, SHARDS-sample",
+    )
+    trc_action = p_trc.add_subparsers(dest="trace_action", required=True)
+    t_conv = trc_action.add_parser(
+        "convert",
+        help="stream a trace file into the mmap-able .rtc format "
+        "(bounded memory; gzip input OK)",
+    )
+    t_conv.add_argument("source", help="input trace file")
+    t_conv.add_argument("out", help="output .rtc path")
+    t_conv.add_argument(
+        "--format",
+        choices=("text", "msr", "kv"),
+        default="text",
+        help="input format: repo text traces, MSR-Cambridge block CSV, "
+        "or memcached-style key-value CSV",
+    )
+    t_conv.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        help="items per block (default: the file's directive, else 1)",
+    )
+    t_conv.add_argument(
+        "--page-bytes",
+        type=int,
+        default=4096,
+        help="bytes per cache item for --format msr offset/size expansion",
+    )
+    t_conv.add_argument(
+        "--densify",
+        action="store_true",
+        default=None,
+        help="rename sparse addresses onto a dense universe, preserving "
+        "blocks (default on for msr/kv, off for text)",
+    )
+    t_conv.add_argument("--limit", type=int, default=None, help="access window size")
+    t_conv.add_argument(
+        "--offset", type=int, default=0, help="accesses to skip before the window"
+    )
+    t_conv.add_argument(
+        "--sample-rate",
+        type=float,
+        default=None,
+        help="SHARDS-sample blocks at this rate in (0, 1] during conversion",
+    )
+    t_conv.add_argument("--sample-seed", type=int, default=0)
+    t_info = trc_action.add_parser(
+        "info", help="print an .rtc header (reads no column data)"
+    )
+    t_info.add_argument("path", help=".rtc file")
+    t_samp = trc_action.add_parser(
+        "sample",
+        help="SHARDS-sample an .rtc into a smaller .rtc (streaming)",
+    )
+    t_samp.add_argument("source", help="input .rtc file")
+    t_samp.add_argument("out", help="output .rtc path")
+    t_samp.add_argument(
+        "--rate", type=float, required=True, help="block keep rate in (0, 1]"
+    )
+    t_samp.add_argument("--seed", type=int, default=0)
+
     add_campaign_parser(sub)
     add_cluster_parser(sub)
     add_obs_parser(sub)
@@ -376,6 +441,53 @@ def _make_recorder(ns: argparse.Namespace):
     )
 
 
+def _render_rtc_info(path: str) -> str:
+    from repro.core.rtc import rtc_info
+
+    info = rtc_info(path)
+    lines = [f"{info['path']} ({info['file_bytes']:,} bytes)"]
+    for key in ("n", "universe", "block_size", "n_distinct", "n_blocks",
+                "write_count"):
+        lines.append(f"  {key}: {info[key]:,}")
+    lines.append(f"  fingerprint: {info['fingerprint']}")
+    for section in ("metadata", "conversion"):
+        entries = info.get(section) or {}
+        if entries:
+            lines.append(f"  {section}:")
+            for k in sorted(entries):
+                lines.append(f"    {k}: {entries[k]}")
+    return "\n".join(lines)
+
+
+def _run_trace_command(ns: argparse.Namespace):
+    if ns.trace_action == "convert":
+        from repro.workloads.stream import convert_to_rtc
+
+        out = convert_to_rtc(
+            ns.source,
+            ns.out,
+            fmt=ns.format,
+            block_size=ns.block_size,
+            page_bytes=ns.page_bytes,
+            densify=ns.densify,
+            limit=ns.limit,
+            offset=ns.offset,
+            sample_rate=ns.sample_rate,
+            sample_seed=ns.sample_seed,
+        )
+        return _render_rtc_info(str(out))
+    if ns.trace_action == "info":
+        return _render_rtc_info(ns.path)
+    if ns.trace_action == "sample":
+        from repro.workloads.stream import sample_rtc
+
+        out = sample_rtc(ns.source, ns.out, rate=ns.rate, seed=ns.seed)
+        return _render_rtc_info(str(out))
+    raise ConfigurationError(  # pragma: no cover
+        f"unknown trace action {ns.trace_action!r}"
+    )
+
+
 def _dispatch(ns: argparse.Namespace):
     # Imports are local so `--help` stays fast.
     from repro.experiments import (
@@ -408,7 +520,11 @@ def _dispatch(ns: argparse.Namespace):
             recorder.phase("workload") if recorder is not None else nullcontext()
         )
         with workload_phase:
-            if ns.trace_file:
+            if ns.trace_file and ns.trace_file.endswith(".rtc"):
+                from repro.core.rtc import open_rtc
+
+                trace = open_rtc(ns.trace_file)
+            elif ns.trace_file:
                 from repro.workloads.trace_io import read_text_trace
 
                 trace = read_text_trace(
@@ -583,6 +699,8 @@ def _dispatch(ns: argparse.Namespace):
         return format_table(
             rows, title=f"Mattson MRC ({ns.workload}, B={trace.block_size})"
         )
+    if ns.command == "trace":
+        return _run_trace_command(ns)
     if ns.command == "campaign":
         return run_campaign_command(ns)
     if ns.command == "cluster":

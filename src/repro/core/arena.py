@@ -51,6 +51,7 @@ from repro.errors import ConfigurationError
 __all__ = [
     "ArenaHandle",
     "TraceArena",
+    "mmap_handle",
     "publish",
     "attach",
     "resolve",
@@ -110,6 +111,11 @@ class ArenaHandle:
     universe: int
     max_block_size: int
     metadata: Dict[str, Any] = field(default_factory=dict)
+    #: ``"shm"`` for shared-memory segments, ``"rtc"`` for mmap-backed
+    #: ``.rtc`` files — where the mmap *is* the arena and workers attach
+    #: by mapping ``path`` themselves (no publisher-owned segment).
+    kind: str = "shm"
+    path: Optional[str] = None
 
 
 class TraceArena:
@@ -178,6 +184,30 @@ class TraceArena:
         self.close()
 
 
+def mmap_handle(trace: Trace) -> Optional[ArenaHandle]:
+    """A path-only handle for an ``.rtc``-backed trace, else ``None``.
+
+    mmap traces need no shared-memory publication: the on-disk file
+    already is the arena, so the handle ships just the path plus the
+    identity fields and every worker attaches by mapping the same file.
+    Checked before :func:`publish` by parallel planners.
+    """
+    rtc = getattr(trace, "_rtc", None)
+    if rtc is None:
+        return None
+    return ArenaHandle(
+        name=f"rtc:{rtc.path}",
+        fingerprint=trace.fingerprint(),
+        n=len(trace),
+        mapping_kind="fixed",
+        universe=int(trace.mapping.universe),
+        max_block_size=int(trace.mapping.max_block_size),
+        metadata=dict(trace.metadata),
+        kind="rtc",
+        path=str(rtc.path),
+    )
+
+
 def publish(trace: Trace) -> Optional[TraceArena]:
     """Publish ``trace`` into shared memory, or ``None`` to fall back.
 
@@ -239,6 +269,27 @@ def attach(handle: ArenaHandle) -> Trace:
             return cached[1]
         if sp is not None:
             sp.set("cached", False)
+        if handle.kind == "rtc":
+            from repro.core.rtc import open_rtc
+
+            try:
+                trace = open_rtc(handle.path)
+            except Exception as exc:
+                raise ConfigurationError(
+                    f"cannot attach rtc trace {handle.path!r}: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+            if trace.fingerprint() != handle.fingerprint:
+                raise ConfigurationError(
+                    f"rtc trace {handle.path!r} changed since it was planned: "
+                    f"fingerprint {trace.fingerprint()[:12]} != "
+                    f"{handle.fingerprint[:12]}"
+                )
+            _ATTACHED[handle.name] = (None, trace)
+            if not _ATEXIT_REGISTERED:
+                atexit.register(detach_all)
+                _ATEXIT_REGISTERED = True
+            return trace
         shm_mod = _shm_module()
         if shm_mod is None:  # pragma: no cover - stripped-down builds
             raise ConfigurationError("shared memory unavailable; cannot attach")
@@ -289,6 +340,8 @@ def detach_all() -> None:
     """
     while _ATTACHED:
         _, (shm, _trace) = _ATTACHED.popitem()
+        if shm is None:
+            continue  # rtc attachment: the memmap needs no explicit close
         try:
             shm.close()
         except Exception:

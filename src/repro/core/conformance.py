@@ -53,6 +53,9 @@ __all__ = [
     "assert_multi_capacity_conformant",
     "check_multi_policy",
     "assert_multi_policy_conformant",
+    "check_mmap_conformance",
+    "assert_mmap_conformant",
+    "mmap_conformance_suite",
     "conformance_suite",
 ]
 
@@ -310,6 +313,116 @@ def assert_multi_policy_conformant(
     bad = [r for r in reports if not r.ok]
     assert not bad, "\n".join(str(r) for r in bad)
     return reports
+
+
+def check_mmap_conformance(
+    name: str,
+    capacity: int,
+    trace: Trace,
+    mmap_trace: Trace,
+    **policy_kwargs,
+) -> ConformanceReport:
+    """Diff a kernel replay over an mmap-backed trace against in-memory.
+
+    ``mmap_trace`` is the same logical trace opened from an ``.rtc``
+    file (:func:`repro.core.rtc.open_rtc`); the kernel then streams the
+    memory-mapped columns chunk by chunk instead of walking in-memory
+    lists.  The in-memory side is already certified against the referee
+    by the ``mode="cell"`` rows, so this check only has to prove the
+    mmap traversal computes the *same* replay — every
+    :data:`RESULT_FIELDS` member, the fingerprint, and the full
+    per-access outcome stream.
+    """
+    if trace.fingerprint() != mmap_trace.fingerprint():
+        raise ConfigurationError(
+            "mmap conformance needs the same logical trace on both sides: "
+            f"fingerprint {trace.fingerprint()[:12]} != "
+            f"{mmap_trace.fingerprint()[:12]}"
+        )
+    mem_policy = make_policy(name, capacity, trace.mapping, **policy_kwargs)
+    mmap_policy = make_policy(
+        name, capacity, mmap_trace.mapping, **policy_kwargs
+    )
+    mem_codes: List[int] = []
+    mem_result = fast_simulate(mem_policy, trace, record=mem_codes)
+    if mem_result is None:
+        raise ConfigurationError(
+            f"policy {name!r} has no fast kernel; mmap conformance is "
+            f"undefined (supported: {', '.join(FAST_POLICY_NAMES)})"
+        )
+    mmap_codes: List[int] = []
+    mmap_result = fast_simulate(mmap_policy, mmap_trace, record=mmap_codes)
+    report = ConformanceReport(
+        policy=mem_result.policy,
+        capacity=capacity,
+        accesses=mem_result.accesses,
+    )
+    if mmap_result is None:
+        report.mismatches.append("mmap replay took no fast kernel")
+        return report
+    for fname in RESULT_FIELDS:
+        mem_val = getattr(mem_result, fname)
+        mmap_val = getattr(mmap_result, fname)
+        if mem_val != mmap_val:
+            report.mismatches.append(
+                f"SimResult.{fname}: in-memory={mem_val!r} mmap={mmap_val!r}"
+            )
+    report.mismatches.extend(_diff_streams(mem_codes, mmap_codes))
+    return report
+
+
+def assert_mmap_conformant(
+    name: str, capacity: int, trace: Trace, mmap_trace: Trace, **policy_kwargs
+) -> ConformanceReport:
+    """:func:`check_mmap_conformance`, raising on divergence."""
+    report = check_mmap_conformance(
+        name, capacity, trace, mmap_trace, **policy_kwargs
+    )
+    assert report.ok, str(report)
+    return report
+
+
+def mmap_conformance_suite(
+    traces: Dict[str, Trace],
+    capacities: Iterable[int],
+    workdir,
+    policies: Iterable[str] = FAST_POLICY_NAMES,
+) -> List[Dict[str, object]]:
+    """(trace × policy × capacity) mmap-vs-in-memory differential matrix.
+
+    Each trace is compiled once to ``workdir/<name>.rtc`` and reopened
+    memory-mapped; every cell is then replayed through the fast path on
+    both representations and diffed (``mode="mmap"`` rows, same shape
+    as :func:`conformance_suite` rows so CI can concatenate them).
+    """
+    from pathlib import Path
+
+    from repro.core.rtc import open_rtc, trace_to_rtc
+
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    rows: List[Dict[str, object]] = []
+    caps = list(capacities)
+    for trace_name, trace in traces.items():
+        path = trace_to_rtc(trace, workdir / f"{trace_name}.rtc")
+        mmap_trace = open_rtc(path)
+        for policy in list(policies):
+            for capacity in caps:
+                report = check_mmap_conformance(
+                    policy, capacity, trace, mmap_trace
+                )
+                rows.append(
+                    {
+                        "trace": trace_name,
+                        "policy": policy,
+                        "mode": "mmap",
+                        "capacity": capacity,
+                        "accesses": report.accesses,
+                        "ok": report.ok,
+                        "detail": "; ".join(report.mismatches),
+                    }
+                )
+    return rows
 
 
 def conformance_suite(

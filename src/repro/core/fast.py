@@ -75,7 +75,7 @@ from __future__ import annotations
 import heapq
 import os
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -179,6 +179,75 @@ class CompiledTrace:
             for member in members:
                 self.item_block[member] = blk
 
+    def iter_chunks(
+        self, chunk: Optional[int] = None
+    ) -> Iterator[Tuple[List[int], List[int], List[int]]]:
+        """Yield ``(items, blocks, dense)`` list slices for kernel ``run()``.
+
+        The single traversal API both replay entry points use: kernels
+        are resumable steppers, so feeding them the trace in any
+        contiguous chunking is equivalent.  The in-memory compilation
+        yields its whole lists in one chunk when ``chunk`` is ``None``
+        or covers ``n`` (no slicing cost); the mmap subclass always
+        chunks so only a bounded window is ever materialized as Python
+        ints.
+        """
+        if chunk is None or self.n <= chunk:
+            yield self.items, self.blocks, self.dense
+            return
+        for lo in range(0, self.n, chunk):
+            hi = lo + chunk
+            yield self.items[lo:hi], self.blocks[lo:hi], self.dense[lo:hi]
+
+
+class MmapCompiledTrace(CompiledTrace):
+    """A compiled view over an ``.rtc`` file's memory-mapped columns.
+
+    The ``items``/``blocks``/``dense`` attributes hold the file's
+    ``np.memmap`` columns instead of Python lists — zero bytes are
+    copied at compile time, and :meth:`iter_chunks` materializes one
+    bounded window of Python ints at a time, so kernels replay a
+    multi-gigabyte trace in O(chunk + distinct) memory.  Only the
+    distinct-id tables (``unique_items``, ``block_members``,
+    ``item_block``) are built eagerly, exactly as the in-memory
+    compilation does.
+    """
+
+    __slots__ = ()
+
+    #: Accesses per traversal window (shared with MULTI_POLICY_CHUNK's
+    #: rationale: large enough to amortize slice overhead, small enough
+    #: to stay cache- and memory-friendly).
+    DEFAULT_CHUNK = 65536
+
+    def __init__(self, trace: Trace) -> None:  # trace: rtc.MmapTrace
+        rtc = trace._rtc  # type: ignore[attr-defined]
+        self.n = int(rtc.n)
+        self.items = rtc.items
+        self.blocks = rtc.blocks
+        self.dense = rtc.dense
+        self.unique_items = np.asarray(rtc.unique_items)
+        self.n_distinct = int(self.unique_items.size)
+        self.block_members = {}
+        self.item_block = {}
+        for blk in np.asarray(rtc.unique_blocks).tolist():
+            members = tuple(trace.mapping.items_in(blk))
+            self.block_members[blk] = members
+            for member in members:
+                self.item_block[member] = blk
+
+    def iter_chunks(
+        self, chunk: Optional[int] = None
+    ) -> Iterator[Tuple[List[int], List[int], List[int]]]:
+        step = chunk or self.DEFAULT_CHUNK
+        for lo in range(0, self.n, step):
+            hi = lo + step
+            yield (
+                self.items[lo:hi].tolist(),
+                self.blocks[lo:hi].tolist(),
+                self.dense[lo:hi].tolist(),
+            )
+
 
 # Memoized by content fingerprint, not object identity: a sweep worker
 # that receives the same trace unpickled (or arena-attached) per cell
@@ -189,23 +258,35 @@ _COMPILE_MEMO_CAP = 4
 _COMPILED: "OrderedDict[str, CompiledTrace]" = OrderedDict()
 
 
+def _compile(trace: Trace) -> CompiledTrace:
+    """Pick the compilation strategy: mmap view for rtc-backed traces."""
+    if getattr(trace, "_rtc", None) is not None:
+        return MmapCompiledTrace(trace)
+    return CompiledTrace(trace)
+
+
 def compile_trace(trace: Trace) -> CompiledTrace:
     """Compile (or fetch the memoized compilation of) ``trace``.
 
     The memo key is :meth:`Trace.fingerprint`, so equal-content traces
-    share one compilation regardless of how they reached this process.
+    share one compilation regardless of how they reached this process —
+    except mmap-backed traces, which key on ``trace._memo_key`` (file
+    header digest + mtime + size, see
+    :func:`repro.core.rtc.file_memo_key`): their header fingerprint is
+    trusted rather than recomputed, so an edited ``.rtc`` file must
+    never collide with the stale compilation of its previous contents.
     ``REPRO_NO_COMPILE_MEMO=1`` disables the memo (benchmarking and
     memory-constrained runs); the fingerprint itself is cached on the
     trace instance, so keying is cheap after the first call.
     """
     with spans.span("fast.compile") as sp:
         if os.environ.get("REPRO_NO_COMPILE_MEMO"):
-            compiled = CompiledTrace(trace)
+            compiled = _compile(trace)
             if sp is not None:
                 sp.set("memo", "off")
                 sp.set("accesses", compiled.n)
             return compiled
-        key = trace.fingerprint()
+        key = getattr(trace, "_memo_key", None) or trace.fingerprint()
         cached = _COMPILED.get(key)
         if cached is not None:
             _COMPILED.move_to_end(key)
@@ -213,7 +294,7 @@ def compile_trace(trace: Trace) -> CompiledTrace:
                 sp.set("memo", "hit")
                 sp.set("accesses", cached.n)
             return cached
-        compiled = CompiledTrace(trace)
+        compiled = _compile(trace)
         _COMPILED[key] = compiled
         while len(_COMPILED) > _COMPILE_MEMO_CAP:
             _COMPILED.popitem(last=False)
@@ -1422,7 +1503,8 @@ def fast_simulate(policy, trace: Trace, record: _Record = None) -> Optional[SimR
         if sp is not None:
             sp.set("accesses", compiled.n)
         run, finish = make(compiled, policy, record)
-        run(compiled.items, compiled.blocks, compiled.dense)
+        for items_c, blocks_c, dense_c in compiled.iter_chunks():
+            run(items_c, blocks_c, dense_c)
         misses, temporal, spatial, loaded, evicted = finish()
     result = SimResult(
         policy=getattr(policy, "name", type(policy).__name__),
@@ -1946,19 +2028,9 @@ def multi_policy_replay(
             run, finish = _DISPATCH[type(policy)](compiled, policy, cell_rec)
             steppers.append((i, run, finish))
         if steppers:
-            items, blocks, dense = compiled.items, compiled.blocks, compiled.dense
-            n = compiled.n
-            if n <= chunk:
+            for ic, bc, dc in compiled.iter_chunks(chunk):
                 for _i, run, _f in steppers:
-                    run(items, blocks, dense)
-            else:
-                for lo in range(0, n, chunk):
-                    hi = lo + chunk
-                    ic = items[lo:hi]
-                    bc = blocks[lo:hi]
-                    dc = dense[lo:hi]
-                    for _i, run, _f in steppers:
-                        run(ic, bc, dc)
+                    run(ic, bc, dc)
         for i, _run, finish in steppers:
             misses, temporal, spatial, loaded, evicted = finish()
             results[i] = _batch_result(

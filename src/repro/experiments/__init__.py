@@ -17,6 +17,7 @@ for figures, an ASCII rendering), so the same code backs the CLI
 ``schematics``     Executable Figures 1 & 4 semantics checks
 ``size_dependence`` §5.3/§6.2: competitiveness depends on comparison size
 ``latency_vs_load`` Request-level p50/p99/p999 latency at offered load
+``sampled_mrc``    SHARDS-sampled vs exact MRC error bounds
 ``spatial_degradation`` Cluster sharding vs spatial locality (hash schemes)
 ``isolation``      Multi-tenant partitioning configurations on a cluster
 =================  ======================================================
@@ -33,6 +34,7 @@ from repro.experiments import (  # noqa: F401 (re-export modules)
     isolation,
     latency_vs_load,
     locality_exp,
+    sampled_mrc,
     scale_check,
     schematics,
     size_dependence,
@@ -56,6 +58,7 @@ __all__ = [
     "scale_check",
     "gcm_analysis",
     "latency_vs_load",
+    "sampled_mrc",
     "spatial_degradation",
     "isolation",
 ]

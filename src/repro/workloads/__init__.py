@@ -13,6 +13,9 @@ All generators are deterministic given a ``seed``, return traces with a
   streaming blocks (the IBLP motivation), interleaved phases.
 * :mod:`repro.workloads.scenarios` — system-flavoured workloads: a
   DRAM cache in front of 4 KB rows, a page cache over files.
+* :mod:`repro.workloads.stream` — streaming ingestion of *external*
+  traces: chunked text/MSR/KV parsers, one-pass conversion to the
+  mmap-able ``.rtc`` format, and block-closed SHARDS sampling.
 """
 
 from repro.workloads.synthetic import (
@@ -31,8 +34,20 @@ from repro.workloads.spatial import (
 from repro.workloads.mixtures import hot_and_stream, interleave, phase_mixture
 from repro.workloads.scenarios import dram_cache_workload, page_cache_workload
 from repro.workloads.etc import etc_item_sizes, etc_kv_workload
+from repro.workloads.stream import (
+    ShardsSampler,
+    convert_to_rtc,
+    sample_rtc,
+    sample_trace,
+    shards,
+)
 
 __all__ = [
+    "ShardsSampler",
+    "convert_to_rtc",
+    "sample_rtc",
+    "sample_trace",
+    "shards",
     "etc_item_sizes",
     "etc_kv_workload",
     "uniform_random",

@@ -1,0 +1,663 @@
+"""Streaming trace ingestion: chunked parsers and SHARDS sampling.
+
+`repro.workloads.trace_io` materializes whole traces in RAM, which caps
+experiments at toy scales.  This module reads traces in bounded memory:
+
+* **Chunked parsers** — :class:`TextTraceStream` (the repo's text
+  format), :class:`MsrTraceStream` (MSR-Cambridge block-storage CSV:
+  ``timestamp,hostname,disk,type,offset,size[,latency]``, expanded to
+  page-granular accesses), and :class:`KvTraceStream` (memcached-style
+  ``timestamp,key,op[,...]`` CSV, keys hashed to stable 63-bit ids).
+  All three sniff gzip by magic bytes (never by extension), support an
+  ``offset=``/``limit=`` access window, and raise
+  :class:`~repro.errors.TraceFormatError` with ``path:lineno`` prefixes
+  that stay correct across chunk boundaries.
+* **A one-pass converter** — :func:`convert_to_rtc` streams any parser
+  into the mmap-able ``.rtc`` columnar format
+  (:mod:`repro.core.rtc`), optionally densifying sparse addresses
+  block-preservingly and/or SHARDS-sampling on the fly.  Peak memory is
+  O(chunk + distinct items), never O(n).
+* **SHARDS sampling** — :func:`shards` builds a spatially hashed
+  sampler that keeps an access iff ``SplitMix64(block ^ salt) <
+  rate * 2^64``.  Filtering by *block* hash keeps load sets intact
+  (every item of a kept block is kept), so granularity-change effects
+  survive sampling; stack distances on the sample estimate true
+  distances scaled by ``rate``, which is what
+  :func:`repro.analysis.mrc.sampled_miss_ratio_curve` rescales.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, TextIO, Tuple
+
+import numpy as np
+
+from repro.core.rtc import DEFAULT_CHUNK, RtcFile, RtcWriter
+from repro.core.trace import Trace
+from repro.errors import ConfigurationError, TraceFormatError
+
+__all__ = [
+    "KvTraceStream",
+    "MsrTraceStream",
+    "ShardsSampler",
+    "StreamChunk",
+    "StreamingDensifier",
+    "TextTraceStream",
+    "convert_to_rtc",
+    "open_text_source",
+    "sample_rtc",
+    "sample_trace",
+    "shards",
+]
+
+_GZIP_MAGIC = b"\x1f\x8b"
+
+#: memcached-style operations mapped to the read/write flag.
+_KV_READ_OPS = frozenset({"get", "gets", "read", "hit", "touch"})
+_KV_WRITE_OPS = frozenset(
+    {"set", "add", "replace", "cas", "append", "prepend", "incr", "decr", "delete", "update", "write"}
+)
+
+
+def open_text_source(path: str | Path) -> TextIO:
+    """Open ``path`` for text reading, gunzipping if the *content* is gzip.
+
+    Detection is by the two magic bytes ``1f 8b``, not the file
+    extension — a ``.trace`` file that happens to be compressed works,
+    and a ``.gz``-named plain file is read as-is.
+    """
+    raw = open(path, "rb")
+    try:
+        magic = raw.read(2)
+        raw.seek(0)
+        if magic == _GZIP_MAGIC:
+            import gzip
+
+            return io.TextIOWrapper(gzip.GzipFile(fileobj=raw), encoding="utf-8")
+        return io.TextIOWrapper(raw, encoding="utf-8")
+    except BaseException:
+        raw.close()
+        raise
+
+
+@dataclass
+class StreamChunk:
+    """One bounded batch of parsed accesses."""
+
+    items: np.ndarray  #: int64 item ids
+    writes: np.ndarray  #: bool write flags
+
+
+class _AccessStream:
+    """Base class: window handling + chunk batching over ``_accesses()``.
+
+    Subclasses yield ``(item, is_write)`` pairs from ``_accesses()``;
+    this base applies the ``offset``/``limit`` window (skipped accesses
+    are still parsed and validated), batches survivors into
+    :class:`StreamChunk` arrays of at most ``chunk`` accesses, and stops
+    reading the source as soon as the window is exhausted.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        limit: Optional[int] = None,
+        offset: int = 0,
+        chunk: int = DEFAULT_CHUNK,
+    ):
+        self.path = Path(path)
+        if offset < 0:
+            raise ConfigurationError(f"offset must be >= 0, got {offset}")
+        if limit is not None and limit < 0:
+            raise ConfigurationError(f"limit must be >= 0, got {limit}")
+        self.limit = limit
+        self.offset = int(offset)
+        self.chunk = max(1, int(chunk))
+        #: Accesses parsed so far, including those skipped by the window.
+        self.accesses_seen = 0
+        #: Accesses emitted so far (inside the window).
+        self.emitted = 0
+
+    def _accesses(self) -> Iterator[Tuple[int, bool]]:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[StreamChunk]:
+        if self.limit == 0:
+            return
+        items: List[int] = []
+        writes: List[bool] = []
+        for item, is_write in self._accesses():
+            self.accesses_seen += 1
+            if self.accesses_seen <= self.offset:
+                continue
+            items.append(item)
+            writes.append(is_write)
+            self.emitted += 1
+            if len(items) >= self.chunk:
+                yield StreamChunk(
+                    np.asarray(items, dtype=np.int64), np.asarray(writes, dtype=bool)
+                )
+                items, writes = [], []
+            if self.limit is not None and self.emitted >= self.limit:
+                break
+        if items:
+            yield StreamChunk(
+                np.asarray(items, dtype=np.int64), np.asarray(writes, dtype=bool)
+            )
+
+
+class TextTraceStream(_AccessStream):
+    """Chunked reader for the repo's text trace format (gzip-transparent).
+
+    Directive lines (``# universe:``/``# block_size:``) are recorded on
+    ``header_universe``/``header_block`` as they are encountered — read
+    them after consuming the stream.  Parse errors carry the absolute
+    ``path:lineno`` of the offending line regardless of chunking.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.header_universe: Optional[int] = None
+        self.header_block: Optional[int] = None
+
+    def _accesses(self) -> Iterator[Tuple[int, bool]]:
+        with open_text_source(self.path) as fh:
+            for lineno, raw in enumerate(fh, start=1):
+                line = raw.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    self._directive(line, lineno)
+                    continue
+                parts = line.split()
+                if len(parts) > 2:
+                    raise TraceFormatError(
+                        f"{self.path}:{lineno}: expected 'item [r|w]', "
+                        f"got {len(parts)} fields: {line!r}"
+                    )
+                try:
+                    item = int(parts[0], 0)
+                except ValueError as exc:
+                    raise TraceFormatError(
+                        f"{self.path}:{lineno}: bad item id {parts[0]!r}"
+                    ) from exc
+                if item < 0:
+                    raise TraceFormatError(
+                        f"{self.path}:{lineno}: item ids must be non-negative, got {item}"
+                    )
+                if len(parts) > 1:
+                    flag = parts[1].lower()
+                    if flag not in ("r", "w"):
+                        raise TraceFormatError(
+                            f"{self.path}:{lineno}: flag must be r or w, got {parts[1]!r}"
+                        )
+                    yield item, flag == "w"
+                else:
+                    yield item, False
+
+    def _directive(self, line: str, lineno: int) -> None:
+        body = line[1:].strip().lower()
+        key, sep, value = body.partition(":")
+        if not sep:
+            return  # plain comment
+        key = key.strip()
+        if key not in ("universe", "block_size"):
+            raise TraceFormatError(
+                f"{self.path}:{lineno}: unknown directive {key!r} "
+                "(known: universe, block_size)"
+            )
+        try:
+            parsed = int(value)
+        except ValueError as exc:
+            raise TraceFormatError(
+                f"{self.path}:{lineno}: directive {key!r} needs an integer, "
+                f"got {value.strip()!r}"
+            ) from exc
+        if parsed < 1:
+            raise TraceFormatError(
+                f"{self.path}:{lineno}: directive {key!r} must be >= 1, got {parsed}"
+            )
+        if key == "universe":
+            self.header_universe = parsed
+        else:
+            self.header_block = parsed
+
+
+class MsrTraceStream(_AccessStream):
+    """MSR-Cambridge block-storage CSV, expanded to page accesses.
+
+    Each record ``timestamp,hostname,disk,type,offset,size[,latency]``
+    becomes one access per ``page_bytes`` page the byte range
+    ``[offset, offset+size)`` touches; the page number is the item id
+    (sparse — convert with ``densify=True``).  ``type`` must be
+    ``Read``/``Write`` (case-insensitive).  Lines starting with ``#``
+    and blank lines are skipped.
+    """
+
+    def __init__(self, *args, page_bytes: int = 4096, **kwargs):
+        super().__init__(*args, **kwargs)
+        if page_bytes < 1:
+            raise ConfigurationError(f"page_bytes must be >= 1, got {page_bytes}")
+        self.page_bytes = int(page_bytes)
+
+    def _accesses(self) -> Iterator[Tuple[int, bool]]:
+        page = self.page_bytes
+        with open_text_source(self.path) as fh:
+            for lineno, raw in enumerate(fh, start=1):
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split(",")
+                if len(parts) < 6:
+                    raise TraceFormatError(
+                        f"{self.path}:{lineno}: expected "
+                        "'timestamp,host,disk,type,offset,size[,latency]', "
+                        f"got {len(parts)} fields"
+                    )
+                op = parts[3].strip().lower()
+                if op not in ("read", "write"):
+                    raise TraceFormatError(
+                        f"{self.path}:{lineno}: type must be Read or Write, "
+                        f"got {parts[3].strip()!r}"
+                    )
+                try:
+                    byte_offset = int(parts[4])
+                    size = int(parts[5])
+                except ValueError as exc:
+                    raise TraceFormatError(
+                        f"{self.path}:{lineno}: offset/size must be integers, "
+                        f"got {parts[4].strip()!r}/{parts[5].strip()!r}"
+                    ) from exc
+                if byte_offset < 0 or size < 0:
+                    raise TraceFormatError(
+                        f"{self.path}:{lineno}: offset/size must be non-negative"
+                    )
+                is_write = op == "write"
+                first = byte_offset // page
+                last = (byte_offset + max(size, 1) - 1) // page
+                for pg in range(first, last + 1):
+                    yield pg, is_write
+
+
+class KvTraceStream(_AccessStream):
+    """memcached-style KV CSV: ``timestamp,key,op[,...]``.
+
+    Keys are hashed to stable 63-bit ids (blake2b, platform-independent)
+    — sparse, so convert with ``densify=True``.  ``op`` is mapped to the
+    read/write flag (``get``/``gets`` → read, ``set``/``delete``/... →
+    write); unknown operations are format errors.
+    """
+
+    def _accesses(self) -> Iterator[Tuple[int, bool]]:
+        with open_text_source(self.path) as fh:
+            for lineno, raw in enumerate(fh, start=1):
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split(",")
+                if len(parts) < 3:
+                    raise TraceFormatError(
+                        f"{self.path}:{lineno}: expected 'timestamp,key,op[,...]', "
+                        f"got {len(parts)} fields"
+                    )
+                key = parts[1].strip()
+                if not key:
+                    raise TraceFormatError(f"{self.path}:{lineno}: empty key")
+                op = parts[2].strip().lower()
+                if op in _KV_READ_OPS:
+                    is_write = False
+                elif op in _KV_WRITE_OPS:
+                    is_write = True
+                else:
+                    raise TraceFormatError(
+                        f"{self.path}:{lineno}: unknown op {parts[2].strip()!r}"
+                    )
+                digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+                yield int.from_bytes(digest, "big") & ((1 << 63) - 1), is_write
+
+
+class StreamingDensifier:
+    """Chunk-at-a-time equivalent of :func:`~repro.workloads.trace_io.densify_addresses`.
+
+    Blocks are renamed in first-appearance order across *all* chunks
+    seen so far, so streaming densification of a trace produces exactly
+    the array the batch function would.
+    """
+
+    def __init__(self, block_size: int):
+        if block_size < 1:
+            raise TraceFormatError(f"block_size must be >= 1, got {block_size}")
+        self.block_size = int(block_size)
+        self._rename: Dict[int, int] = {}
+
+    def apply(self, items: np.ndarray) -> np.ndarray:
+        out = np.empty_like(items)
+        bsize = self.block_size
+        rename = self._rename
+        for idx, addr in enumerate(items.tolist()):
+            blk, off = divmod(addr, bsize)
+            out[idx] = rename.setdefault(blk, len(rename)) * bsize + off
+        return out
+
+    @property
+    def universe(self) -> int:
+        return max(1, len(self._rename)) * self.block_size
+
+
+# --------------------------------------------------------------------------
+# SHARDS spatial sampling
+# --------------------------------------------------------------------------
+
+_U64_MOD = 1 << 64
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized SplitMix64 finalizer (stable across platforms/runs)."""
+    z = x.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        z += np.uint64(0x9E3779B97F4A7C15)
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        z = z ^ (z >> np.uint64(31))
+    return z
+
+
+@dataclass(frozen=True)
+class ShardsSampler:
+    """Spatially hashed (SHARDS-style) sampler at *block* granularity.
+
+    An access survives iff ``SplitMix64(block ^ salt) < rate * 2^64``
+    where ``salt = SplitMix64(seed)`` — a uniform, deterministic
+    coin-flip per block.  Because the decision depends only on the
+    block id, sampling is *block-closed*: either every item of a block
+    is kept or none is, so load sets and spatial hits survive intact.
+    """
+
+    rate: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rate <= 1.0:
+            raise ConfigurationError(f"sample rate must be in (0, 1], got {self.rate}")
+        threshold = min(int(round(self.rate * _U64_MOD)), _U64_MOD - 1)
+        object.__setattr__(self, "_threshold", np.uint64(threshold))
+        salt = int(_splitmix64(np.asarray([self.seed], dtype=np.uint64))[0])
+        object.__setattr__(self, "_salt", np.uint64(salt))
+
+    def keep_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Boolean keep-mask for an array of block ids."""
+        blocks = np.ascontiguousarray(blocks)
+        if self.rate >= 1.0:
+            return np.ones(blocks.shape, dtype=bool)
+        return _splitmix64(blocks.astype(np.uint64) ^ self._salt) < self._threshold
+
+    def keep_items(self, items: np.ndarray, block_size: int) -> np.ndarray:
+        """Keep-mask for item ids under an aligned fixed-``B`` mapping."""
+        return self.keep_blocks(np.asarray(items, dtype=np.int64) // int(block_size))
+
+    def sampled_items(self, trace: Trace, chunk: int = DEFAULT_CHUNK * 4) -> np.ndarray:
+        """Surviving item ids of ``trace``, gathered chunk-at-a-time.
+
+        For mmap-backed traces this scans the on-disk block column in
+        bounded windows, so peak memory is O(chunk + kept) rather than
+        O(n).
+        """
+        rtc = getattr(trace, "_rtc", None)
+        if rtc is not None:
+            kept: List[np.ndarray] = []
+            for lo in range(0, rtc.n, chunk):
+                blocks = np.asarray(rtc.blocks[lo : lo + chunk])
+                mask = self.keep_blocks(blocks)
+                if mask.any():
+                    kept.append(np.asarray(rtc.items[lo : lo + chunk])[mask])
+            if not kept:
+                return np.empty(0, dtype=np.int64)
+            return np.concatenate(kept)
+        mask = self.keep_blocks(trace.block_trace())
+        return np.asarray(trace.items)[mask]
+
+    def sample(self, trace: Trace) -> Trace:
+        """An in-memory sub-trace of the surviving accesses.
+
+        Keeps the original mapping/universe — block membership and
+        intra-block offsets are untouched, only accesses are dropped.
+        """
+        items = self.sampled_items(trace)
+        return Trace(
+            items,
+            trace.mapping,
+            {
+                **trace.metadata,
+                "shards_rate": self.rate,
+                "shards_seed": self.seed,
+                "shards_parent_accesses": len(trace),
+            },
+        )
+
+
+def shards(rate: float, seed: int = 0) -> ShardsSampler:
+    """Build a :class:`ShardsSampler` (``rate`` in ``(0, 1]``)."""
+    return ShardsSampler(rate=rate, seed=seed)
+
+
+def sample_trace(trace: Trace, rate: float, seed: int = 0) -> Trace:
+    """Convenience: ``shards(rate, seed).sample(trace)``."""
+    return shards(rate, seed).sample(trace)
+
+
+def sample_rtc(
+    source: str | Path,
+    out: str | Path,
+    rate: float,
+    seed: int = 0,
+    chunk: int = DEFAULT_CHUNK,
+) -> Path:
+    """SHARDS-sample an ``.rtc`` file into a smaller ``.rtc``, streaming.
+
+    Both sides stay on disk: the source columns are scanned in bounded
+    windows and surviving accesses stream through an
+    :class:`~repro.core.rtc.RtcWriter`, so traces far larger than RAM
+    can be thinned.  The sample keeps the source universe (block ids
+    and intra-block offsets are untouched) and records the sampling
+    parameters plus the parent access count in its metadata — the same
+    provenance :meth:`ShardsSampler.sample` attaches in memory.
+    """
+    rtc = RtcFile(source)
+    sampler = shards(rate, seed)
+    meta = {
+        **dict(rtc.header.get("metadata", {})),
+        "shards_rate": sampler.rate,
+        "shards_seed": sampler.seed,
+        "shards_parent_accesses": rtc.n,
+    }
+    conversion = {
+        "format": "rtc",
+        "source": str(rtc.path),
+        "sample_rate": sampler.rate,
+        "sample_seed": sampler.seed,
+    }
+    writer = RtcWriter(
+        out,
+        block_size=int(rtc.header["block_size"]),
+        metadata=meta,
+        conversion=conversion,
+        chunk=chunk,
+    )
+    try:
+        for lo in range(0, rtc.n, chunk):
+            blocks = np.asarray(rtc.blocks[lo : lo + chunk])
+            mask = sampler.keep_blocks(blocks)
+            if mask.any():
+                writer.append(
+                    np.asarray(rtc.items[lo : lo + chunk])[mask],
+                    np.asarray(rtc.ops[lo : lo + chunk])[mask].astype(bool),
+                )
+    except BaseException:
+        writer.abort()
+        raise
+    try:
+        return writer.finalize(universe=int(rtc.header["universe"]))
+    except TraceFormatError:
+        raise TraceFormatError(
+            f"{rtc.path}: sampling at rate {sampler.rate} "
+            f"(seed {sampler.seed}) left no accesses"
+        ) from None
+
+
+# --------------------------------------------------------------------------
+# Streaming conversion to .rtc
+# --------------------------------------------------------------------------
+
+
+def _sniff_text_directives(path: Path) -> Tuple[Optional[int], Optional[int]]:
+    """Read leading ``#`` lines for universe/block_size (cheap, bounded).
+
+    Only the header *prefix* is scanned — directives that appear after
+    the first access are handled (rejected) by the conversion pass,
+    which needs the block size before the first chunk is written.
+    """
+    universe: Optional[int] = None
+    block: Optional[int] = None
+    with open_text_source(path) as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line:
+                continue
+            if not line.startswith("#"):
+                break
+            body = line[1:].strip().lower()
+            key, sep, value = body.partition(":")
+            if not sep:
+                continue
+            try:
+                parsed = int(value)
+            except ValueError:
+                continue  # the main pass raises the proper error
+            if key.strip() == "universe":
+                universe = parsed
+            elif key.strip() == "block_size":
+                block = parsed
+    return universe, block
+
+
+def convert_to_rtc(
+    source: str | Path,
+    out: str | Path,
+    fmt: str = "text",
+    *,
+    block_size: Optional[int] = None,
+    page_bytes: int = 4096,
+    densify: Optional[bool] = None,
+    limit: Optional[int] = None,
+    offset: int = 0,
+    sample_rate: Optional[float] = None,
+    sample_seed: int = 0,
+    chunk: int = DEFAULT_CHUNK,
+    metadata: Optional[dict] = None,
+) -> Path:
+    """One-pass streaming conversion of a trace file to ``.rtc``.
+
+    ``densify`` defaults to ``True`` for the sparse-address formats
+    (``msr``, ``kv``) and ``False`` for ``text``.  When sampling and
+    densifying are both requested, sampling happens first (on the raw
+    block ids) so the sample matches what :func:`shards` would keep
+    from the unconverted stream.  Converting a text trace without
+    sampling produces a file whose fingerprint equals the in-memory
+    ``read_text_trace`` trace — campaign cells memoize across the two.
+    """
+    source = Path(source)
+    out = Path(out)
+    if fmt == "text":
+        stream: _AccessStream = TextTraceStream(source, limit=limit, offset=offset, chunk=chunk)
+        _, sniffed_block = _sniff_text_directives(source)
+        bsize = block_size or sniffed_block or 1
+        do_densify = bool(densify)
+        generator = "read_text_trace"
+    elif fmt == "msr":
+        stream = MsrTraceStream(
+            source, page_bytes=page_bytes, limit=limit, offset=offset, chunk=chunk
+        )
+        bsize = block_size or 1
+        do_densify = True if densify is None else bool(densify)
+        generator = "msr_csv"
+    elif fmt == "kv":
+        stream = KvTraceStream(source, limit=limit, offset=offset, chunk=chunk)
+        bsize = block_size or 1
+        do_densify = True if densify is None else bool(densify)
+        generator = "kv_csv"
+    else:
+        raise ConfigurationError(f"unknown trace format {fmt!r} (known: text, msr, kv)")
+
+    sampler = shards(sample_rate, sample_seed) if sample_rate is not None else None
+    densifier = StreamingDensifier(bsize) if do_densify else None
+    meta = {"generator": generator, "source": str(source)}
+    if metadata:
+        meta.update(metadata)
+    conversion = {
+        "format": fmt,
+        "source": str(source),
+        "block_size": bsize,
+        "densify": do_densify,
+        "offset": offset,
+        "limit": limit,
+    }
+    if fmt == "msr":
+        conversion["page_bytes"] = page_bytes
+    if sampler is not None:
+        conversion["sample_rate"] = sampler.rate
+        conversion["sample_seed"] = sampler.seed
+
+    writer = RtcWriter(out, block_size=bsize, metadata=meta, conversion=conversion, chunk=chunk)
+    try:
+        for batch in stream:
+            items, writes = batch.items, batch.writes
+            if sampler is not None:
+                mask = sampler.keep_items(items, bsize)
+                items, writes = items[mask], writes[mask]
+            if items.size == 0:
+                continue
+            if densifier is not None:
+                items = densifier.apply(items)
+            writer.append(items, writes)
+
+        header_block = getattr(stream, "header_block", None)
+        if fmt == "text" and block_size is None and header_block not in (None, bsize):
+            raise TraceFormatError(
+                f"{source}: block_size directive ({header_block}) appears after the "
+                f"first access (streaming conversion chose {bsize}); move the "
+                "directive to the header or pass block_size= explicitly"
+            )
+        if writer._n == 0:
+            if stream.accesses_seen and (offset or limit is not None):
+                raise TraceFormatError(
+                    f"{source}: no accesses in window (offset={offset}, limit={limit})"
+                )
+            if stream.accesses_seen and sampler is not None:
+                raise TraceFormatError(
+                    f"{source}: no accesses survived sampling (rate={sampler.rate})"
+                )
+            raise TraceFormatError(f"{source}: no accesses found")
+
+        if densifier is not None:
+            universe = densifier.universe
+        else:
+            header_universe = getattr(stream, "header_universe", None)
+            if header_universe is not None:
+                top = writer._max_item + 1
+                if header_universe < top:
+                    raise TraceFormatError(
+                        f"{source}: universe {header_universe} smaller than "
+                        f"max item {top - 1}"
+                    )
+                universe = -(-header_universe // bsize) * bsize
+            else:
+                universe = None  # writer rounds max+1 up to whole blocks
+        return writer.finalize(universe=universe)
+    except BaseException:
+        if not writer._finalized:
+            writer.abort()
+        raise

@@ -25,12 +25,20 @@ address traces (e.g. raw memory addresses) map onto the library's
 dense universe while preserving block co-location: addresses are
 grouped by ``address // block_size`` before renaming, so items that
 shared a block still do.
+
+Parsing is delegated to the chunked reader in
+:mod:`repro.workloads.stream`, so gzip-compressed files work
+transparently (sniffed by magic bytes) and ``offset``/``limit``
+windows read only as much of the file as needed; this module keeps the
+convenience "whole trace in memory" return type.  For traces too large
+to materialize, convert to ``.rtc`` instead
+(:func:`repro.workloads.stream.convert_to_rtc`).
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -70,79 +78,36 @@ def read_text_trace(
     path: str | Path,
     block_size: Optional[int] = None,
     densify: bool = False,
+    limit: Optional[int] = None,
+    offset: int = 0,
 ) -> RWTrace:
     """Parse a text trace file into an :class:`RWTrace`.
 
     ``block_size`` overrides the file's ``# block_size:`` directive
-    (default 1 if neither is given — traditional caching).
+    (default 1 if neither is given — traditional caching).  Gzip
+    content is decompressed transparently (sniffed by magic bytes, not
+    extension).  ``offset``/``limit`` select an access window: the
+    first ``offset`` accesses are skipped (still validated) and at most
+    ``limit`` accesses are returned; parsing stops once the window is
+    full.  Parsing is chunked via
+    :class:`repro.workloads.stream.TextTraceStream`, so error line
+    numbers stay correct across chunk boundaries.
     """
+    from repro.workloads.stream import TextTraceStream
+
     path = Path(path)
-    items: List[int] = []
-    writes: List[bool] = []
-    header_universe: Optional[int] = None
-    header_block: Optional[int] = None
-    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
-        line = raw.strip()
-        if not line:
-            continue
-        if line.startswith("#"):
-            body = line[1:].strip().lower()
-            key, sep, value = body.partition(":")
-            if not sep:
-                continue  # plain comment
-            key = key.strip()
-            if key not in ("universe", "block_size"):
-                raise TraceFormatError(
-                    f"{path}:{lineno}: unknown directive {key!r} "
-                    "(known: universe, block_size)"
-                )
-            try:
-                parsed = int(value)
-            except ValueError as exc:
-                raise TraceFormatError(
-                    f"{path}:{lineno}: directive {key!r} needs an integer, "
-                    f"got {value.strip()!r}"
-                ) from exc
-            if parsed < 1:
-                raise TraceFormatError(
-                    f"{path}:{lineno}: directive {key!r} must be >= 1, "
-                    f"got {parsed}"
-                )
-            if key == "universe":
-                header_universe = parsed
-            else:
-                header_block = parsed
-            continue
-        parts = line.split()
-        if len(parts) > 2:
+    stream = TextTraceStream(path, limit=limit, offset=offset)
+    chunks = list(stream)
+    if not chunks:
+        if stream.accesses_seen:
             raise TraceFormatError(
-                f"{path}:{lineno}: expected 'item [r|w]', "
-                f"got {len(parts)} fields: {line!r}"
+                f"{path}: no accesses in window (offset={offset}, limit={limit})"
             )
-        try:
-            item = int(parts[0], 0)
-        except ValueError as exc:
-            raise TraceFormatError(
-                f"{path}:{lineno}: bad item id {parts[0]!r}"
-            ) from exc
-        if item < 0:
-            raise TraceFormatError(
-                f"{path}:{lineno}: item ids must be non-negative, got {item}"
-            )
-        items.append(item)
-        if len(parts) > 1:
-            flag = parts[1].lower()
-            if flag not in ("r", "w"):
-                raise TraceFormatError(
-                    f"{path}:{lineno}: flag must be r or w, got {parts[1]!r}"
-                )
-            writes.append(flag == "w")
-        else:
-            writes.append(False)
-    if not items:
         raise TraceFormatError(f"{path}: no accesses found")
-    bsize = block_size or header_block or 1
-    arr = np.asarray(items, dtype=np.int64)
+    header_universe = stream.header_universe
+    bsize = block_size or stream.header_block or 1
+    arr = np.concatenate([c.items for c in chunks])
+    writes = np.concatenate([c.writes for c in chunks])
     if densify:
         arr, universe = densify_addresses(arr, bsize)
     else:
@@ -158,7 +123,7 @@ def read_text_trace(
         FixedBlockMapping(universe=universe, block_size=bsize),
         {"generator": "read_text_trace", "source": str(path)},
     )
-    return RWTrace(trace=trace, is_write=np.asarray(writes, dtype=bool))
+    return RWTrace(trace=trace, is_write=writes)
 
 
 def write_text_trace(rw: RWTrace, path: str | Path) -> Path:

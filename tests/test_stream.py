@@ -1,0 +1,261 @@
+"""Streaming ingestion tests: chunked parsers (text/MSR/KV), gzip
+sniffing, access windows, streaming densification parity, and the
+one-pass .rtc converter's fingerprint parity with the in-memory path."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.core.rtc import open_rtc
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.workloads import markov_spatial
+from repro.workloads.stream import (
+    KvTraceStream,
+    MsrTraceStream,
+    StreamingDensifier,
+    TextTraceStream,
+    convert_to_rtc,
+    sample_trace,
+)
+from repro.workloads.trace_io import (
+    densify_addresses,
+    read_text_trace,
+    write_text_trace,
+)
+
+
+def write_lines(path, lines):
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def collect(stream):
+    chunks = list(stream)
+    if not chunks:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+    return (
+        np.concatenate([c.items for c in chunks]),
+        np.concatenate([c.writes for c in chunks]),
+    )
+
+
+# -- text parser -------------------------------------------------------------
+
+
+def test_text_stream_chunks_preserve_order(tmp_path):
+    path = write_lines(tmp_path / "t.txt", [str(i % 7) for i in range(100)])
+    items, writes = collect(TextTraceStream(path, chunk=9))
+    assert items.tolist() == [i % 7 for i in range(100)]
+    assert not writes.any()
+
+
+def test_text_stream_reads_directives(tmp_path):
+    path = write_lines(
+        tmp_path / "t.txt",
+        ["# universe: 64", "# block_size: 4", "1 r", "2 w", "3"],
+    )
+    stream = TextTraceStream(path)
+    items, writes = collect(stream)
+    assert stream.header_universe == 64
+    assert stream.header_block == 4
+    assert items.tolist() == [1, 2, 3]
+    assert writes.tolist() == [False, True, False]
+
+
+def test_text_stream_line_numbers_cross_chunks(tmp_path):
+    lines = [str(i) for i in range(50)] + ["oops"]
+    path = write_lines(tmp_path / "t.txt", lines)
+    with pytest.raises(TraceFormatError, match=rf"{path}:51: bad item id"):
+        collect(TextTraceStream(path, chunk=8))
+
+
+def test_text_stream_bad_flag(tmp_path):
+    path = write_lines(tmp_path / "t.txt", ["1 r", "2 x"])
+    with pytest.raises(TraceFormatError, match="flag must be r or w"):
+        collect(TextTraceStream(path))
+
+
+def test_text_stream_unknown_directive(tmp_path):
+    path = write_lines(tmp_path / "t.txt", ["# blocksize: 8", "1"])
+    with pytest.raises(TraceFormatError, match="unknown directive"):
+        collect(TextTraceStream(path))
+
+
+def test_gzip_sniffed_by_magic_not_extension(tmp_path):
+    body = "# block_size: 4\n" + "\n".join(str(i % 9) for i in range(40)) + "\n"
+    path = tmp_path / "t.txt"  # deliberately no .gz suffix
+    path.write_bytes(gzip.compress(body.encode()))
+    rw = read_text_trace(path)
+    assert rw.trace.items.tolist() == [i % 9 for i in range(40)]
+    assert rw.trace.block_size == 4
+
+
+def test_window_matches_slice_of_full_read(tmp_path):
+    full_items = [(i * 13) % 31 for i in range(200)]
+    path = write_lines(tmp_path / "t.txt", [str(x) for x in full_items])
+    whole = read_text_trace(path, block_size=1)
+    window = read_text_trace(path, block_size=1, offset=40, limit=25)
+    assert window.trace.items.tolist() == full_items[40:65]
+    assert len(whole.trace) == 200
+
+
+def test_window_stops_reading_early(tmp_path):
+    # A malformed line *after* the window must never be reached.
+    path = write_lines(tmp_path / "t.txt", ["1", "2", "3", "oops"])
+    rw = read_text_trace(path, limit=2)
+    assert rw.trace.items.tolist() == [1, 2]
+
+
+def test_empty_window_is_format_error(tmp_path):
+    path = write_lines(tmp_path / "t.txt", ["1", "2"])
+    with pytest.raises(TraceFormatError, match="no accesses in window"):
+        read_text_trace(path, offset=5)
+
+
+def test_negative_window_rejected(tmp_path):
+    path = write_lines(tmp_path / "t.txt", ["1"])
+    with pytest.raises(ConfigurationError, match="offset must be >= 0"):
+        TextTraceStream(path, offset=-1)
+    with pytest.raises(ConfigurationError, match="limit must be >= 0"):
+        TextTraceStream(path, limit=-1)
+
+
+# -- MSR block-storage parser ------------------------------------------------
+
+
+def test_msr_expands_byte_ranges_to_pages(tmp_path):
+    path = write_lines(
+        tmp_path / "m.csv",
+        [
+            "128166372003061629,src1,0,Read,0,8192,100",
+            "128166372003061630,src1,0,Write,4096,4097",
+            "128166372003061631,src1,0,Read,12288,1",
+        ],
+    )
+    items, writes = collect(MsrTraceStream(path, page_bytes=4096))
+    assert items.tolist() == [0, 1, 1, 2, 3]
+    assert writes.tolist() == [False, False, True, True, False]
+
+
+def test_msr_rejects_bad_type(tmp_path):
+    path = write_lines(tmp_path / "m.csv", ["1,h,0,Flush,0,512"])
+    with pytest.raises(TraceFormatError, match="type must be Read or Write"):
+        collect(MsrTraceStream(path))
+
+
+def test_msr_rejects_short_record(tmp_path):
+    path = write_lines(tmp_path / "m.csv", ["1,h,0,Read"])
+    with pytest.raises(TraceFormatError, match="expected"):
+        collect(MsrTraceStream(path))
+
+
+# -- memcached-style KV parser -----------------------------------------------
+
+
+def test_kv_ops_and_stable_hashing(tmp_path):
+    path = write_lines(
+        tmp_path / "k.csv",
+        ["1,alpha,get", "2,beta,set", "3,alpha,gets", "4,beta,delete,extra"],
+    )
+    items, writes = collect(KvTraceStream(path))
+    assert items[0] == items[2]  # same key, same id
+    assert items[1] == items[3]
+    assert items[0] != items[1]
+    assert (items >= 0).all() and (items < 2**63).all()
+    assert writes.tolist() == [False, True, False, True]
+
+
+def test_kv_rejects_unknown_op(tmp_path):
+    path = write_lines(tmp_path / "k.csv", ["1,key,frobnicate"])
+    with pytest.raises(TraceFormatError, match="unknown op"):
+        collect(KvTraceStream(path))
+
+
+def test_kv_rejects_empty_key(tmp_path):
+    path = write_lines(tmp_path / "k.csv", ["1,,get"])
+    with pytest.raises(TraceFormatError, match="empty key"):
+        collect(KvTraceStream(path))
+
+
+# -- streaming densification -------------------------------------------------
+
+
+def test_streaming_densifier_matches_batch(tmp_path):
+    rng = np.random.default_rng(5)
+    addresses = rng.integers(0, 2**40, size=500)
+    batch, batch_universe = densify_addresses(addresses, block_size=8)
+    dens = StreamingDensifier(8)
+    pieces = [
+        dens.apply(chunk) for chunk in np.array_split(addresses, 13)
+    ]
+    assert np.concatenate(pieces).tolist() == batch.tolist()
+    assert dens.universe == batch_universe
+
+
+# -- conversion --------------------------------------------------------------
+
+
+def test_convert_text_fingerprint_parity(tmp_path):
+    trace = markov_spatial(
+        length=4000, universe=512, block_size=8, stay=0.8, seed=6
+    )
+    from repro.core.readwrite import RWTrace
+
+    rw = RWTrace(trace=trace, is_write=np.zeros(len(trace), dtype=bool))
+    src = write_text_trace(rw, tmp_path / "t.txt")
+    out = convert_to_rtc(src, tmp_path / "t.rtc")
+    loaded = open_rtc(out)
+    in_memory = read_text_trace(src).trace
+    assert loaded.fingerprint() == in_memory.fingerprint()
+    assert loaded.metadata == in_memory.metadata
+
+
+def test_convert_msr_densifies_by_default(tmp_path):
+    src = write_lines(
+        tmp_path / "m.csv",
+        ["1,h,0,Read,1000000000,8192", "2,h,0,Read,0,4096"],
+    )
+    out = convert_to_rtc(src, tmp_path / "m.rtc", fmt="msr", block_size=4)
+    loaded = open_rtc(out)
+    # Sparse page ids were renamed onto a dense universe.
+    assert int(np.asarray(loaded.items).max()) < loaded.mapping.universe
+    # 3 pages for the first record's 8 KB span, 1 for the second.
+    assert len(loaded) == 4
+
+
+def test_convert_with_window(tmp_path):
+    src = write_lines(tmp_path / "t.txt", [str(i) for i in range(30)])
+    out = convert_to_rtc(
+        src, tmp_path / "t.rtc", block_size=1, offset=10, limit=5
+    )
+    assert np.asarray(open_rtc(out).items).tolist() == list(range(10, 15))
+
+
+def test_convert_sampled_matches_post_hoc_sampling(tmp_path):
+    trace = markov_spatial(
+        length=3000, universe=512, block_size=8, stay=0.8, seed=8
+    )
+    from repro.core.readwrite import RWTrace
+
+    rw = RWTrace(trace=trace, is_write=np.zeros(len(trace), dtype=bool))
+    src = write_text_trace(rw, tmp_path / "t.txt")
+    out = convert_to_rtc(
+        src, tmp_path / "t.rtc", sample_rate=0.25, sample_seed=4
+    )
+    sampled = sample_trace(read_text_trace(src).trace, 0.25, seed=4)
+    assert np.asarray(open_rtc(out).items).tolist() == sampled.items.tolist()
+
+
+def test_convert_unknown_format(tmp_path):
+    src = write_lines(tmp_path / "t.txt", ["1"])
+    with pytest.raises(ConfigurationError, match="unknown trace format"):
+        convert_to_rtc(src, tmp_path / "t.rtc", fmt="parquet")
+
+
+def test_convert_failure_leaves_no_partial_file(tmp_path):
+    src = write_lines(tmp_path / "t.txt", ["1", "2", "bad line here"])
+    with pytest.raises(TraceFormatError):
+        convert_to_rtc(src, tmp_path / "t.rtc")
+    assert not (tmp_path / "t.rtc").exists()
+    assert not list(tmp_path.glob("*.tmp-*"))
